@@ -1,0 +1,297 @@
+// Package hierclust's root benchmark suite regenerates every table and
+// figure of the paper's evaluation through the harness (one benchmark per
+// artifact, quick scale so -bench terminates promptly) and benchmarks the
+// performance-critical substrates: Reed–Solomon encoding at the paper's
+// group sizes (the linear-in-k law behind Fig. 3b and Table II's encode
+// column), the graph partitioner, the reliability model, the message-
+// passing runtime, and the hybrid protocol with failure recovery.
+//
+// Run with: go test -bench=. -benchmem
+package hierclust
+
+import (
+	"fmt"
+	"testing"
+
+	"hierclust/internal/checkpoint"
+	"hierclust/internal/core"
+	"hierclust/internal/erasure"
+	"hierclust/internal/graph"
+	"hierclust/internal/harness"
+	"hierclust/internal/hybrid"
+	"hierclust/internal/reliability"
+	"hierclust/internal/simmpi"
+	"hierclust/internal/topology"
+	"hierclust/internal/trace"
+	"hierclust/internal/tsunami"
+)
+
+// benchExperiment runs one harness experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	exp, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := harness.Config{Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkFig3a(b *testing.B)    { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)    { benchExperiment(b, "fig3b") }
+func BenchmarkFig4a(b *testing.B)    { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)    { benchExperiment(b, "fig4b") }
+func BenchmarkFig4c(b *testing.B)    { benchExperiment(b, "fig4c") }
+func BenchmarkFig5a(b *testing.B)    { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B)    { benchExperiment(b, "fig5b") }
+func BenchmarkFig5c(b *testing.B)    { benchExperiment(b, "fig5c") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkProtocol(b *testing.B) { benchExperiment(b, "protocol") }
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkRSEncode measures Reed–Solomon group encoding at the paper's
+// group sizes. Throughput should fall roughly linearly with k — the law the
+// paper's encode-time column (51 s/102 s/204 s per GB at k=8/16/32) obeys.
+func BenchmarkRSEncode(b *testing.B) {
+	const shard = 1 << 20
+	for _, k := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			enc, err := erasure.NewGroupEncoder(k, k, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([][]byte, k)
+			for i := range data {
+				data[i] = make([]byte, shard)
+				for j := range data[i] {
+					data[i][j] = byte(i + j)
+				}
+			}
+			b.SetBytes(int64(k * shard))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Encode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRSReconstruct measures decode after losing half the group.
+func BenchmarkRSReconstruct(b *testing.B) {
+	const shard = 1 << 20
+	for _, k := range []int{4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rs, err := erasure.NewRS(k, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([][]byte, k)
+			parity := make([][]byte, k)
+			for i := 0; i < k; i++ {
+				data[i] = make([]byte, shard)
+				parity[i] = make([]byte, shard)
+				for j := range data[i] {
+					data[i][j] = byte(i * j)
+				}
+			}
+			if err := rs.Encode(data, parity); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(k * shard))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shards := make([][]byte, 2*k)
+				for j := 0; j < k; j++ {
+					if j < k/2 {
+						shards[j] = nil // half the members lost
+					} else {
+						shards[j] = data[j]
+					}
+					shards[k+j] = parity[j]
+				}
+				if err := rs.Reconstruct(shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartition measures the L1 graph partitioner on node graphs of
+// increasing size.
+func BenchmarkPartition(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			g := graph.New(n)
+			for i := 0; i+1 < n; i++ {
+				_ = g.AddEdge(i, i+1, 1000)
+			}
+			for i := 0; i+16 < n; i += 4 {
+				_ = g.AddEdge(i, i+16, 10)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.Partition(g, graph.PartitionOptions{MinSize: 4, TargetSize: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCatastropheModel measures the reliability model on the paper's
+// hierarchical layout (64 nodes, 256 groups of 4).
+func BenchmarkCatastropheModel(b *testing.B) {
+	mach := &topology.Machine{Name: "b", Nodes: 64}
+	p, err := topology.Block(mach, 1024, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var groups []reliability.Group
+	for l1 := 0; l1 < 16; l1++ {
+		for i := 0; i < 16; i++ {
+			var mem []topology.Rank
+			for nd := l1 * 4; nd < l1*4+4; nd++ {
+				mem = append(mem, topology.Rank(nd*16+i))
+			}
+			groups = append(groups, reliability.GroupFromRanks(p, mem))
+		}
+	}
+	mdl := &reliability.Model{Nodes: 64, Mix: reliability.DefaultMix()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mdl.CatastropheProb(groups); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimMPIAllgather measures the runtime's recursive-doubling
+// allgather at growing world sizes.
+func BenchmarkSimMPIAllgather(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := simmpi.Run(n, simmpi.Options{}, func(p *simmpi.Proc) error {
+					_, err := p.Comm().Allgather(make([]byte, 64))
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimMPIStencil measures a full neighbor-exchange sweep.
+func BenchmarkSimMPIStencil(b *testing.B) {
+	const n = 256
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := simmpi.Run(n, simmpi.Options{}, func(p *simmpi.Proc) error {
+			c := p.Comm()
+			payload := make([]byte, 1024)
+			if c.Rank() > 0 {
+				if err := c.Send(c.Rank()-1, 1, payload); err != nil {
+					return err
+				}
+			}
+			if c.Rank() < n-1 {
+				if err := c.Send(c.Rank()+1, 1, payload); err != nil {
+					return err
+				}
+				if _, err := c.Recv(c.Rank()+1, 1); err != nil {
+					return err
+				}
+			}
+			if c.Rank() > 0 {
+				if _, err := c.Recv(c.Rank()-1, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTsunamiStep measures the solver kernel.
+func BenchmarkTsunamiStep(b *testing.B) {
+	p := tsunami.DefaultParams(1)
+	p.NX, p.NY = 256, 256
+	s, err := tsunami.NewSolver(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(p.NX * p.NY * 3 * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkHybridRecovery measures a full contained recovery: checkpoint,
+// node failure, RS decode, replay, re-execution.
+func BenchmarkHybridRecovery(b *testing.B) {
+	const ranks, ppn = 64, 8
+	mach := &topology.Machine{
+		Name: "b", Nodes: ranks / ppn,
+		SSDWriteBps: 1e9, SSDReadBps: 1e9, PFSWriteBps: 1e9, PFSReadBps: 1e9, NetBps: 1e9,
+	}
+	placement, err := topology.Block(mach, ranks, ppn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := trace.NewMatrix(ranks)
+	for r := 0; r+1 < ranks; r++ {
+		_ = m.Add(r, r+1, 1000)
+		_ = m.Add(r+1, r, 1000)
+	}
+	cl, err := core.Hierarchical(m, placement, core.HierOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := tsunami.DefaultParams(ranks)
+	params.NX, params.NY = 64, 2*ranks
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, err := tsunami.NewFTApp(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runner, err := hybrid.NewRunner(hybrid.Config{
+			Placement:       placement,
+			Clusters:        cl.L1,
+			Groups:          cl.Groups,
+			CheckpointEvery: 5,
+			Level:           checkpoint.L3Encoded,
+		}, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runner.Run(15, map[int][]topology.NodeID{8: {2}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

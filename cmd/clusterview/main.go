@@ -1,0 +1,87 @@
+// Command clusterview builds and compares clustering strategies for a
+// traced communication matrix, printing the four-dimension evaluation and
+// an ASCII heatmap of the traffic.
+//
+// Usage:
+//
+//	clusterview -ranks 256 -ppn 8          # trace the tsunami app and compare
+//	clusterview -ranks 256 -heatmap        # also draw the traffic heatmap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hierclust/internal/core"
+	"hierclust/internal/reliability"
+	"hierclust/internal/topology"
+	"hierclust/internal/trace"
+	"hierclust/internal/tsunami"
+)
+
+func main() {
+	var (
+		ranks   = flag.Int("ranks", 256, "application ranks")
+		ppn     = flag.Int("ppn", 8, "ranks per node")
+		iters   = flag.Int("iters", 20, "traced iterations")
+		naive   = flag.Int("naive", 32, "naive cluster size")
+		sg      = flag.Int("size-guided", 8, "size-guided cluster size")
+		dist    = flag.Int("distributed", 16, "distributed cluster size")
+		heatmap = flag.Bool("heatmap", false, "print the traffic heatmap")
+	)
+	flag.Parse()
+
+	if *ranks%*ppn != 0 {
+		fail(fmt.Errorf("ranks %d not divisible by ppn %d", *ranks, *ppn))
+	}
+	nodes := *ranks / *ppn
+	mach, err := topology.Tsubame2().Subset(nodes)
+	if err != nil {
+		fail(err)
+	}
+	placement, err := topology.Block(mach, *ranks, *ppn)
+	if err != nil {
+		fail(err)
+	}
+
+	params := tsunami.DefaultParams(*ranks)
+	params.NX, params.NY = 64, 2**ranks
+	rec := trace.NewRecorder(*ranks)
+	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
+		Params: params, Iterations: *iters, Tracer: rec,
+	}); err != nil {
+		fail(err)
+	}
+	m := rec.Matrix()
+	fmt.Printf("traced %d ranks on %d nodes: %d messages, %d bytes\n",
+		*ranks, nodes, m.TotalMsgs(), m.TotalBytes())
+	if *heatmap {
+		fmt.Println(m.ASCIIHeatmap(64))
+	}
+
+	var evals []*core.Evaluation
+	mix := reliability.DefaultMix()
+	for _, build := range []func() (*core.Clustering, error){
+		func() (*core.Clustering, error) { return core.Naive(*ranks, *naive) },
+		func() (*core.Clustering, error) { return core.SizeGuided(*ranks, *sg) },
+		func() (*core.Clustering, error) { return core.Distributed(*ranks, *dist) },
+		func() (*core.Clustering, error) { return core.Hierarchical(m, placement, core.HierOptions{}) },
+	} {
+		c, err := build()
+		if err != nil {
+			fail(err)
+		}
+		e, err := core.Evaluate(c, m, placement, mix)
+		if err != nil {
+			fail(err)
+		}
+		evals = append(evals, e)
+	}
+	fmt.Print(core.CompareTable(evals, core.DefaultBaseline()))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "clusterview:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command hcrun regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hcrun -exp table2              # one experiment at paper scale
+//	hcrun -exp all -quick          # every experiment, laptop scale
+//	hcrun -exp fig5a -out results  # also write PGM/CSV artifacts
+//	hcrun -list                    # list experiment ids
+//
+// Experiments: table1, fig3a, fig3b, fig4a, fig4b, fig4c, fig5a, fig5b,
+// fig5c, table2, protocol, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hierclust/internal/harness"
+	"hierclust/internal/trace"
+	"hierclust/internal/tsunami"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		quick   = flag.Bool("quick", false, "shrink to laptop scale")
+		ranks   = flag.Int("ranks", 0, "override application rank count")
+		ppn     = flag.Int("ppn", 0, "override processes per node")
+		iters   = flag.Int("iters", 0, "override traced iterations")
+		out     = flag.String("out", "", "directory for CSV/PGM artifacts")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csvFlag = flag.Bool("csv", false, "print CSV instead of ASCII tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.Config{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick}
+
+	var exps []harness.Experiment
+	if *exp == "all" {
+		exps = harness.All()
+	} else {
+		e, err := harness.ByID(*exp)
+		if err != nil {
+			fail(err)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	for _, e := range exps {
+		table, err := e.Run(cfg)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if *csvFlag {
+			fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
+		} else {
+			fmt.Println(table.ASCII())
+		}
+		if *out != "" {
+			if err := writeArtifacts(*out, table, cfg, e.ID); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+// writeArtifacts stores the table CSV and, for the heatmap experiments, the
+// full-resolution communication matrix as PGM and CSV.
+func writeArtifacts(dir string, table *harness.Table, cfg harness.Config, id string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+".csv"), []byte(table.CSV()), 0o644); err != nil {
+		return err
+	}
+	if id != "fig5a" && id != "fig5b" {
+		return nil
+	}
+	// Re-trace at the configured scale to dump the raw matrix.
+	cfgFull := cfg
+	if cfgFull.Ranks == 0 {
+		if cfgFull.Quick {
+			cfgFull.Ranks, cfgFull.ProcsPerNode, cfgFull.Iterations = 256, 8, 20
+		} else {
+			cfgFull.Ranks, cfgFull.ProcsPerNode, cfgFull.Iterations = 1024, 16, 100
+		}
+	}
+	nodes := cfgFull.Ranks / cfgFull.ProcsPerNode
+	rec := trace.NewRecorder(cfgFull.Ranks + nodes)
+	p := tsunami.DefaultParams(cfgFull.Ranks)
+	p.NX, p.NY = 64, 2*cfgFull.Ranks
+	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
+		Params:          p,
+		Iterations:      cfgFull.Iterations,
+		ProcsPerNode:    cfgFull.ProcsPerNode,
+		EncoderRanks:    true,
+		CheckpointEvery: cfgFull.Iterations / 4,
+		CheckpointBytes: 64 << 10,
+		Tracer:          rec,
+	}); err != nil {
+		return err
+	}
+	m := rec.Matrix()
+	if id == "fig5b" {
+		zoomN := 4 * (cfgFull.ProcsPerNode + 1)
+		if zoomN > m.N {
+			zoomN = m.N
+		}
+		var err error
+		if m, err = m.Submatrix(0, zoomN); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+"_matrix.csv"), []byte(m.CSV()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".pgm"), []byte(m.PGM()), 0o644)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hcrun:", err)
+	os.Exit(1)
+}

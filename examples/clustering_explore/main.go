@@ -1,0 +1,103 @@
+// clustering_explore: the cluster-size trade-off study of the paper's §III
+// (Figures 3a/3b) plus the brain-network measures that motivated the
+// hierarchical design (§IV-A): modularity and degree distribution of the
+// traced communication graph.
+//
+// Run with: go run ./examples/clustering_explore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hierclust/internal/core"
+	"hierclust/internal/erasure"
+	"hierclust/internal/reliability"
+	"hierclust/internal/topology"
+	"hierclust/internal/trace"
+	"hierclust/internal/tsunami"
+)
+
+func main() {
+	const ranks, ppn = 256, 8
+	machine, err := topology.Tsubame2().Subset(ranks / ppn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placement, err := topology.Block(machine, ranks, ppn)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := tsunami.DefaultParams(ranks)
+	params.NX, params.NY = 64, 2*ranks
+	rec := trace.NewRecorder(ranks)
+	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
+		Params: params, Iterations: 30, Tracer: rec,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	m := rec.Matrix()
+
+	// The Fig. 3a/3b sweep: cluster size versus the three flat-clustering
+	// costs. Watch logging fall, restart rise, and encoding explode.
+	fmt.Println("cluster size sweep (naive consecutive-rank clusters):")
+	fmt.Printf("%8s %10s %12s %14s\n", "size", "logged %", "restart %", "encode s/GB")
+	for size := 2; size <= 64; size *= 2 {
+		c, err := core.Naive(ranks, size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logged, err := m.LoggedFraction(c.L1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		restart, err := core.RecoveryFraction(c, placement)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %10.2f %12.2f %14.1f\n",
+			size, logged*100, restart*100, erasure.ModelEncodeSeconds(size, 1e9))
+	}
+
+	// The brain-network view (§IV-A): the hierarchical L1 partition should
+	// score high modularity — "functional segregation" — on the node graph.
+	nodeMatrix, err := m.NodeMatrix(placement)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := nodeMatrix.ToGraph()
+	hier, err := core.Hierarchical(m, placement, core.HierOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Project the rank-level L1 onto nodes for the modularity measure.
+	nodePart := make([]int, len(placement.UsedNodes()))
+	for i, n := range placement.UsedNodes() {
+		nodePart[i] = hier.L1[placement.RanksOn(n)[0]]
+	}
+	q, err := g.Modularity(nodePart)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat := make([]int, len(nodePart)) // everything in one community
+	q0, err := g.Modularity(flat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnode-graph modularity: hierarchical L1 = %.3f (single cluster = %.3f)\n", q, q0)
+
+	st := g.DegreeDistribution()
+	fmt.Printf("node-graph degree distribution: min %d, mean %.2f, max %d\n", st.Min, st.Mean, st.Max)
+	fmt.Println("\nhierarchical verdict:")
+	hierEval := mustEval(hier, m, placement)
+	fmt.Println(" ", hierEval)
+}
+
+func mustEval(c *core.Clustering, m *trace.Matrix, p *topology.Placement) *core.Evaluation {
+	e, err := core.Evaluate(c, m, p, reliability.DefaultMix())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e
+}

@@ -1,0 +1,79 @@
+// Quickstart: build the paper's four clustering strategies for a traced
+// application and score them on the four-dimensional optimization space
+// (message logging, recovery cost, encoding time, reliability).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hierclust/internal/core"
+	"hierclust/internal/reliability"
+	"hierclust/internal/topology"
+	"hierclust/internal/trace"
+	"hierclust/internal/tsunami"
+)
+
+func main() {
+	// 1. A machine: 32 nodes of the TSUBAME2 model, 8 ranks per node,
+	//    consecutive ranks placed on the same node (topology-aware).
+	const ranks, ppn = 256, 8
+	machine, err := topology.Tsubame2().Subset(ranks / ppn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placement, err := topology.Block(machine, ranks, ppn)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Trace a real application on the message-passing runtime: the
+	//    tsunami stencil exchanges boundary rows with ranks ±1.
+	params := tsunami.DefaultParams(ranks)
+	params.NX, params.NY = 64, 2*ranks
+	recorder := trace.NewRecorder(ranks)
+	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
+		Params:     params,
+		Iterations: 25,
+		Tracer:     recorder,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	matrix := recorder.Matrix()
+	fmt.Printf("traced %d messages, %d bytes\n\n", matrix.TotalMsgs(), matrix.TotalBytes())
+
+	// 3. Build the four clusterings of the paper.
+	naive, err := core.Naive(ranks, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizeGuided, err := core.SizeGuided(ranks, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	distributed, err := core.Distributed(ranks, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hierarchical, err := core.Hierarchical(matrix, placement, core.HierOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Evaluate all four on the paper's dimensions and print Table II.
+	var evals []*core.Evaluation
+	for _, c := range []*core.Clustering{naive, sizeGuided, distributed, hierarchical} {
+		e, err := core.Evaluate(c, matrix, placement, reliability.DefaultMix())
+		if err != nil {
+			log.Fatal(err)
+		}
+		evals = append(evals, e)
+	}
+	fmt.Print(core.CompareTable(evals, core.DefaultBaseline()))
+
+	fmt.Println("\nhierarchical L1 clusters:", hierarchical.NumClusters(),
+		"| L2 encoding groups:", len(hierarchical.Groups),
+		"| max group size:", hierarchical.MaxGroupSize())
+}

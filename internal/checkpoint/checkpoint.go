@@ -1,0 +1,385 @@
+// Package checkpoint implements the multi-level checkpointing library of
+// the paper's FTI substrate (reference [3]): application state is saved to
+// node-local SSDs at high frequency, optionally replicated to a partner
+// node, erasure-coded across an encoding group, or flushed to the parallel
+// file system. A restart planner recovers each rank's state from the
+// cheapest level that survived the failure.
+//
+// Level 3 uses the FTI Reed–Solomon layout: an encoding group of k members
+// holds k data shards (the members' own checkpoints on their local SSDs)
+// plus k parity shards (parity shard i on member i's node). Any k of the 2k
+// shards reconstruct the group, so the group survives the loss of ⌊k/2⌋
+// nodes — the "half group" tolerance assumed by the reliability model.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"hierclust/internal/erasure"
+	"hierclust/internal/storage"
+	"hierclust/internal/topology"
+)
+
+// Level identifies a protection level, cheapest first.
+type Level int
+
+const (
+	// L1Local is a checkpoint on the rank's node-local SSD.
+	L1Local Level = 1
+	// L2Partner adds a copy on a partner node.
+	L2Partner Level = 2
+	// L3Encoded adds Reed–Solomon parity across the encoding group.
+	L3Encoded Level = 3
+	// L4PFS is a checkpoint on the parallel file system.
+	L4PFS Level = 4
+	// L3XOR adds single-parity XOR across the encoding group: k times
+	// cheaper to encode than RS(k,k) but tolerating only one lost member
+	// per group — the cheap codec the paper cites alongside Reed–Solomon
+	// (§II-B.1, references [7][20]).
+	L3XOR Level = 5
+)
+
+// String names the level as FTI does.
+func (l Level) String() string {
+	switch l {
+	case L1Local:
+		return "L1-local"
+	case L2Partner:
+		return "L2-partner"
+	case L3Encoded:
+		return "L3-encoded"
+	case L3XOR:
+		return "L3-xor"
+	case L4PFS:
+		return "L4-pfs"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// ErrUnrecoverable is wrapped when no surviving level can restore a rank —
+// the catastrophic failure of the paper's reliability dimension.
+var ErrUnrecoverable = errors.New("checkpoint: unrecoverable")
+
+// Meta records one rank's checkpoint for integrity checking.
+type Meta struct {
+	Rank     topology.Rank
+	Version  int
+	Level    Level
+	Size     int64
+	Checksum uint32
+}
+
+// Result reports the simulated cost of one checkpoint operation at paper
+// scale plus, for encoded checkpoints, the measured encode wall time.
+type Result struct {
+	// Level actually taken.
+	Level Level
+	// LocalWriteTime is the simulated SSD time (max over nodes; ranks on
+	// one node serialize on its SSD, nodes proceed in parallel).
+	LocalWriteTime time.Duration
+	// PartnerTime is the simulated network+write time of partner copies.
+	PartnerTime time.Duration
+	// EncodeWallTime is the measured wall-clock time of the real RS
+	// encodes (groups run in parallel; this is the slowest group).
+	EncodeWallTime time.Duration
+	// EncodeModelTime is the modeled paper-scale encode time for the same
+	// group size, per erasure.ModelEncodeSeconds.
+	EncodeModelTime time.Duration
+	// PFSTime is the simulated contended parallel-file-system time.
+	PFSTime time.Duration
+}
+
+// Manager orchestrates multi-level checkpoints for a set of ranks placed on
+// a storage cluster.
+type Manager struct {
+	cluster   *storage.Cluster
+	placement *topology.Placement
+	groups    [][]topology.Rank
+	groupOf   map[topology.Rank]int
+	meta      map[int]map[topology.Rank]Meta // version -> rank -> meta
+}
+
+// New creates a manager. groups lists the encoding groups (the L2 clusters
+// of the hierarchical scheme) partitioning a subset of ranks; ranks outside
+// any group simply cannot use L3. Every group needs at least 2 members.
+func New(cluster *storage.Cluster, placement *topology.Placement, groups [][]topology.Rank) (*Manager, error) {
+	m := &Manager{
+		cluster:   cluster,
+		placement: placement,
+		groups:    make([][]topology.Rank, len(groups)),
+		groupOf:   map[topology.Rank]int{},
+		meta:      map[int]map[topology.Rank]Meta{},
+	}
+	for gi, g := range groups {
+		if len(g) < 2 {
+			return nil, fmt.Errorf("checkpoint: encoding group %d has %d members; need at least 2", gi, len(g))
+		}
+		m.groups[gi] = append([]topology.Rank(nil), g...)
+		for _, r := range g {
+			if int(r) < 0 || int(r) >= placement.NumRanks() {
+				return nil, fmt.Errorf("checkpoint: group %d member rank %d out of range", gi, r)
+			}
+			if prev, dup := m.groupOf[r]; dup {
+				return nil, fmt.Errorf("checkpoint: rank %d in groups %d and %d", r, prev, gi)
+			}
+			m.groupOf[r] = gi
+		}
+	}
+	return m, nil
+}
+
+// Groups returns the encoding groups (not aliased).
+func (m *Manager) Groups() [][]topology.Rank {
+	out := make([][]topology.Rank, len(m.groups))
+	for i, g := range m.groups {
+		out[i] = append([]topology.Rank(nil), g...)
+	}
+	return out
+}
+
+// GroupOf returns the encoding-group index of rank r, or -1.
+func (m *Manager) GroupOf(r topology.Rank) int {
+	if gi, ok := m.groupOf[r]; ok {
+		return gi
+	}
+	return -1
+}
+
+func keyL1(r topology.Rank, v int) string  { return fmt.Sprintf("l1/%d/%d", r, v) }
+func keyL2(r topology.Rank, v int) string  { return fmt.Sprintf("l2p/%d/%d", r, v) }
+func keyL3(g, i, v int) string             { return fmt.Sprintf("l3p/%d/%d/%d", g, i, v) }
+func keyXOR(g, v int) string               { return fmt.Sprintf("l3x/%d/%d", g, v) }
+func keyPFS(r topology.Rank, v int) string { return fmt.Sprintf("l4/%d/%d", r, v) }
+
+// Checkpoint saves data (rank → blob) at the given version and level.
+// Lower levels are implied: L3 also writes L1; L2 also writes L1.
+func (m *Manager) Checkpoint(version int, level Level, data map[topology.Rank][]byte) (*Result, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("checkpoint: no data for version %d", version)
+	}
+	res := &Result{Level: level}
+	metas := m.meta[version]
+	if metas == nil {
+		metas = map[topology.Rank]Meta{}
+		m.meta[version] = metas
+	}
+
+	if level != L4PFS {
+		if err := m.writeLocal(version, data, metas, level, res); err != nil {
+			return nil, err
+		}
+	}
+	switch level {
+	case L1Local:
+		// done
+	case L2Partner:
+		if err := m.writePartner(version, data, res); err != nil {
+			return nil, err
+		}
+	case L3Encoded:
+		if err := m.encodeGroups(version, data, res); err != nil {
+			return nil, err
+		}
+	case L3XOR:
+		if err := m.xorGroups(version, data, res); err != nil {
+			return nil, err
+		}
+	case L4PFS:
+		if err := m.writePFS(version, data, metas, res); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("checkpoint: unknown level %d", int(level))
+	}
+	return res, nil
+}
+
+// xorGroups computes one XOR parity shard per group and stores it on the
+// node of the group's first member. A group survives any single member
+// loss (and, because the parity lives on a member's node, the loss of any
+// *other* node entirely).
+func (m *Manager) xorGroups(version int, data map[topology.Rank][]byte, res *Result) error {
+	for gi, group := range m.groups {
+		any := false
+		for _, r := range group {
+			if _, ok := data[r]; ok {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		maxLen := 0
+		for _, r := range group {
+			blob, ok := data[r]
+			if !ok {
+				return fmt.Errorf("checkpoint: group %d member %d missing from version %d data", gi, r, version)
+			}
+			if len(blob)+4 > maxLen {
+				maxLen = len(blob) + 4
+			}
+		}
+		padded := make([][]byte, len(group))
+		for i, r := range group {
+			blob := data[r]
+			p := make([]byte, maxLen)
+			binary.LittleEndian.PutUint32(p[:4], uint32(len(blob)))
+			copy(p[4:], blob)
+			padded[i] = p
+		}
+		codec, err := erasure.NewXOR(len(group))
+		if err != nil {
+			return err
+		}
+		parity := make([]byte, maxLen)
+		start := time.Now()
+		if err := codec.Encode(padded, parity); err != nil {
+			return fmt.Errorf("checkpoint: group %d xor encode: %w", gi, err)
+		}
+		if el := time.Since(start); el > res.EncodeWallTime {
+			res.EncodeWallTime = el
+		}
+		st, err := m.cluster.Local(m.placement.NodeOf(group[0]))
+		if err != nil {
+			return err
+		}
+		if _, err := st.Put(keyXOR(gi, version), parity); err != nil {
+			return fmt.Errorf("checkpoint: group %d xor parity: %w", gi, err)
+		}
+	}
+	return nil
+}
+
+func (m *Manager) writeLocal(version int, data map[topology.Rank][]byte, metas map[topology.Rank]Meta, level Level, res *Result) error {
+	perNode := map[topology.NodeID]time.Duration{}
+	for r, blob := range data {
+		st, err := m.cluster.Local(m.placement.NodeOf(r))
+		if err != nil {
+			return err
+		}
+		d, err := st.Put(keyL1(r, version), blob)
+		if err != nil {
+			return fmt.Errorf("checkpoint: L1 write rank %d: %w", r, err)
+		}
+		perNode[st.Node()] += d
+		metas[r] = Meta{Rank: r, Version: version, Level: level, Size: int64(len(blob)), Checksum: crc32.ChecksumIEEE(blob)}
+	}
+	for _, d := range perNode {
+		if d > res.LocalWriteTime {
+			res.LocalWriteTime = d
+		}
+	}
+	return nil
+}
+
+func (m *Manager) writePartner(version int, data map[topology.Rank][]byte, res *Result) error {
+	used := m.placement.UsedNodes()
+	if len(used) < 2 {
+		return fmt.Errorf("checkpoint: partner copies need at least 2 nodes, have %d", len(used))
+	}
+	pos := map[topology.NodeID]int{}
+	for i, n := range used {
+		pos[n] = i
+	}
+	net := &storage.Device{Name: "net", ReadBps: m.placement.Machine().NetBps, WriteBps: m.placement.Machine().NetBps}
+	perNode := map[topology.NodeID]time.Duration{}
+	for r, blob := range data {
+		home := m.placement.NodeOf(r)
+		partner := used[(pos[home]+1)%len(used)]
+		st, err := m.cluster.Local(partner)
+		if err != nil {
+			return err
+		}
+		d, err := st.Put(keyL2(r, version), blob)
+		if err != nil {
+			return fmt.Errorf("checkpoint: partner write rank %d: %w", r, err)
+		}
+		perNode[partner] += d + net.WriteTime(int64(len(blob)), 1)
+	}
+	for _, d := range perNode {
+		if d > res.PartnerTime {
+			res.PartnerTime = d
+		}
+	}
+	return nil
+}
+
+func (m *Manager) encodeGroups(version int, data map[topology.Rank][]byte, res *Result) error {
+	for gi, group := range m.groups {
+		// Skip groups with no checkpointing member this round.
+		any := false
+		for _, r := range group {
+			if _, ok := data[r]; ok {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		shards := make([][]byte, len(group))
+		maxLen := 0
+		for i, r := range group {
+			blob, ok := data[r]
+			if !ok {
+				return fmt.Errorf("checkpoint: group %d member %d missing from version %d data", gi, r, version)
+			}
+			shards[i] = blob
+			if len(blob)+4 > maxLen {
+				maxLen = len(blob) + 4
+			}
+		}
+		padded := make([][]byte, len(group))
+		for i, blob := range shards {
+			p := make([]byte, maxLen)
+			binary.LittleEndian.PutUint32(p[:4], uint32(len(blob)))
+			copy(p[4:], blob)
+			padded[i] = p
+		}
+		k := len(group)
+		enc, err := erasure.NewGroupEncoder(k, k, 0, 0)
+		if err != nil {
+			return fmt.Errorf("checkpoint: group %d encoder: %w", gi, err)
+		}
+		gres, err := enc.Encode(padded)
+		if err != nil {
+			return fmt.Errorf("checkpoint: group %d encode: %w", gi, err)
+		}
+		if gres.Elapsed > res.EncodeWallTime {
+			res.EncodeWallTime = gres.Elapsed
+		}
+		if gres.ModelTime > res.EncodeModelTime {
+			res.EncodeModelTime = gres.ModelTime
+		}
+		for i, r := range group {
+			st, err := m.cluster.Local(m.placement.NodeOf(r))
+			if err != nil {
+				return err
+			}
+			if _, err := st.Put(keyL3(gi, i, version), gres.Parity[i]); err != nil {
+				return fmt.Errorf("checkpoint: group %d parity %d: %w", gi, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Manager) writePFS(version int, data map[topology.Rank][]byte, metas map[topology.Rank]Meta, res *Result) error {
+	sharing := len(m.placement.UsedNodes())
+	for r, blob := range data {
+		d, err := m.cluster.PFS().Put(keyPFS(r, version), blob, sharing)
+		if err != nil {
+			return err
+		}
+		if d > res.PFSTime {
+			res.PFSTime = d
+		}
+		metas[r] = Meta{Rank: r, Version: version, Level: L4PFS, Size: int64(len(blob)), Checksum: crc32.ChecksumIEEE(blob)}
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"hierclust/internal/erasure"
+	"hierclust/internal/storage"
+	"hierclust/internal/topology"
+)
+
+// Restored describes how one rank was recovered.
+type Restored struct {
+	Rank  topology.Rank
+	Level Level // the level that supplied the data
+	Data  []byte
+}
+
+// Restore recovers the checkpoints of the given ranks at version, picking
+// per rank the cheapest level that survived: local SSD, partner copy,
+// Reed–Solomon group reconstruction, then PFS. It returns one Restored per
+// requested rank or ErrUnrecoverable (wrapped) if any rank cannot be
+// recovered.
+func (m *Manager) Restore(version int, ranks []topology.Rank) ([]Restored, error) {
+	out := make([]Restored, 0, len(ranks))
+	// Group reconstructions are cached: rebuilding one member recovers all.
+	rebuilt := map[int][][]byte{}
+	for _, r := range ranks {
+		meta, ok := m.meta[version][r]
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: rank %d has no version-%d checkpoint: %w", r, version, ErrUnrecoverable)
+		}
+		if blob, ok := m.tryLocal(version, r, &meta); ok {
+			out = append(out, Restored{Rank: r, Level: L1Local, Data: blob})
+			continue
+		}
+		if blob, ok := m.tryPartner(version, r, &meta); ok {
+			out = append(out, Restored{Rank: r, Level: L2Partner, Data: blob})
+			continue
+		}
+		if blob, ok := m.tryGroupDecode(version, r, &meta, rebuilt); ok {
+			out = append(out, Restored{Rank: r, Level: L3Encoded, Data: blob})
+			continue
+		}
+		if blob, ok := m.tryXORDecode(version, r, &meta); ok {
+			out = append(out, Restored{Rank: r, Level: L3XOR, Data: blob})
+			continue
+		}
+		if blob, ok := m.tryPFS(version, r, &meta); ok {
+			out = append(out, Restored{Rank: r, Level: L4PFS, Data: blob})
+			continue
+		}
+		return nil, fmt.Errorf("checkpoint: rank %d version %d lost at all levels: %w", r, version, ErrUnrecoverable)
+	}
+	return out, nil
+}
+
+func (m *Manager) verify(meta *Meta, blob []byte) bool {
+	return int64(len(blob)) == meta.Size && crc32.ChecksumIEEE(blob) == meta.Checksum
+}
+
+func (m *Manager) tryLocal(version int, r topology.Rank, meta *Meta) ([]byte, bool) {
+	st, err := m.cluster.Local(m.placement.NodeOf(r))
+	if err != nil {
+		return nil, false
+	}
+	blob, _, err := st.Get(keyL1(r, version))
+	if err != nil || !m.verify(meta, blob) {
+		return nil, false
+	}
+	return blob, true
+}
+
+func (m *Manager) tryPartner(version int, r topology.Rank, meta *Meta) ([]byte, bool) {
+	used := m.placement.UsedNodes()
+	if len(used) < 2 {
+		return nil, false
+	}
+	pos := -1
+	home := m.placement.NodeOf(r)
+	for i, n := range used {
+		if n == home {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		return nil, false
+	}
+	st, err := m.cluster.Local(used[(pos+1)%len(used)])
+	if err != nil {
+		return nil, false
+	}
+	blob, _, err := st.Get(keyL2(r, version))
+	if err != nil || !m.verify(meta, blob) {
+		return nil, false
+	}
+	return blob, true
+}
+
+func (m *Manager) tryPFS(version int, r topology.Rank, meta *Meta) ([]byte, bool) {
+	blob, _, err := m.cluster.PFS().Get(keyPFS(r, version), 1)
+	if err != nil || !m.verify(meta, blob) {
+		return nil, false
+	}
+	return blob, true
+}
+
+// tryGroupDecode reconstructs r's checkpoint from its encoding group's
+// surviving data and parity shards.
+func (m *Manager) tryGroupDecode(version int, r topology.Rank, meta *Meta, cache map[int][][]byte) ([]byte, bool) {
+	gi, ok := m.groupOf[r]
+	if !ok {
+		return nil, false
+	}
+	group := m.groups[gi]
+	idx := -1
+	for i, member := range group {
+		if member == r {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return nil, false
+	}
+	shards, ok := cache[gi]
+	if !ok {
+		shards = m.collectGroupShards(version, gi)
+		k := len(group)
+		rs, err := erasure.NewRS(k, k)
+		if err != nil {
+			return nil, false
+		}
+		if err := rs.Reconstruct(shards); err != nil {
+			cache[gi] = nil // remember the failure
+			return nil, false
+		}
+		cache[gi] = shards
+	}
+	if shards == nil {
+		return nil, false
+	}
+	blob, err := unpadShard(shards[idx])
+	if err != nil || !m.verify(meta, blob) {
+		return nil, false
+	}
+	return blob, true
+}
+
+// tryXORDecode rebuilds r's checkpoint from the group's single XOR parity
+// shard, which requires every *other* member's local checkpoint to survive.
+func (m *Manager) tryXORDecode(version int, r topology.Rank, meta *Meta) ([]byte, bool) {
+	gi, ok := m.groupOf[r]
+	if !ok {
+		return nil, false
+	}
+	group := m.groups[gi]
+	k := len(group)
+	// Fetch the parity (lives on the first member's node).
+	st, err := m.cluster.Local(m.placement.NodeOf(group[0]))
+	if err != nil {
+		return nil, false
+	}
+	parity, _, err := st.Get(keyXOR(gi, version))
+	if err != nil {
+		return nil, false
+	}
+	shards := make([][]byte, k+1)
+	shards[k] = parity
+	idx := -1
+	for i, member := range group {
+		if member == r {
+			idx = i
+			continue // the shard we are rebuilding
+		}
+		mst, err := m.cluster.Local(m.placement.NodeOf(member))
+		if err != nil {
+			return nil, false
+		}
+		blob, _, err := mst.Get(keyL1(member, version))
+		if err != nil {
+			return nil, false
+		}
+		if mmeta, ok := m.meta[version][member]; ok && !m.verify(&mmeta, blob) {
+			return nil, false
+		}
+		p := make([]byte, len(parity))
+		binary.LittleEndian.PutUint32(p[:4], uint32(len(blob)))
+		copy(p[4:], blob)
+		shards[i] = p
+	}
+	if idx == -1 {
+		return nil, false
+	}
+	codec, err := erasure.NewXOR(k)
+	if err != nil {
+		return nil, false
+	}
+	if err := codec.Reconstruct(shards); err != nil {
+		return nil, false
+	}
+	blob, err := unpadShard(shards[idx])
+	if err != nil || !m.verify(meta, blob) {
+		return nil, false
+	}
+	return blob, true
+}
+
+// collectGroupShards gathers the k padded data shards and k parity shards
+// of a group, nil where lost. Data shards are re-padded from surviving L1
+// checkpoints using the group's padded size (parity length).
+func (m *Manager) collectGroupShards(version, gi int) [][]byte {
+	group := m.groups[gi]
+	k := len(group)
+	shards := make([][]byte, 2*k)
+	paddedLen := 0
+	// Parity first: its length defines the padded shard size.
+	for i, r := range group {
+		st, err := m.cluster.Local(m.placement.NodeOf(r))
+		if err != nil {
+			continue
+		}
+		if p, _, err := st.Get(keyL3(gi, i, version)); err == nil {
+			shards[k+i] = p
+			if len(p) > paddedLen {
+				paddedLen = len(p)
+			}
+		}
+	}
+	for i, r := range group {
+		st, err := m.cluster.Local(m.placement.NodeOf(r))
+		if err != nil {
+			continue
+		}
+		blob, _, err := st.Get(keyL1(r, version))
+		if err != nil {
+			continue
+		}
+		// A shard that fails its integrity check is as lost as an erased
+		// one: feeding it to the decoder would silently corrupt the group.
+		if meta, ok := m.meta[version][r]; ok && !m.verify(&meta, blob) {
+			continue
+		}
+		if paddedLen < len(blob)+4 {
+			paddedLen = len(blob) + 4
+		}
+		p := make([]byte, paddedLen)
+		binary.LittleEndian.PutUint32(p[:4], uint32(len(blob)))
+		copy(p[4:], blob)
+		shards[i] = p
+	}
+	// Normalize: all non-nil shards must share paddedLen (possible mismatch
+	// when no parity survived but data shards differ — harmless, RS will
+	// reject; re-pad to the common maximum).
+	for i, s := range shards[:k] {
+		if s != nil && len(s) != paddedLen {
+			p := make([]byte, paddedLen)
+			copy(p, s)
+			shards[i] = p
+		}
+	}
+	return shards
+}
+
+func unpadShard(p []byte) ([]byte, error) {
+	if len(p) < 4 {
+		return nil, errors.New("checkpoint: padded shard too short")
+	}
+	n := binary.LittleEndian.Uint32(p[:4])
+	if int(n) > len(p)-4 {
+		return nil, fmt.Errorf("checkpoint: padded length %d exceeds shard size %d", n, len(p)-4)
+	}
+	return p[4 : 4+n], nil
+}
+
+// GC removes all checkpoint artifacts of versions strictly below keep.
+func (m *Manager) GC(keep int) {
+	for v := range m.meta {
+		if v >= keep {
+			continue
+		}
+		for r := range m.meta[v] {
+			node := m.placement.NodeOf(r)
+			if st, err := m.cluster.Local(node); err == nil {
+				_ = st.Delete(keyL1(r, v))
+			}
+			m.cluster.PFS().Delete(keyPFS(r, v))
+		}
+		// partner copies and parity can live on any node: sweep all.
+		for _, n := range m.placement.UsedNodes() {
+			st, err := m.cluster.Local(n)
+			if err != nil || st.Failed() {
+				continue
+			}
+			for _, key := range st.Keys() {
+				var rr, vv, g, i int
+				if _, err := fmt.Sscanf(key, "l2p/%d/%d", &rr, &vv); err == nil && vv == v {
+					_ = st.Delete(key)
+					continue
+				}
+				if _, err := fmt.Sscanf(key, "l3p/%d/%d/%d", &g, &i, &vv); err == nil && vv == v {
+					_ = st.Delete(key)
+					continue
+				}
+				if _, err := fmt.Sscanf(key, "l3x/%d/%d", &g, &vv); err == nil && vv == v {
+					_ = st.Delete(key)
+				}
+			}
+		}
+		delete(m.meta, v)
+	}
+}
+
+// Versions lists the versions with metadata, ascending.
+func (m *Manager) Versions() []int {
+	var out []int
+	for v := range m.meta {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort, tiny n
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Unrecoverable reports whether err indicates a catastrophic loss.
+func Unrecoverable(err error) bool { return errors.Is(err, ErrUnrecoverable) }
+
+// SimRestartTime estimates the simulated time to restore the given ranks
+// from a level: local and partner reads stream from SSDs, group decode
+// reads survivors and reconstructs, PFS reads contend.
+func (m *Manager) SimRestartTime(level Level, bytesPerRank int64, ranks int) time.Duration {
+	mach := m.placement.Machine()
+	ssd := &storage.Device{Name: "ssd", ReadBps: mach.SSDReadBps, WriteBps: mach.SSDWriteBps}
+	pfs := &storage.Device{Name: "pfs", ReadBps: mach.PFSReadBps, WriteBps: mach.PFSWriteBps}
+	net := &storage.Device{Name: "net", ReadBps: mach.NetBps, WriteBps: mach.NetBps}
+	perNode := int64(m.placement.MaxProcsPerNode())
+	switch level {
+	case L1Local:
+		return ssd.ReadTime(bytesPerRank*perNode, 1)
+	case L2Partner:
+		return ssd.ReadTime(bytesPerRank*perNode, 1) + net.ReadTime(bytesPerRank*perNode, 1)
+	case L3Encoded:
+		k := 4
+		if len(m.groups) > 0 {
+			k = len(m.groups[0])
+		}
+		dec := time.Duration(erasure.ModelEncodeSeconds(k, bytesPerRank) * float64(time.Second))
+		return ssd.ReadTime(bytesPerRank*perNode, 1) + dec
+	default:
+		return pfs.ReadTime(bytesPerRank*int64(ranks), ranks)
+	}
+}

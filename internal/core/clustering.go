@@ -1,0 +1,348 @@
+// Package core implements the paper's contribution: clustering strategies
+// for coupling fast erasure-coded checkpointing (FTI) with failure
+// containment (HydEE), evaluated in the four-dimensional optimization space
+// of §III — message-logging overhead, recovery cost, encoding time, and
+// reliability (probability of catastrophic failure).
+//
+// Four strategies are provided, mirroring the paper's §III–§IV:
+//
+//   - Naive: clusters of consecutive ranks sized for the logging/recovery
+//     sweet spot (32 in the paper), used directly as encoding groups.
+//   - SizeGuided: the same construction at the encoding sweet spot (8),
+//     which lands whole groups on single nodes under topology-aware
+//     placement and collapses reliability.
+//   - Distributed: clusters striped across nodes so every member lives on
+//     a different node — reliable, but logging and recovery explode.
+//   - Hierarchical: the paper's two-level solution. L1 clusters come from
+//     partitioning the node-based communication graph (≥4 nodes per
+//     cluster); L2 encoding groups take the i-th process of each node
+//     within 4-node sub-groups, giving small, homogeneous, fully
+//     distributed groups inside every L1 cluster.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hierclust/internal/graph"
+	"hierclust/internal/topology"
+	"hierclust/internal/trace"
+)
+
+// Clustering is a complete clustering decision: the L1 assignment drives
+// the hybrid protocol (coordination + containment) and the L2 groups drive
+// erasure encoding. For the flat strategies (naive, size-guided,
+// distributed) the encoding groups are the L1 clusters themselves, which is
+// exactly the coupling constraint of §III ("the processes of the encoding
+// clusters must checkpoint in a coordinated fashion").
+type Clustering struct {
+	// Name labels the strategy in reports.
+	Name string
+	// L1 maps each rank to its failure-containment cluster id (dense).
+	L1 []int
+	// Groups are the erasure-encoding groups, each a set of ranks.
+	Groups [][]topology.Rank
+}
+
+// NumClusters returns the number of distinct L1 clusters.
+func (c *Clustering) NumClusters() int { return graph.NumParts(c.L1) }
+
+// ClusterMembers returns the ranks of every L1 cluster.
+func (c *Clustering) ClusterMembers() [][]int { return graph.Members(c.L1) }
+
+// Validate checks structural invariants: dense non-negative L1 ids, and
+// encoding groups that are disjoint, within range, and — the coupling
+// requirement — each fully contained in a single L1 cluster.
+func (c *Clustering) Validate(nranks int) error {
+	if len(c.L1) != nranks {
+		return fmt.Errorf("core: clustering %q covers %d ranks, want %d", c.Name, len(c.L1), nranks)
+	}
+	for r, id := range c.L1 {
+		if id < 0 {
+			return fmt.Errorf("core: clustering %q: rank %d has negative cluster", c.Name, r)
+		}
+	}
+	seen := make(map[topology.Rank]bool)
+	for gi, g := range c.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("core: clustering %q: empty group %d", c.Name, gi)
+		}
+		owner := -1
+		for _, r := range g {
+			if int(r) < 0 || int(r) >= nranks {
+				return fmt.Errorf("core: clustering %q: group %d rank %d out of range", c.Name, gi, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("core: clustering %q: rank %d in multiple groups", c.Name, r)
+			}
+			seen[r] = true
+			if owner == -1 {
+				owner = c.L1[r]
+			} else if c.L1[r] != owner {
+				return fmt.Errorf("core: clustering %q: group %d spans L1 clusters %d and %d",
+					c.Name, gi, owner, c.L1[r])
+			}
+		}
+	}
+	return nil
+}
+
+// MaxGroupSize returns the largest encoding-group size (the encode-time
+// driver).
+func (c *Clustering) MaxGroupSize() int {
+	max := 0
+	for _, g := range c.Groups {
+		if len(g) > max {
+			max = len(g)
+		}
+	}
+	return max
+}
+
+// consecutive builds clusters of `size` consecutive ranks and mirrors them
+// as encoding groups.
+func consecutive(name string, nranks, size int) (*Clustering, error) {
+	if size <= 0 || size > nranks {
+		return nil, fmt.Errorf("core: %s cluster size %d out of range 1..%d", name, size, nranks)
+	}
+	c := &Clustering{Name: name, L1: make([]int, nranks)}
+	for r := 0; r < nranks; r++ {
+		c.L1[r] = r / size
+	}
+	for base := 0; base < nranks; base += size {
+		var g []topology.Rank
+		for r := base; r < base+size && r < nranks; r++ {
+			g = append(g, topology.Rank(r))
+		}
+		c.Groups = append(c.Groups, g)
+	}
+	return c, nil
+}
+
+// Naive builds the paper's naive clustering: consecutive-rank clusters at
+// the message-logging/recovery sweet spot (32 in the paper's study),
+// reused as encoding groups.
+func Naive(nranks, size int) (*Clustering, error) {
+	return consecutive(fmt.Sprintf("naive-%d", size), nranks, size)
+}
+
+// SizeGuided builds the size-guided clustering: the same consecutive-rank
+// construction, sized instead for the encoding/logging trade-off (8 in the
+// paper).
+func SizeGuided(nranks, size int) (*Clustering, error) {
+	return consecutive(fmt.Sprintf("size-guided-%d", size), nranks, size)
+}
+
+// Distributed builds the distributed clustering: cluster ids striped over
+// ranks (rank r joins cluster r mod K), so under block placement every
+// member of a cluster lives on a different node. Encoding groups mirror
+// the clusters.
+func Distributed(nranks, size int) (*Clustering, error) {
+	if size <= 0 || size > nranks {
+		return nil, fmt.Errorf("core: distributed cluster size %d out of range 1..%d", size, nranks)
+	}
+	k := nranks / size
+	if k == 0 {
+		k = 1
+	}
+	c := &Clustering{Name: fmt.Sprintf("distributed-%d", size), L1: make([]int, nranks)}
+	groups := make([][]topology.Rank, k)
+	for r := 0; r < nranks; r++ {
+		id := r % k
+		c.L1[r] = id
+		groups[id] = append(groups[id], topology.Rank(r))
+	}
+	c.Groups = groups
+	return c, nil
+}
+
+// HierOptions tunes the hierarchical construction.
+type HierOptions struct {
+	// MinNodesPerL1 is the minimum nodes per L1 cluster (paper: 4), which
+	// guarantees room to distribute L2 groups inside each L1 cluster.
+	MinNodesPerL1 int
+	// TargetNodesPerL1 is the partitioner growth target; 0 means
+	// MinNodesPerL1.
+	TargetNodesPerL1 int
+	// MaxNodesPerL1 caps L1 clusters (0 = unbounded); restart cost grows
+	// with it.
+	MaxNodesPerL1 int
+	// SubgroupNodes is the node count of each L2 transversal sub-group
+	// (paper: 4).
+	SubgroupNodes int
+	// AlignPowerPairs forces both nodes of every power-supply pair into
+	// the same L1 cluster (the paper's §II-C2: correlated failures should
+	// be contained in one cluster). It partitions the pair-quotient graph
+	// instead of the node graph; it has no effect on machines without
+	// power pairing.
+	AlignPowerPairs bool
+}
+
+func (o *HierOptions) normalize() {
+	if o.MinNodesPerL1 <= 0 {
+		o.MinNodesPerL1 = 4
+	}
+	if o.TargetNodesPerL1 <= 0 {
+		o.TargetNodesPerL1 = o.MinNodesPerL1
+	}
+	if o.SubgroupNodes <= 0 {
+		o.SubgroupNodes = 4
+	}
+}
+
+// Hierarchical builds the paper's two-level clustering from a traced
+// communication matrix:
+//
+//  1. Aggregate the rank matrix into a node-based graph (so all processes
+//     of a node share a cluster and one node failure touches one cluster).
+//  2. Partition it with the size-constrained min-cut partitioner, at least
+//     MinNodesPerL1 nodes per cluster.
+//  3. Inside each L1 cluster, split the nodes into sub-groups of
+//     SubgroupNodes (or more, never fewer) and build one L2 encoding group
+//     per local process index: the i-th process of every node in the
+//     sub-group.
+func Hierarchical(m *trace.Matrix, p *topology.Placement, opts HierOptions) (*Clustering, error) {
+	opts.normalize()
+	if m.N != p.NumRanks() {
+		return nil, fmt.Errorf("core: matrix covers %d ranks, placement %d", m.N, p.NumRanks())
+	}
+	nodeMatrix, err := m.NodeMatrix(p)
+	if err != nil {
+		return nil, err
+	}
+	used := p.UsedNodes()
+	if len(used) < opts.MinNodesPerL1 {
+		return nil, fmt.Errorf("core: %d used nodes < MinNodesPerL1 %d", len(used), opts.MinNodesPerL1)
+	}
+	nodePart, err := partitionNodes(nodeMatrix.ToGraph(), used, p, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Clustering{Name: "hierarchical", L1: make([]int, p.NumRanks())}
+	idx := map[topology.NodeID]int{}
+	for i, n := range used {
+		idx[n] = i
+	}
+	for r := 0; r < p.NumRanks(); r++ {
+		c.L1[r] = nodePart[idx[p.NodeOf(topology.Rank(r))]]
+	}
+
+	// L2: transversal groups inside each L1 cluster.
+	byCluster := map[int][]topology.NodeID{}
+	for i, n := range used {
+		byCluster[nodePart[i]] = append(byCluster[nodePart[i]], n)
+	}
+	clusterIDs := make([]int, 0, len(byCluster))
+	for id := range byCluster {
+		clusterIDs = append(clusterIDs, id)
+	}
+	sort.Ints(clusterIDs)
+	for _, id := range clusterIDs {
+		nodes := byCluster[id]
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		for _, sub := range splitSubgroups(nodes, opts.SubgroupNodes) {
+			// One group per local process index present on every node.
+			width := 0
+			for _, n := range sub {
+				if w := len(p.RanksOn(n)); width == 0 || w < width {
+					width = w
+				}
+			}
+			for i := 0; i < width; i++ {
+				var g []topology.Rank
+				for _, n := range sub {
+					g = append(g, p.RanksOn(n)[i])
+				}
+				c.Groups = append(c.Groups, g)
+			}
+			// Leftover ranks on nodes with more processes than the
+			// sub-group minimum join a trailing group per node level.
+			for _, n := range sub {
+				for i := width; i < len(p.RanksOn(n)); i++ {
+					// Attach to the group of level i%width to keep the
+					// distribution property.
+					gidx := len(c.Groups) - width + i%width
+					c.Groups[gidx] = append(c.Groups[gidx], p.RanksOn(n)[i])
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// partitionNodes runs the size-constrained partitioner over the node graph,
+// or — with AlignPowerPairs — over its power-pair quotient, so that both
+// nodes of each pair always share an L1 cluster.
+func partitionNodes(nodeGraph *graph.Graph, used []topology.NodeID, p *topology.Placement, opts HierOptions) ([]int, error) {
+	if !opts.AlignPowerPairs || !p.Machine().PowerPairs {
+		return graph.Partition(nodeGraph, graph.PartitionOptions{
+			MinSize:    opts.MinNodesPerL1,
+			TargetSize: opts.TargetNodesPerL1,
+			MaxSize:    opts.MaxNodesPerL1,
+		})
+	}
+	// Quotient the node graph by power pair (node/2) and partition pairs.
+	pairIDs := map[topology.NodeID]int{}
+	var pairCount int
+	pairOfIdx := make([]int, len(used))
+	for i, n := range used {
+		key := n &^ 1
+		id, ok := pairIDs[key]
+		if !ok {
+			id = pairCount
+			pairIDs[key] = id
+			pairCount++
+		}
+		pairOfIdx[i] = id
+	}
+	pairGraph, err := nodeGraph.Quotient(pairOfIdx, pairCount)
+	if err != nil {
+		return nil, err
+	}
+	halve := func(v int) int {
+		if v <= 0 {
+			return v
+		}
+		return (v + 1) / 2
+	}
+	pairPart, err := graph.Partition(pairGraph, graph.PartitionOptions{
+		MinSize:    halve(opts.MinNodesPerL1),
+		TargetSize: halve(opts.TargetNodesPerL1),
+		MaxSize:    opts.MaxNodesPerL1 / 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nodePart := make([]int, len(used))
+	for i := range used {
+		nodePart[i] = pairPart[pairOfIdx[i]]
+	}
+	return nodePart, nil
+}
+
+// splitSubgroups partitions nodes into consecutive sub-groups of at least
+// `size` nodes each, as equal as possible ("groups of 4 nodes or more").
+func splitSubgroups(nodes []topology.NodeID, size int) [][]topology.NodeID {
+	n := len(nodes)
+	if n == 0 {
+		return nil
+	}
+	k := n / size
+	if k == 0 {
+		k = 1
+	}
+	base := n / k
+	extra := n % k
+	var out [][]topology.NodeID
+	pos := 0
+	for i := 0; i < k; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		out = append(out, nodes[pos:pos+sz])
+		pos += sz
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hierclust/internal/erasure"
+	"hierclust/internal/graph"
+	"hierclust/internal/reliability"
+	"hierclust/internal/topology"
+	"hierclust/internal/trace"
+)
+
+// Evaluation scores a clustering on the paper's four dimensions (§III).
+type Evaluation struct {
+	Name string
+	// LoggedFraction is the share of traffic bytes crossing L1 clusters
+	// (message-logging overhead, dimension 1).
+	LoggedFraction float64
+	// RecoveryFraction is the expected share of processes restarted after
+	// a single-node failure (recovery cost, dimension 2).
+	RecoveryFraction float64
+	// EncodeSecondsPerGB is the modeled time to erasure-code 1 GB per
+	// process at the largest group size (encoding time, dimension 3).
+	EncodeSecondsPerGB float64
+	// CatastropheProb is the probability that a failure is unrecoverable
+	// from node-level storage (reliability, dimension 4).
+	CatastropheProb float64
+}
+
+// Baseline is the paper's §III requirement envelope: any clustering
+// exceeding one of these maxima "is not suitable for FT in future large
+// scale HPC systems".
+type Baseline struct {
+	MaxLoggedFraction   float64
+	MaxRecoveryFraction float64
+	MaxEncodeSecPerGB   float64
+	MaxCatastropheProb  float64
+}
+
+// DefaultBaseline returns the paper's numbers: ≤20% messages logged, ≤20%
+// processes restarted, ≤1 minute/GB encoding, at most one in (several)
+// thousand failures unrecoverable.
+func DefaultBaseline() Baseline {
+	return Baseline{
+		MaxLoggedFraction:   0.20,
+		MaxRecoveryFraction: 0.20,
+		MaxEncodeSecPerGB:   60,
+		MaxCatastropheProb:  1e-3,
+	}
+}
+
+// Evaluate scores a clustering against a traced communication matrix, a
+// placement, and a failure mix.
+func Evaluate(c *Clustering, m *trace.Matrix, p *topology.Placement, mix reliability.Mix) (*Evaluation, error) {
+	if err := c.Validate(p.NumRanks()); err != nil {
+		return nil, err
+	}
+	if m.N != p.NumRanks() {
+		return nil, fmt.Errorf("core: matrix covers %d ranks, placement %d", m.N, p.NumRanks())
+	}
+	logged, err := m.LoggedFraction(c.L1)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := RecoveryFraction(c, p)
+	if err != nil {
+		return nil, err
+	}
+	var groups []reliability.Group
+	for _, g := range c.Groups {
+		groups = append(groups, reliability.GroupFromRanks(p, g))
+	}
+	mdl := &reliability.Model{Nodes: len(p.UsedNodes()), Mix: mix}
+	pcat, err := mdl.CatastropheProb(groups)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluation{
+		Name:               c.Name,
+		LoggedFraction:     logged,
+		RecoveryFraction:   rec,
+		EncodeSecondsPerGB: erasure.ModelEncodeSeconds(c.MaxGroupSize(), 1e9),
+		CatastropheProb:    pcat,
+	}, nil
+}
+
+// RecoveryFractionProcess computes the expected fraction of ranks that
+// restart after a uniformly random single-process failure: exactly the
+// failed process's L1 cluster rolls back. This is the metric behind the
+// paper's Table II numbers for the consecutive-rank clusterings (e.g. 0.7%
+// for size-guided-8 = one 8-rank cluster of 1024).
+func RecoveryFractionProcess(c *Clustering) (float64, error) {
+	if len(c.L1) == 0 {
+		return 0, nil
+	}
+	sizes := graph.PartSizes(c.L1)
+	var total float64
+	for _, s := range sizes {
+		// a failure of any of the s members restarts s ranks
+		total += float64(s) * float64(s)
+	}
+	n := float64(len(c.L1))
+	return total / (n * n), nil
+}
+
+// RecoveryFraction computes the expected fraction of ranks that restart
+// after a uniformly random single-node failure: all ranks of every L1
+// cluster touched by the failed node roll back. Node failures are the
+// dominant unit in the paper's failure observations, and this is the metric
+// that exposes the distributed clustering's restart amplification (Fig. 4c).
+func RecoveryFraction(c *Clustering, p *topology.Placement) (float64, error) {
+	if err := c.Validate(p.NumRanks()); err != nil {
+		return 0, err
+	}
+	members := c.ClusterMembers()
+	used := p.UsedNodes()
+	if len(used) == 0 || p.NumRanks() == 0 {
+		return 0, nil
+	}
+	var total float64
+	for _, n := range used {
+		hit := map[int]bool{}
+		for _, r := range p.RanksOn(n) {
+			hit[c.L1[r]] = true
+		}
+		restarted := 0
+		for id := range hit {
+			restarted += len(members[id])
+		}
+		total += float64(restarted) / float64(p.NumRanks())
+	}
+	return total / float64(len(used)), nil
+}
+
+// RecoveryFractionPair computes the expected fraction of ranks restarted
+// after a power-supply-pair failure (both nodes 2i and 2i+1 die). Pair-
+// aligned L1 clusters contain such failures in one cluster; straddling
+// clusterings pay for two.
+func RecoveryFractionPair(c *Clustering, p *topology.Placement) (float64, error) {
+	if err := c.Validate(p.NumRanks()); err != nil {
+		return 0, err
+	}
+	members := c.ClusterMembers()
+	used := p.UsedNodes()
+	if len(used) == 0 || p.NumRanks() == 0 {
+		return 0, nil
+	}
+	pairs := map[topology.NodeID][]topology.NodeID{}
+	for _, n := range used {
+		pairs[n&^1] = append(pairs[n&^1], n)
+	}
+	var total float64
+	var count int
+	for _, nodes := range pairs {
+		hit := map[int]bool{}
+		for _, n := range nodes {
+			for _, r := range p.RanksOn(n) {
+				hit[c.L1[r]] = true
+			}
+		}
+		restarted := 0
+		for id := range hit {
+			restarted += len(members[id])
+		}
+		total += float64(restarted) / float64(p.NumRanks())
+		count++
+	}
+	return total / float64(count), nil
+}
+
+// Meets reports whether the evaluation satisfies every baseline bound, and
+// the list of violated dimensions.
+func (e *Evaluation) Meets(b Baseline) (bool, []string) {
+	var violations []string
+	if e.LoggedFraction > b.MaxLoggedFraction {
+		violations = append(violations, fmt.Sprintf("message logging %.1f%% > %.0f%%",
+			e.LoggedFraction*100, b.MaxLoggedFraction*100))
+	}
+	if e.RecoveryFraction > b.MaxRecoveryFraction {
+		violations = append(violations, fmt.Sprintf("recovery cost %.1f%% > %.0f%%",
+			e.RecoveryFraction*100, b.MaxRecoveryFraction*100))
+	}
+	if e.EncodeSecondsPerGB > b.MaxEncodeSecPerGB {
+		violations = append(violations, fmt.Sprintf("encoding %.0fs/GB > %.0fs/GB",
+			e.EncodeSecondsPerGB, b.MaxEncodeSecPerGB))
+	}
+	if e.CatastropheProb > b.MaxCatastropheProb {
+		violations = append(violations, fmt.Sprintf("P(catastrophic) %.2g > %.2g",
+			e.CatastropheProb, b.MaxCatastropheProb))
+	}
+	return len(violations) == 0, violations
+}
+
+// Normalized returns the four dimensions scaled by the baseline maxima
+// (1.0 = exactly at the requirement), the radial coordinates of the
+// paper's Figure 5c.
+func (e *Evaluation) Normalized(b Baseline) [4]float64 {
+	return [4]float64{
+		e.LoggedFraction / b.MaxLoggedFraction,
+		e.RecoveryFraction / b.MaxRecoveryFraction,
+		e.EncodeSecondsPerGB / b.MaxEncodeSecPerGB,
+		e.CatastropheProb / b.MaxCatastropheProb,
+	}
+}
+
+// String renders the evaluation as a Table-II style row.
+func (e *Evaluation) String() string {
+	return fmt.Sprintf("%-20s log=%5.1f%% recovery=%5.2f%% encode=%6.1fs/GB P(cat)=%.2g",
+		e.Name, e.LoggedFraction*100, e.RecoveryFraction*100, e.EncodeSecondsPerGB, e.CatastropheProb)
+}
+
+// DimensionNames labels the four axes in Figure 5c order.
+func DimensionNames() [4]string {
+	return [4]string{"msg-logging", "recovery-cost", "encoding-time", "reliability"}
+}
+
+// CompareTable renders evaluations as an aligned ASCII table (Table II).
+func CompareTable(evals []*Evaluation, b Baseline) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %12s %12s %14s %12s %s\n",
+		"clustering", "msg.log", "recovery", "encode(1GB)", "P(cat)", "baseline")
+	for _, e := range evals {
+		ok, _ := e.Meets(b)
+		verdict := "FAIL"
+		if ok {
+			verdict = "ok"
+		}
+		fmt.Fprintf(&sb, "%-20s %11.1f%% %11.2f%% %13.1fs %12.2g %s\n",
+			e.Name, e.LoggedFraction*100, e.RecoveryFraction*100,
+			e.EncodeSecondsPerGB, e.CatastropheProb, verdict)
+	}
+	return sb.String()
+}

@@ -1,0 +1,137 @@
+package erasure
+
+import "fmt"
+
+// matrix is a dense matrix over GF(2^8), rows × cols.
+type matrix struct {
+	rows, cols int
+	data       []byte // row-major
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m *matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
+func (m *matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+func (m *matrix) row(r int) []byte     { return m.data[r*m.cols : (r+1)*m.cols] }
+func (m *matrix) swapRows(a, b int) {
+	ra, rb := m.row(a), m.row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// identity returns the n×n identity matrix.
+func identity(n int) *matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// vandermonde returns the rows×cols matrix with entry (r,c) = r^c, whose
+// square submatrices built from distinct evaluation points are invertible —
+// the classical Reed–Solomon construction.
+func vandermonde(rows, cols int) *matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gfPow(byte(r), c))
+		}
+	}
+	return m
+}
+
+// mul returns m × other.
+func (m *matrix) mul(other *matrix) (*matrix, error) {
+	if m.cols != other.rows {
+		return nil, fmt.Errorf("erasure: matrix dims %dx%d × %dx%d", m.rows, m.cols, other.rows, other.cols)
+	}
+	out := newMatrix(m.rows, other.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.at(r, k)
+			if a == 0 {
+				continue
+			}
+			logA := int(gfLog[a])
+			orow := other.row(k)
+			outRow := out.row(r)
+			for c, b := range orow {
+				if b != 0 {
+					outRow[c] ^= gfExp[logA+int(gfLog[b])]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// invert returns the inverse via Gauss–Jordan elimination, or an error if m
+// is singular or non-square.
+func (m *matrix) invert() (*matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("erasure: cannot invert %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	work := newMatrix(n, n)
+	copy(work.data, m.data)
+	inv := identity(n)
+
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("erasure: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			work.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		p := work.at(col, col)
+		if p != 1 {
+			pi := gfInv(p)
+			scaleRow(work.row(col), pi)
+			scaleRow(inv.row(col), pi)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.at(r, col)
+			if f == 0 {
+				continue
+			}
+			addScaledRow(work.row(col), work.row(r), f)
+			addScaledRow(inv.row(col), inv.row(r), f)
+		}
+	}
+	return inv, nil
+}
+
+func scaleRow(row []byte, c byte) {
+	for i, v := range row {
+		row[i] = gfMul(v, c)
+	}
+}
+
+// addScaledRow computes dst ^= c*src.
+func addScaledRow(src, dst []byte, c byte) {
+	mulSlice(c, src, dst)
+}
+
+// subMatrix extracts the rows listed in rowIdx.
+func (m *matrix) subMatrix(rowIdx []int) *matrix {
+	out := newMatrix(len(rowIdx), m.cols)
+	for i, r := range rowIdx {
+		copy(out.row(i), m.row(r))
+	}
+	return out
+}

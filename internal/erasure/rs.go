@@ -1,0 +1,194 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooManyErasures is returned when fewer than k shards of a (k,m)
+// Reed–Solomon group survive: the failure is catastrophic for this group in
+// the sense of the paper's reliability model.
+var ErrTooManyErasures = errors.New("erasure: too many erasures to reconstruct")
+
+// RS is a systematic Reed–Solomon codec with k data shards and m parity
+// shards over GF(2^8). Any k of the k+m shards reconstruct all data.
+type RS struct {
+	k, m int
+	// enc is the (k+m)×k encoding matrix whose top k×k block is identity.
+	enc *matrix
+}
+
+// NewRS builds a codec for k data and m parity shards. k+m must not exceed
+// 256 (field size) and both must be positive (m may be 0 for a degenerate
+// no-parity group, used by baselines).
+func NewRS(k, m int) (*RS, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("erasure: k = %d must be positive", k)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("erasure: m = %d must be non-negative", m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("erasure: k+m = %d exceeds GF(256) limit", k+m)
+	}
+	v := vandermonde(k+m, k)
+	top := v.subMatrix(seq(0, k))
+	topInv, err := top.invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: building systematic matrix: %w", err)
+	}
+	enc, err := v.mul(topInv)
+	if err != nil {
+		return nil, err
+	}
+	return &RS{k: k, m: m, enc: enc}, nil
+}
+
+// K returns the number of data shards.
+func (r *RS) K() int { return r.k }
+
+// M returns the number of parity shards.
+func (r *RS) M() int { return r.m }
+
+// Encode computes the m parity shards for k equally sized data shards.
+// data must hold exactly k slices of identical length; parity must hold m
+// slices of that same length (they are overwritten).
+func (r *RS) Encode(data, parity [][]byte) error {
+	if err := r.checkShards(data, r.k); err != nil {
+		return err
+	}
+	if err := r.checkShards(parity, r.m); err != nil {
+		return err
+	}
+	if r.m > 0 && len(data) > 0 && len(parity[0]) != len(data[0]) {
+		return fmt.Errorf("erasure: parity shard size %d != data shard size %d", len(parity[0]), len(data[0]))
+	}
+	for p := 0; p < r.m; p++ {
+		out := parity[p]
+		for i := range out {
+			out[i] = 0
+		}
+		row := r.enc.row(r.k + p)
+		for d := 0; d < r.k; d++ {
+			mulSlice(row[d], data[d], out)
+		}
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards.
+func (r *RS) Verify(data, parity [][]byte) (bool, error) {
+	if err := r.checkShards(data, r.k); err != nil {
+		return false, err
+	}
+	if err := r.checkShards(parity, r.m); err != nil {
+		return false, err
+	}
+	if r.m == 0 {
+		return true, nil
+	}
+	fresh := make([][]byte, r.m)
+	for i := range fresh {
+		fresh[i] = make([]byte, len(parity[i]))
+	}
+	if err := r.Encode(data, fresh); err != nil {
+		return false, err
+	}
+	for i := range fresh {
+		if len(fresh[i]) != len(parity[i]) {
+			return false, nil
+		}
+		for j := range fresh[i] {
+			if fresh[i][j] != parity[i][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds missing shards in place. shards must hold k+m
+// entries: index 0..k-1 data, k..k+m-1 parity; nil entries are the erasures.
+// On success every entry is non-nil and correct. It fails with
+// ErrTooManyErasures when fewer than k shards survive.
+func (r *RS) Reconstruct(shards [][]byte) error {
+	if len(shards) != r.k+r.m {
+		return fmt.Errorf("erasure: got %d shards, want %d", len(shards), r.k+r.m)
+	}
+	var present []int
+	size := -1
+	for i, s := range shards {
+		if s != nil {
+			present = append(present, i)
+			if size == -1 {
+				size = len(s)
+			} else if len(s) != size {
+				return fmt.Errorf("erasure: shard %d size %d != %d", i, len(s), size)
+			}
+		}
+	}
+	if len(present) == r.k+r.m {
+		return nil // nothing missing
+	}
+	if len(present) < r.k {
+		return ErrTooManyErasures
+	}
+
+	// Choose k surviving rows, invert that submatrix: decode = sub^-1.
+	rows := present[:r.k]
+	sub := r.enc.subMatrix(rows)
+	dec, err := sub.invert()
+	if err != nil {
+		return fmt.Errorf("erasure: decode matrix singular: %w", err)
+	}
+
+	// Rebuild missing data shards: data[d] = dec.row(d) · surviving shards.
+	var missingData []int
+	for d := 0; d < r.k; d++ {
+		if shards[d] == nil {
+			missingData = append(missingData, d)
+		}
+	}
+	for _, d := range missingData {
+		out := make([]byte, size)
+		row := dec.row(d)
+		for j, src := range rows {
+			mulSlice(row[j], shards[src], out)
+		}
+		shards[d] = out
+	}
+	// Rebuild missing parity from (now complete) data.
+	for p := 0; p < r.m; p++ {
+		if shards[r.k+p] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := r.enc.row(r.k + p)
+		for d := 0; d < r.k; d++ {
+			mulSlice(row[d], shards[d], out)
+		}
+		shards[r.k+p] = out
+	}
+	return nil
+}
+
+func (r *RS) checkShards(shards [][]byte, want int) error {
+	if len(shards) != want {
+		return fmt.Errorf("erasure: got %d shards, want %d", len(shards), want)
+	}
+	for i := 1; i < len(shards); i++ {
+		if len(shards[i]) != len(shards[0]) {
+			return fmt.Errorf("erasure: shard %d size %d != shard 0 size %d", i, len(shards[i]), len(shards[0]))
+		}
+	}
+	return nil
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+// Package graph provides the weighted undirected graphs and the
+// size-constrained partitioning algorithm behind the paper's L1 clustering.
+//
+// The failure-containment clustering of the paper (following Ropars et al.,
+// Euro-Par 2011 [24]) partitions the *node-based* communication graph so
+// that the weight of edges crossing cluster boundaries — the bytes that must
+// be message-logged — is minimized, subject to bounds on cluster size.
+// The package also computes the network measures that motivated the
+// hierarchical design (§IV-A): Newman modularity and degree distributions,
+// the "functional segregation" and "degree distribution" markers of brain
+// networks.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a weighted undirected graph on vertices 0..N-1 stored as an
+// adjacency map per vertex. Self-loops are permitted (they count toward
+// vertex strength but can never be cut). Edge weights are float64 so they
+// can carry byte counts of arbitrary magnitude.
+type Graph struct {
+	n   int
+	adj []map[int]float64
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{n: n, adj: make([]map[int]float64, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds w to the weight of the undirected edge {u,v}. Adding a
+// negative total weight is the caller's responsibility to avoid; weights
+// represent communication volumes and are expected non-negative.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range 0..%d", u, v, g.n-1)
+	}
+	if w == 0 {
+		return nil
+	}
+	g.adj[u][v] += w
+	if u != v {
+		g.adj[v][u] += w
+	}
+	return nil
+}
+
+// Weight returns the weight of edge {u,v}, 0 if absent.
+func (g *Graph) Weight(u, v int) float64 {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0
+	}
+	return g.adj[u][v]
+}
+
+// Neighbors returns the neighbors of u (including u itself if self-looped)
+// in ascending order.
+func (g *Graph) Neighbors(u int) []int {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the number of distinct neighbors of u, not counting a
+// self-loop.
+func (g *Graph) Degree(u int) int {
+	if u < 0 || u >= g.n {
+		return 0
+	}
+	d := len(g.adj[u])
+	if _, ok := g.adj[u][u]; ok {
+		d--
+	}
+	return d
+}
+
+// Strength returns the total weight incident to u. A self-loop counts once.
+func (g *Graph) Strength(u int) float64 {
+	if u < 0 || u >= g.n {
+		return 0
+	}
+	var s float64
+	for _, w := range g.adj[u] {
+		s += w
+	}
+	return s
+}
+
+// TotalWeight returns the sum of all edge weights (each undirected edge
+// counted once; self-loops counted once).
+func (g *Graph) TotalWeight() float64 {
+	var t float64
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			if v >= u {
+				t += w
+			}
+		}
+	}
+	return t
+}
+
+// EdgeCount returns the number of distinct undirected edges, self-loops
+// included.
+func (g *Graph) EdgeCount() int {
+	c := 0
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if v >= u {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// Quotient collapses the graph along part: vertices with the same part id
+// become one vertex; edge weights between parts accumulate, intra-part
+// weights become self-loops. part must assign each vertex an id in
+// 0..parts-1. This converts a process-level communication graph into the
+// node-based graph the paper partitions.
+func (g *Graph) Quotient(part []int, parts int) (*Graph, error) {
+	if len(part) != g.n {
+		return nil, fmt.Errorf("graph: quotient map has %d entries for %d vertices", len(part), g.n)
+	}
+	q := New(parts)
+	for u := 0; u < g.n; u++ {
+		pu := part[u]
+		if pu < 0 || pu >= parts {
+			return nil, fmt.Errorf("graph: vertex %d mapped to part %d out of range 0..%d", u, pu, parts-1)
+		}
+		for v, w := range g.adj[u] {
+			if v < u {
+				continue // count each undirected edge once
+			}
+			pv := part[v]
+			if pv < 0 || pv >= parts {
+				return nil, fmt.Errorf("graph: vertex %d mapped to part %d out of range 0..%d", v, pv, parts-1)
+			}
+			if err := q.AddEdge(pu, pv, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return q, nil
+}
+
+// Components returns the connected components as sorted vertex lists,
+// ordered by smallest contained vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// CutWeight returns the total weight of edges whose endpoints lie in
+// different parts under the given assignment. Self-loops never contribute.
+// This is exactly the volume of communication that a failure-containment
+// protocol with clusters = parts must log.
+func (g *Graph) CutWeight(part []int) (float64, error) {
+	if len(part) != g.n {
+		return 0, fmt.Errorf("graph: assignment has %d entries for %d vertices", len(part), g.n)
+	}
+	var cut float64
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			if v > u && part[u] != part[v] {
+				cut += w
+			}
+		}
+	}
+	return cut, nil
+}
+
+// Modularity returns the Newman modularity Q of the partition: the fraction
+// of weight inside parts minus the expectation of that fraction under a
+// degree-preserving random rewiring. High Q is the "functional segregation"
+// property the paper borrows from brain-network analysis.
+func (g *Graph) Modularity(part []int) (float64, error) {
+	if len(part) != g.n {
+		return 0, fmt.Errorf("graph: assignment has %d entries for %d vertices", len(part), g.n)
+	}
+	m2 := 0.0 // total degree = 2m (self-loops count twice here, per Newman)
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			m2 += w
+			if v == u {
+				m2 += w
+			}
+		}
+	}
+	if m2 == 0 {
+		return 0, nil
+	}
+	intra := map[int]float64{}    // weight fully inside each part (doubled)
+	strength := map[int]float64{} // total strength per part
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			du := w
+			if v == u {
+				du = 2 * w
+			}
+			strength[part[u]] += du
+			if part[u] == part[v] {
+				intra[part[u]] += du
+			}
+		}
+	}
+	var q float64
+	for p, in := range intra {
+		q += in / m2
+		_ = p
+	}
+	for _, s := range strength {
+		q -= (s / m2) * (s / m2)
+	}
+	return q, nil
+}
+
+// DegreeStats summarizes a graph's degree distribution — the paper's second
+// brain-network marker of resilience.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	// Hist[d] = number of vertices with degree d, for d in 0..Max.
+	Hist []int
+}
+
+// DegreeDistribution computes degree statistics over all vertices.
+func (g *Graph) DegreeDistribution() DegreeStats {
+	st := DegreeStats{Min: 0, Max: 0}
+	if g.n == 0 {
+		return st
+	}
+	st.Min = g.n // sentinel above any possible degree
+	total := 0
+	degs := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		d := g.Degree(u)
+		degs[u] = d
+		total += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	st.Mean = float64(total) / float64(g.n)
+	st.Hist = make([]int, st.Max+1)
+	for _, d := range degs {
+		st.Hist[d]++
+	}
+	return st
+}

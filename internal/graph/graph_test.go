@@ -1,0 +1,409 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ring(n int, w float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		_ = g.AddEdge(i, (i+1)%n, w)
+	}
+	return g
+}
+
+// path returns a path graph 0-1-2-...-n-1, the topology of the tsunami
+// application's slab-decomposed communication.
+func path(n int, w float64) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		_ = g.AddEdge(i, i+1, w)
+	}
+	return g
+}
+
+func TestAddEdgeAndWeight(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Weight(0, 1); got != 4 {
+		t.Errorf("Weight(0,1) = %g, want 4", got)
+	}
+	if got := g.Weight(1, 0); got != 4 {
+		t.Errorf("Weight(1,0) = %g, want 4 (undirected)", got)
+	}
+	if got := g.Weight(2, 3); got != 0 {
+		t.Errorf("Weight(2,3) = %g, want 0", got)
+	}
+	if err := g.AddEdge(0, 9, 1); err == nil {
+		t.Error("AddEdge accepted out-of-range vertex")
+	}
+	if err := g.AddEdge(-1, 0, 1); err == nil {
+		t.Error("AddEdge accepted negative vertex")
+	}
+	// zero-weight edges are ignored
+	if err := g.AddEdge(2, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(2) != 0 {
+		t.Error("zero-weight AddEdge created an edge")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New(2)
+	_ = g.AddEdge(0, 0, 3)
+	if got := g.Weight(0, 0); got != 3 {
+		t.Errorf("self-loop weight = %g, want 3", got)
+	}
+	if g.Degree(0) != 0 {
+		t.Errorf("Degree with only a self-loop = %d, want 0", g.Degree(0))
+	}
+	if g.Strength(0) != 3 {
+		t.Errorf("Strength = %g, want 3", g.Strength(0))
+	}
+	if g.TotalWeight() != 3 {
+		t.Errorf("TotalWeight = %g, want 3", g.TotalWeight())
+	}
+}
+
+func TestDegreeStrengthTotals(t *testing.T) {
+	g := ring(5, 2)
+	for i := 0; i < 5; i++ {
+		if g.Degree(i) != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", i, g.Degree(i))
+		}
+		if g.Strength(i) != 4 {
+			t.Errorf("Strength(%d) = %g, want 4", i, g.Strength(i))
+		}
+	}
+	if g.TotalWeight() != 10 {
+		t.Errorf("TotalWeight = %g, want 10", g.TotalWeight())
+	}
+	if g.EdgeCount() != 5 {
+		t.Errorf("EdgeCount = %d, want 5", g.EdgeCount())
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 4 {
+		t.Errorf("Neighbors(0) = %v, want [1 4]", nb)
+	}
+}
+
+func TestQuotient(t *testing.T) {
+	// Process graph: 4 procs, 2 per node; heavy intra-node, light inter.
+	g := New(4)
+	_ = g.AddEdge(0, 1, 10) // node 0 internal
+	_ = g.AddEdge(2, 3, 10) // node 1 internal
+	_ = g.AddEdge(1, 2, 1)  // crossing
+	q, err := g.Quotient([]int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Weight(0, 1); got != 1 {
+		t.Errorf("quotient cross weight = %g, want 1", got)
+	}
+	if got := q.Weight(0, 0); got != 10 {
+		t.Errorf("quotient self-loop(0) = %g, want 10", got)
+	}
+	if _, err := g.Quotient([]int{0, 0, 1}, 2); err == nil {
+		t.Error("Quotient accepted short mapping")
+	}
+	if _, err := g.Quotient([]int{0, 0, 1, 5}, 2); err == nil {
+		t.Error("Quotient accepted out-of-range part id")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(1, 2, 1)
+	_ = g.AddEdge(4, 5, 1)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components = %v, want 3 components", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Errorf("first component = %v, want [0 1 2]", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Errorf("second component = %v, want [3]", comps[1])
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	g := path(8, 1)
+	cut, err := g.CutWeight([]int{0, 0, 0, 0, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Errorf("cut = %g, want 1 (single crossing edge)", cut)
+	}
+	cut, _ = g.CutWeight([]int{0, 1, 0, 1, 0, 1, 0, 1})
+	if cut != 7 {
+		t.Errorf("alternating cut = %g, want 7 (all edges)", cut)
+	}
+	if _, err := g.CutWeight([]int{0}); err == nil {
+		t.Error("CutWeight accepted short assignment")
+	}
+}
+
+func TestModularityTwoCliques(t *testing.T) {
+	// Two 4-cliques joined by one edge: the canonical high-modularity graph.
+	g := New(8)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			_ = g.AddEdge(a, b, 1)
+			_ = g.AddEdge(a+4, b+4, 1)
+		}
+	}
+	_ = g.AddEdge(3, 4, 1)
+	good, err := g.Modularity([]int{0, 0, 0, 0, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := g.Modularity([]int{0, 1, 0, 1, 0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good <= bad {
+		t.Errorf("modularity: community split %g should exceed alternating split %g", good, bad)
+	}
+	if good < 0.3 || good > 0.6 {
+		t.Errorf("two-clique modularity = %g, want ~0.42", good)
+	}
+	single, _ := g.Modularity(make([]int, 8))
+	if math.Abs(single) > 1e-12 {
+		t.Errorf("single-cluster modularity = %g, want 0", single)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g := New(3)
+	q, err := g.Modularity([]int{0, 1, 2})
+	if err != nil || q != 0 {
+		t.Errorf("edgeless modularity = %g, %v; want 0, nil", q, err)
+	}
+	if _, err := g.Modularity([]int{0}); err == nil {
+		t.Error("Modularity accepted short assignment")
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	g := path(5, 1) // degrees 1,2,2,2,1
+	st := g.DegreeDistribution()
+	if st.Min != 1 || st.Max != 2 {
+		t.Errorf("min/max = %d/%d, want 1/2", st.Min, st.Max)
+	}
+	if math.Abs(st.Mean-1.6) > 1e-12 {
+		t.Errorf("mean = %g, want 1.6", st.Mean)
+	}
+	if st.Hist[1] != 2 || st.Hist[2] != 3 {
+		t.Errorf("hist = %v, want [_ 2 3]", st.Hist)
+	}
+	empty := New(0)
+	if st := empty.DegreeDistribution(); st.Max != 0 || st.Mean != 0 {
+		t.Errorf("empty graph stats = %+v", st)
+	}
+}
+
+func TestPartitionPathGraph(t *testing.T) {
+	// A 16-vertex path partitioned with MinSize=4 should yield contiguous
+	// runs: the minimal cut for bounded sizes.
+	g := path(16, 1)
+	part, err := Partition(g, PartitionOptions{MinSize: 4, TargetSize: 4, MaxSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumParts(part) != 4 {
+		t.Fatalf("parts = %d, want 4 (assignment %v)", NumParts(part), part)
+	}
+	for _, s := range PartSizes(part) {
+		if s != 4 {
+			t.Fatalf("sizes = %v, want all 4", PartSizes(part))
+		}
+	}
+	cut, _ := g.CutWeight(part)
+	if cut != 3 {
+		t.Errorf("path cut = %g, want 3 (assignment %v)", cut, part)
+	}
+	// Contiguity: every part's members must be consecutive integers.
+	for _, mem := range Members(part) {
+		for i := 1; i < len(mem); i++ {
+			if mem[i] != mem[i-1]+1 {
+				t.Errorf("non-contiguous part %v on a path graph", mem)
+			}
+		}
+	}
+}
+
+func TestPartitionRespectsMinSize(t *testing.T) {
+	g := ring(10, 1)
+	part, err := Partition(g, PartitionOptions{MinSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range PartSizes(part) {
+		if s < 3 {
+			t.Errorf("part %d has size %d < MinSize 3 (%v)", id, s, part)
+		}
+	}
+}
+
+func TestPartitionSingleCluster(t *testing.T) {
+	g := ring(4, 1)
+	part, err := Partition(g, PartitionOptions{MinSize: 4, TargetSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumParts(part) != 1 {
+		t.Errorf("want single part, got %v", part)
+	}
+}
+
+func TestPartitionDisconnected(t *testing.T) {
+	// Two disconnected 4-cliques with MinSize 4: each clique becomes a part.
+	g := New(8)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			_ = g.AddEdge(a, b, 1)
+			_ = g.AddEdge(a+4, b+4, 1)
+		}
+	}
+	part, err := Partition(g, PartitionOptions{MinSize: 4, TargetSize: 4, MaxSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumParts(part) != 2 {
+		t.Fatalf("parts = %d, want 2", NumParts(part))
+	}
+	cut, _ := g.CutWeight(part)
+	if cut != 0 {
+		t.Errorf("cut = %g, want 0 for disconnected cliques (%v)", cut, part)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := ring(4, 1)
+	if _, err := Partition(g, PartitionOptions{MinSize: 8}); err == nil {
+		t.Error("Partition accepted MinSize > N")
+	}
+	if _, err := Partition(g, PartitionOptions{MinSize: 2, TargetSize: 1}); err == nil {
+		t.Error("Partition accepted TargetSize < MinSize")
+	}
+	if _, err := Partition(g, PartitionOptions{MinSize: 2, TargetSize: 2, MaxSize: 1}); err == nil {
+		t.Error("Partition accepted MaxSize < TargetSize")
+	}
+	empty := New(0)
+	part, err := Partition(empty, PartitionOptions{})
+	if err != nil || len(part) != 0 {
+		t.Errorf("empty partition = %v, %v", part, err)
+	}
+}
+
+func TestPartitionImprovesOverRandom(t *testing.T) {
+	// On a community-structured graph the partitioner must beat a random
+	// assignment of equal part sizes.
+	rng := rand.New(rand.NewSource(7))
+	const k, groups = 8, 6
+	g := New(k * groups)
+	for grp := 0; grp < groups; grp++ {
+		base := grp * k
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if rng.Float64() < 0.8 {
+					_ = g.AddEdge(base+a, base+b, 1+rng.Float64())
+				}
+			}
+		}
+	}
+	for i := 0; i < 40; i++ { // sparse random inter-group noise
+		u, v := rng.Intn(k*groups), rng.Intn(k*groups)
+		if u/k != v/k {
+			_ = g.AddEdge(u, v, 0.2)
+		}
+	}
+	part, err := Partition(g, PartitionOptions{MinSize: k, TargetSize: k, MaxSize: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, _ := g.CutWeight(part)
+	randPart := make([]int, k*groups)
+	for i := range randPart {
+		randPart[i] = i % groups
+	}
+	randCut, _ := g.CutWeight(randPart)
+	if cut >= randCut {
+		t.Errorf("partitioner cut %g not better than round-robin cut %g", cut, randCut)
+	}
+}
+
+// Property: Partition always returns a dense assignment covering all
+// vertices with every part size >= MinSize (when feasible).
+func TestPartitionInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, minRaw uint8) bool {
+		n := int(nRaw%40) + 8
+		min := int(minRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = g.AddEdge(u, v, rng.Float64()*10)
+			}
+		}
+		part, err := Partition(g, PartitionOptions{MinSize: min, TargetSize: min})
+		if err != nil {
+			return false
+		}
+		if len(part) != n {
+			return false
+		}
+		sizes := PartSizes(part)
+		for _, s := range sizes {
+			if s < min {
+				return false
+			}
+		}
+		total := 0
+		for _, s := range sizes {
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the quotient graph preserves total weight.
+func TestQuotientWeightProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			_ = g.AddEdge(rng.Intn(n), rng.Intn(n), float64(rng.Intn(100)))
+		}
+		parts := 3
+		pmap := make([]int, n)
+		for i := range pmap {
+			pmap[i] = rng.Intn(parts)
+		}
+		q, err := g.Quotient(pmap, parts)
+		if err != nil {
+			return false
+		}
+		return math.Abs(q.TotalWeight()-g.TotalWeight()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionOptions bounds the clusters produced by Partition.
+//
+// The paper's L1 clustering uses MinSize = 4 (nodes) so that erasure-code
+// groups can be distributed across at least four physical nodes inside every
+// cluster, and relies on the cost function to keep clusters small enough that
+// few processes restart after a failure.
+type PartitionOptions struct {
+	// MinSize is the minimum vertices per part (>=1).
+	MinSize int
+	// MaxSize caps vertices per part; 0 means unbounded.
+	MaxSize int
+	// TargetSize is the size the greedy growth aims for; if 0 it defaults
+	// to MinSize (grow just enough, letting refinement enlarge clusters
+	// only when it reduces the cut).
+	TargetSize int
+	// RefinePasses bounds the Kernighan–Lin style refinement sweeps;
+	// if 0 a default of 8 is used.
+	RefinePasses int
+}
+
+func (o *PartitionOptions) normalize(n int) error {
+	if o.MinSize <= 0 {
+		o.MinSize = 1
+	}
+	if o.TargetSize == 0 {
+		o.TargetSize = o.MinSize
+	}
+	if o.TargetSize < o.MinSize {
+		return fmt.Errorf("graph: TargetSize %d below MinSize %d", o.TargetSize, o.MinSize)
+	}
+	if o.MaxSize != 0 && o.MaxSize < o.TargetSize {
+		return fmt.Errorf("graph: MaxSize %d below TargetSize %d", o.MaxSize, o.TargetSize)
+	}
+	if o.MinSize > n && n > 0 {
+		return fmt.Errorf("graph: MinSize %d exceeds vertex count %d", o.MinSize, n)
+	}
+	if o.RefinePasses == 0 {
+		o.RefinePasses = 8
+	}
+	return nil
+}
+
+// Partition splits g into clusters of bounded size while minimizing the
+// weight of cut edges (the message-logging volume). It implements the
+// strategy of the paper's reference [24]: greedy region growing seeded at
+// high-traffic vertices, followed by boundary refinement that moves vertices
+// between clusters whenever that lowers the cut without violating the size
+// bounds. It returns part[v] = cluster id, with ids dense in 0..K-1.
+func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
+	n := g.N()
+	if err := opts.normalize(n); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return []int{}, nil
+	}
+
+	part := make([]int, n)
+	for i := range part {
+		part[i] = -1
+	}
+
+	// Seeds in decreasing strength order: heavy communicators first, so the
+	// densest neighborhoods are kept together.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := g.Strength(order[a]), g.Strength(order[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+
+	next := 0
+	sizes := []int{}
+	for _, seed := range order {
+		if part[seed] != -1 {
+			continue
+		}
+		id := next
+		next++
+		part[seed] = id
+		size := 1
+		// conn[v] = weight connecting unassigned v to the growing cluster.
+		conn := map[int]float64{}
+		for v, w := range g.adj[seed] {
+			if part[v] == -1 {
+				conn[v] += w
+			}
+		}
+		for size < opts.TargetSize {
+			best, bestW := -1, -1.0
+			for v, w := range conn {
+				if w > bestW || (w == bestW && (best == -1 || v < best)) {
+					best, bestW = v, w
+				}
+			}
+			if best == -1 {
+				// Disconnected from every unassigned vertex: pull in the
+				// strongest remaining vertex so every cluster reaches the
+				// target (reliability requires the minimum size even for
+				// isolated vertices).
+				for _, v := range order {
+					if part[v] == -1 {
+						best = v
+						break
+					}
+				}
+				if best == -1 {
+					break // nothing left anywhere
+				}
+			}
+			part[best] = id
+			delete(conn, best)
+			size++
+			for v, w := range g.adj[best] {
+				if part[v] == -1 {
+					conn[v] += w
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+
+	// Merge undersized clusters (only the last-grown cluster can be small)
+	// into their most-connected neighbor, respecting MaxSize when possible.
+	part, sizes = mergeSmall(g, part, sizes, opts)
+
+	refine(g, part, sizes, opts)
+
+	return compact(part), nil
+}
+
+// mergeSmall folds every cluster below MinSize into the neighboring cluster
+// it communicates with most. If every candidate would exceed MaxSize the
+// bound is relaxed for that merge: the paper treats MinSize (reliability) as
+// the hard constraint and MaxSize (restart cost) as the soft one.
+func mergeSmall(g *Graph, part []int, sizes []int, opts PartitionOptions) ([]int, []int) {
+	for {
+		small := -1
+		for id, s := range sizes {
+			if s > 0 && s < opts.MinSize {
+				small = id
+				break
+			}
+		}
+		if small == -1 {
+			return part, sizes
+		}
+		if len(activeClusters(sizes)) == 1 {
+			return part, sizes // nothing to merge with
+		}
+		// Connection weight from the small cluster to each other cluster.
+		conn := map[int]float64{}
+		for v := range part {
+			if part[v] != small {
+				continue
+			}
+			for u, w := range g.adj[v] {
+				if part[u] != small {
+					conn[part[u]] += w
+				}
+			}
+		}
+		target := -1
+		bestW := -1.0
+		for id, w := range conn {
+			fits := opts.MaxSize == 0 || sizes[id]+sizes[small] <= opts.MaxSize
+			if fits && (w > bestW || (w == bestW && (target == -1 || id < target))) {
+				target, bestW = id, w
+			}
+		}
+		if target == -1 { // no fitting neighbor: relax MaxSize, then fall
+			for id, w := range conn { // back to smallest cluster overall
+				if w > bestW || (w == bestW && (target == -1 || id < target)) {
+					target, bestW = id, w
+				}
+			}
+		}
+		if target == -1 {
+			for id, s := range sizes {
+				if id != small && s > 0 && (target == -1 || s < sizes[target]) {
+					target = id
+				}
+			}
+		}
+		if target == -1 {
+			return part, sizes
+		}
+		for v := range part {
+			if part[v] == small {
+				part[v] = target
+			}
+		}
+		sizes[target] += sizes[small]
+		sizes[small] = 0
+	}
+}
+
+func activeClusters(sizes []int) []int {
+	var out []int
+	for id, s := range sizes {
+		if s > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// refine performs boundary-move passes: each vertex may move to the
+// neighboring cluster it communicates with most if the move strictly lowers
+// the cut and keeps both clusters within the size bounds.
+func refine(g *Graph, part []int, sizes []int, opts PartitionOptions) {
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		moved := false
+		for v := 0; v < g.N(); v++ {
+			from := part[v]
+			if sizes[from] <= opts.MinSize {
+				continue // removing v would break the reliability bound
+			}
+			// Weight from v to each adjacent cluster.
+			conn := map[int]float64{}
+			for u, w := range g.adj[v] {
+				if u != v {
+					conn[part[u]] += w
+				}
+			}
+			own := conn[from]
+			bestTo, bestW := -1, own
+			for id, w := range conn {
+				if id == from {
+					continue
+				}
+				if opts.MaxSize != 0 && sizes[id]+1 > opts.MaxSize {
+					continue
+				}
+				if w > bestW || (w == bestW && bestTo != -1 && id < bestTo) {
+					bestTo, bestW = id, w
+				}
+			}
+			if bestTo != -1 && bestW > own {
+				part[v] = bestTo
+				sizes[from]--
+				sizes[bestTo]++
+				moved = true
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// compact renumbers cluster ids densely in order of first appearance.
+func compact(part []int) []int {
+	remap := map[int]int{}
+	out := make([]int, len(part))
+	for i, p := range part {
+		id, ok := remap[p]
+		if !ok {
+			id = len(remap)
+			remap[p] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// NumParts returns the number of distinct parts in a dense assignment.
+func NumParts(part []int) int {
+	max := -1
+	for _, p := range part {
+		if p > max {
+			max = p
+		}
+	}
+	return max + 1
+}
+
+// PartSizes returns the size of each part of a dense assignment.
+func PartSizes(part []int) []int {
+	sizes := make([]int, NumParts(part))
+	for _, p := range part {
+		sizes[p]++
+	}
+	return sizes
+}
+
+// Members returns, for each part id, the sorted vertices assigned to it.
+func Members(part []int) [][]int {
+	out := make([][]int, NumParts(part))
+	for v, p := range part {
+		out[p] = append(out[p], v)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package hybrid
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hierclust/internal/checkpoint"
+	"hierclust/internal/topology"
+)
+
+// TestRandomFailureSchedulesProperty is the protocol's strongest guarantee,
+// checked stochastically: for ANY schedule of single-node failures at
+// distinct iterations, the run either completes with state bit-identical to
+// the failure-free reference, or fails with an explicit unrecoverable error
+// (never silently wrong, never deadlocked).
+func TestRandomFailureSchedulesProperty(t *testing.T) {
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial) * 977))
+			iters := 10 + rng.Intn(30)
+			ckptEvery := 2 + rng.Intn(6)
+			nFailures := 1 + rng.Intn(3)
+			failures := map[int][]topology.NodeID{}
+			for len(failures) < nFailures {
+				it := rng.Intn(iters)
+				if _, dup := failures[it]; !dup {
+					failures[it] = []topology.NodeID{topology.NodeID(rng.Intn(4))}
+				}
+			}
+
+			cfg, app := testConfig(t, checkpoint.L3Encoded)
+			cfg.CheckpointEvery = ckptEvery
+			run, err := NewRunner(cfg, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := run.Run(iters, failures)
+			if err != nil {
+				if checkpoint.Unrecoverable(err) {
+					return // honest failure is acceptable
+				}
+				t.Fatalf("iters=%d ckpt=%d failures=%v: %v", iters, ckptEvery, failures, err)
+			}
+			if len(rep.Failures) != nFailures {
+				t.Fatalf("handled %d failures, want %d", len(rep.Failures), nFailures)
+			}
+			want := reference(16, iters)
+			for r := range want {
+				if app.state[r] != want[r] {
+					t.Fatalf("iters=%d ckpt=%d failures=%v: rank %d diverged",
+						iters, ckptEvery, failures, r)
+				}
+			}
+		})
+	}
+}
+
+// TestBackToBackFailuresSameEpoch injects two failures inside the same
+// checkpoint epoch, hitting different clusters.
+func TestBackToBackFailuresSameEpoch(t *testing.T) {
+	cfg, app := testConfig(t, checkpoint.L3Encoded)
+	cfg.CheckpointEvery = 10
+	run, err := NewRunner(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run.Run(16, map[int][]topology.NodeID{
+		12: {0},
+		14: {3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(16, 16)
+	for r := range want {
+		if app.state[r] != want[r] {
+			t.Fatalf("rank %d diverged after same-epoch failures", r)
+		}
+	}
+	if rep.Failures[1].ReExecutedIters != 4 { // checkpoint at 10, failure at 14
+		t.Errorf("second failure re-ran %d iters, want 4", rep.Failures[1].ReExecutedIters)
+	}
+}
+
+// TestRepeatedFailureSameCluster fails the same node twice: the second
+// recovery replays from the refreshed checkpoint and logs.
+func TestRepeatedFailureSameCluster(t *testing.T) {
+	cfg, app := testConfig(t, checkpoint.L3Encoded)
+	run, err := NewRunner(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = run.Run(20, map[int][]topology.NodeID{
+		6:  {2},
+		15: {2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(16, 20)
+	for r := range want {
+		if app.state[r] != want[r] {
+			t.Fatalf("rank %d diverged after repeated failures", r)
+		}
+	}
+}

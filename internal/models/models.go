@@ -1,0 +1,166 @@
+// Package models collects the analytic performance models the paper's
+// clustering study leans on: the optimal checkpoint-interval formula
+// (Young/Daly), the message-log memory-footprint model that motivates the
+// "log at most 20% of traffic" requirement, and a multi-level waste model
+// used to compare checkpoint configurations (the cost-function role of the
+// paper's references [3] and [24]).
+package models
+
+import (
+	"fmt"
+	"math"
+)
+
+// YoungInterval returns Young's first-order optimal checkpoint interval
+// sqrt(2·C·M) for checkpoint cost C and MTBF M (both in seconds).
+func YoungInterval(checkpointCost, mtbf float64) float64 {
+	if checkpointCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * checkpointCost * mtbf)
+}
+
+// DalyInterval returns Daly's higher-order optimum, which corrects Young's
+// formula when the checkpoint cost is not small relative to the MTBF.
+func DalyInterval(checkpointCost, mtbf float64) float64 {
+	if checkpointCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	if checkpointCost < 2*mtbf {
+		x := checkpointCost / (2 * mtbf)
+		return math.Sqrt(2*checkpointCost*mtbf) * (1 + math.Sqrt(x)/3 + x/9) // Daly 2006
+	}
+	return mtbf
+}
+
+// WasteFraction returns the expected fraction of machine time lost to fault
+// tolerance for a periodic checkpoint scheme: interval T, checkpoint cost C,
+// restart cost R, MTBF M, assuming exponential failures and an average of
+// half an interval of lost work per failure.
+func WasteFraction(interval, checkpointCost, restartCost, mtbf float64) (float64, error) {
+	if interval <= 0 || mtbf <= 0 {
+		return 0, fmt.Errorf("models: interval %g and mtbf %g must be positive", interval, mtbf)
+	}
+	if checkpointCost < 0 || restartCost < 0 {
+		return 0, fmt.Errorf("models: negative costs C=%g R=%g", checkpointCost, restartCost)
+	}
+	// checkpoint overhead per unit work + failure loss per unit time
+	ckpt := checkpointCost / (interval + checkpointCost)
+	failLoss := (restartCost + interval/2) / mtbf
+	w := ckpt + failLoss
+	if w > 1 {
+		w = 1
+	}
+	return w, nil
+}
+
+// LogMemory models sender-based message-log growth: an application
+// communicating commBytesPerSec per process, of which loggedFraction
+// crosses cluster boundaries, fills log memory at that product rate.
+type LogMemory struct {
+	// CommBytesPerSec is each process's outbound communication rate.
+	CommBytesPerSec float64
+	// LoggedFraction is the share of traffic crossing cluster boundaries.
+	LoggedFraction float64
+	// Budget is the memory available for logs per process, in bytes.
+	Budget float64
+}
+
+// FillTime returns the seconds until the log budget is exhausted (+Inf when
+// nothing is logged). Log memory is reclaimed at each coordinated
+// checkpoint, so FillTime must exceed the checkpoint interval for the
+// protocol to be sustainable — the quantitative form of the paper's "log at
+// most 20%" requirement.
+func (l *LogMemory) FillTime() float64 {
+	rate := l.CommBytesPerSec * l.LoggedFraction
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return l.Budget / rate
+}
+
+// Sustainable reports whether logging survives a checkpoint interval.
+func (l *LogMemory) Sustainable(checkpointInterval float64) bool {
+	return l.FillTime() >= checkpointInterval
+}
+
+// MultiLevel models a multi-level checkpoint scheme in the style of FTI/SCR:
+// each level has a cost to take a checkpoint and a probability that a
+// failure requires at least that level to recover.
+type MultiLevel struct {
+	// Costs[i] is the seconds to take a level-i checkpoint.
+	Costs []float64
+	// Frequency[i] is how many level-i checkpoints are taken per level-
+	// (i+1) checkpoint (the innermost level is taken most often).
+	Frequency []int
+	// RecoveryProb[i] is the probability that a random failure is
+	// recoverable at level i but not below.
+	RecoveryProb []float64
+	// RestartCosts[i] is the seconds to restart from level i.
+	RestartCosts []float64
+}
+
+// Validate reports structural errors.
+func (m *MultiLevel) Validate() error {
+	n := len(m.Costs)
+	if n == 0 {
+		return fmt.Errorf("models: multi-level scheme has no levels")
+	}
+	if len(m.Frequency) != n || len(m.RecoveryProb) != n || len(m.RestartCosts) != n {
+		return fmt.Errorf("models: level arrays disagree: %d costs, %d freq, %d prob, %d restart",
+			n, len(m.Frequency), len(m.RecoveryProb), len(m.RestartCosts))
+	}
+	var p float64
+	for i, f := range m.Frequency {
+		if f <= 0 {
+			return fmt.Errorf("models: level %d frequency %d must be positive", i, f)
+		}
+		if m.Costs[i] < 0 || m.RestartCosts[i] < 0 || m.RecoveryProb[i] < 0 {
+			return fmt.Errorf("models: level %d has negative parameters", i)
+		}
+		p += m.RecoveryProb[i]
+	}
+	if p > 1+1e-9 {
+		return fmt.Errorf("models: recovery probabilities sum to %g > 1", p)
+	}
+	return nil
+}
+
+// CycleCost returns the checkpointing seconds spent per full outer cycle
+// (one checkpoint of the outermost level and all nested inner checkpoints).
+func (m *MultiLevel) CycleCost() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	// Count level-i checkpoints per outer cycle: product of frequencies of
+	// the levels above it.
+	total := 0.0
+	mult := 1
+	for i := len(m.Costs) - 1; i >= 0; i-- {
+		total += float64(mult) * m.Costs[i] * float64(m.Frequency[i])
+		mult *= m.Frequency[i]
+	}
+	return total, nil
+}
+
+// ExpectedRestart returns the mean restart cost over the failure mix.
+func (m *MultiLevel) ExpectedRestart() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	var c float64
+	for i, p := range m.RecoveryProb {
+		c += p * m.RestartCosts[i]
+	}
+	return c, nil
+}
+
+// EncodeThroughputGBps converts a measured encode duration for a byte count
+// into GB/s, for reporting measured encode rates next to the paper's
+// seconds-per-GB numbers.
+func EncodeThroughputGBps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e9 / seconds
+}

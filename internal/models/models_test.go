@@ -1,0 +1,196 @@
+package models
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYoungInterval(t *testing.T) {
+	// C=50s, M=3600s: sqrt(2*50*3600) = 600s
+	if got := YoungInterval(50, 3600); math.Abs(got-600) > 1e-9 {
+		t.Errorf("YoungInterval = %g, want 600", got)
+	}
+	if YoungInterval(0, 100) != 0 || YoungInterval(10, 0) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+func TestDalyIntervalReducesToYoungForSmallC(t *testing.T) {
+	young := YoungInterval(1, 1e6)
+	daly := DalyInterval(1, 1e6)
+	if math.Abs(daly-young)/young > 0.01 {
+		t.Errorf("Daly %g should approach Young %g for C<<M", daly, young)
+	}
+	// for large C it saturates at the MTBF
+	if got := DalyInterval(5000, 100); got != 100 {
+		t.Errorf("DalyInterval(C>2M) = %g, want MTBF", got)
+	}
+	if DalyInterval(0, 100) != 0 {
+		t.Error("degenerate input should yield 0")
+	}
+}
+
+func TestWasteFraction(t *testing.T) {
+	// interval 600, C 50, R 100, M 3600:
+	// ckpt = 50/650; fail = (100+300)/3600
+	w, err := WasteFraction(600, 50, 100, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50.0/650.0 + 400.0/3600.0
+	if math.Abs(w-want) > 1e-12 {
+		t.Errorf("waste = %g, want %g", w, want)
+	}
+	if _, err := WasteFraction(0, 1, 1, 1); err == nil {
+		t.Error("accepted zero interval")
+	}
+	if _, err := WasteFraction(1, -1, 1, 1); err == nil {
+		t.Error("accepted negative cost")
+	}
+	// saturation at 1
+	w, _ = WasteFraction(1, 1000, 1000, 1)
+	if w != 1 {
+		t.Errorf("waste = %g, want capped at 1", w)
+	}
+}
+
+func TestWasteMinimizedNearYoung(t *testing.T) {
+	// The Young interval should be close to the argmin of WasteFraction.
+	const c, m = 50.0, 3600.0
+	young := YoungInterval(c, m)
+	wy, _ := WasteFraction(young, c, 0, m)
+	for _, factor := range []float64{0.25, 0.5, 2, 4} {
+		w, _ := WasteFraction(young*factor, c, 0, m)
+		if w < wy-1e-3 {
+			t.Errorf("waste at %g×Young (%g) below waste at Young (%g)", factor, w, wy)
+		}
+	}
+}
+
+func TestLogMemory(t *testing.T) {
+	l := &LogMemory{CommBytesPerSec: 100e6, LoggedFraction: 0.2, Budget: 2e9}
+	// 20 MB/s logged, 2 GB budget → 100 s
+	if got := l.FillTime(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("FillTime = %g, want 100", got)
+	}
+	if !l.Sustainable(99) || l.Sustainable(101) {
+		t.Error("Sustainable threshold wrong")
+	}
+	idle := &LogMemory{CommBytesPerSec: 100, LoggedFraction: 0, Budget: 1}
+	if !math.IsInf(idle.FillTime(), 1) {
+		t.Error("zero logging should never fill")
+	}
+}
+
+func TestLogMemoryFractionMonotone(t *testing.T) {
+	f := func(fracRaw uint8) bool {
+		fa := float64(fracRaw%100) / 100
+		fb := fa + 0.01
+		la := &LogMemory{CommBytesPerSec: 1e6, LoggedFraction: fa, Budget: 1e9}
+		lb := &LogMemory{CommBytesPerSec: 1e6, LoggedFraction: fb, Budget: 1e9}
+		return lb.FillTime() <= la.FillTime()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func validScheme() *MultiLevel {
+	return &MultiLevel{
+		Costs:        []float64{2, 10, 60}, // local, RS-encode, PFS
+		Frequency:    []int{8, 4, 1},       // 8 locals per encode, 4 encodes per PFS
+		RecoveryProb: []float64{0.55, 0.40, 0.04},
+		RestartCosts: []float64{5, 30, 300},
+	}
+}
+
+func TestMultiLevelValidate(t *testing.T) {
+	if err := validScheme().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := validScheme()
+	bad.Frequency[0] = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero frequency")
+	}
+	bad2 := validScheme()
+	bad2.RecoveryProb = []float64{0.9, 0.9, 0.9}
+	if err := bad2.Validate(); err == nil {
+		t.Error("accepted probabilities summing over 1")
+	}
+	bad3 := validScheme()
+	bad3.Costs = bad3.Costs[:2]
+	if err := bad3.Validate(); err == nil {
+		t.Error("accepted mismatched level arrays")
+	}
+	empty := &MultiLevel{}
+	if err := empty.Validate(); err == nil {
+		t.Error("accepted empty scheme")
+	}
+	neg := validScheme()
+	neg.RestartCosts[1] = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("accepted negative restart cost")
+	}
+}
+
+func TestMultiLevelCycleCost(t *testing.T) {
+	m := validScheme()
+	// Outer cycle: 1 PFS ckpt (60), 4 encodes (4*10), each encode preceded
+	// by 8 locals → 32 locals (32*2).
+	got, err := m.CycleCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 60.0 + 4*10.0 + 32*2.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CycleCost = %g, want %g", got, want)
+	}
+	bad := &MultiLevel{}
+	if _, err := bad.CycleCost(); err == nil {
+		t.Error("CycleCost accepted invalid scheme")
+	}
+}
+
+func TestMultiLevelExpectedRestart(t *testing.T) {
+	m := validScheme()
+	got, err := m.ExpectedRestart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.55*5 + 0.40*30 + 0.04*300
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ExpectedRestart = %g, want %g", got, want)
+	}
+	bad := &MultiLevel{}
+	if _, err := bad.ExpectedRestart(); err == nil {
+		t.Error("ExpectedRestart accepted invalid scheme")
+	}
+}
+
+func TestCheaperInnerLevelsReduceCycleCost(t *testing.T) {
+	// The multi-level premise: moving checkpoints from PFS to local+encode
+	// reduces cost versus PFS-only at equal total checkpoint count.
+	multi := validScheme()
+	costMulti, _ := multi.CycleCost()
+	pfsOnly := &MultiLevel{
+		Costs:        []float64{60},
+		Frequency:    []int{37}, // same number of checkpoints in the cycle
+		RecoveryProb: []float64{1},
+		RestartCosts: []float64{300},
+	}
+	costPFS, _ := pfsOnly.CycleCost()
+	if costMulti >= costPFS {
+		t.Errorf("multi-level cycle %g not cheaper than PFS-only %g", costMulti, costPFS)
+	}
+}
+
+func TestEncodeThroughputGBps(t *testing.T) {
+	if got := EncodeThroughputGBps(2e9, 4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("throughput = %g, want 0.5", got)
+	}
+	if EncodeThroughputGBps(100, 0) != 0 {
+		t.Error("zero seconds should yield 0")
+	}
+}

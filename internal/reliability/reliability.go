@@ -1,0 +1,445 @@
+// Package reliability implements the catastrophic-failure model the paper
+// inherits from FTI (reference [3]): the probability that a failure event
+// destroys more checkpoint blocks of some erasure-coded group than the code
+// tolerates, making the application state unrecoverable from node-local
+// storage.
+//
+// The model has two ingredients:
+//
+//  1. A failure mix: what fraction of failures are transient process
+//     faults (no storage lost) versus simultaneous losses of f = 1, 2, 3...
+//     compute nodes. The default mix encodes the paper's observation that
+//     "most failures affect only one single node or a small set of nodes",
+//     with the multi-node tail decaying roughly geometrically.
+//
+//  2. The placement of every encoding group's members across nodes, plus
+//     the group's erasure tolerance. A group is destroyed when a failure
+//     removes more members than the tolerance; the failure is catastrophic
+//     when at least one group is destroyed.
+//
+// P(catastrophic) = Σ_f P(f) · P(some group destroyed | f random nodes fail).
+// The conditional term is computed exactly by enumeration for small f and
+// bounded by a per-group hypergeometric union bound (tight for rare events)
+// for the tail, falling back to seeded Monte Carlo when the union bound is
+// too loose to be meaningful.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hierclust/internal/topology"
+)
+
+// Mix is the failure-type distribution. Transient + Σ NodeLoss must be
+// positive; Normalize scales it to sum to 1.
+type Mix struct {
+	// Transient is the probability that a failure is a process-level fault
+	// losing no node storage (recoverable from the local checkpoint level,
+	// never catastrophic for erasure groups).
+	Transient float64
+	// NodeLoss[i] is the probability that a failure destroys exactly i+1
+	// whole nodes simultaneously.
+	NodeLoss []float64
+	// PairCorrelation is the fraction of two-node failures that hit a
+	// power-supply-aligned pair (nodes 2i and 2i+1) rather than two
+	// uniformly random nodes — the correlated-failure scenario of the
+	// paper's §II-C2 ("two nodes sharing a power supply should be located
+	// in the same cluster"). 0 disables correlation.
+	PairCorrelation float64
+}
+
+// DefaultMix returns the calibrated failure mix used for the paper
+// reproduction: 5% transient faults and a node-loss tail that reproduces
+// Table II's reliability column (0.95 for single-node groups, ~1e-4 for
+// two-node groups, ~1e-6 for the hierarchical 4-node groups, ≲1e-14 for
+// 16-node distributed groups).
+func DefaultMix() Mix {
+	m := Mix{
+		Transient: 0.05,
+		NodeLoss:  []float64{0.9429, 6.3e-3, 6.6e-4, 6.6e-5, 6.6e-6, 6.6e-7, 6.6e-8, 6.6e-9, 6.6e-10},
+	}
+	m.Normalize()
+	return m
+}
+
+// Normalize scales the mix to sum to exactly 1.
+func (m *Mix) Normalize() {
+	sum := m.Transient
+	for _, p := range m.NodeLoss {
+		sum += p
+	}
+	if sum <= 0 {
+		return
+	}
+	m.Transient /= sum
+	for i := range m.NodeLoss {
+		m.NodeLoss[i] /= sum
+	}
+}
+
+// Validate reports an error for impossible mixes.
+func (m *Mix) Validate() error {
+	if m.Transient < 0 {
+		return fmt.Errorf("reliability: negative transient probability %g", m.Transient)
+	}
+	if m.PairCorrelation < 0 || m.PairCorrelation > 1 {
+		return fmt.Errorf("reliability: PairCorrelation %g outside [0,1]", m.PairCorrelation)
+	}
+	sum := m.Transient
+	for i, p := range m.NodeLoss {
+		if p < 0 {
+			return fmt.Errorf("reliability: negative P(%d-node loss) = %g", i+1, p)
+		}
+		sum += p
+	}
+	if sum == 0 {
+		return fmt.Errorf("reliability: mix sums to zero")
+	}
+	return nil
+}
+
+// Group describes one erasure-encoding group: how many of its members live
+// on each node, and how many member losses the code tolerates.
+type Group struct {
+	// MembersOn[n] is the number of group members hosted on node n.
+	MembersOn map[topology.NodeID]int
+	// Tolerance is the maximum number of simultaneously lost members the
+	// group survives (the parity count m of an RS(k,m) code).
+	Tolerance int
+}
+
+// GroupFromRanks builds a Group from member ranks under a placement, with
+// tolerance = len(members)/2, FTI's half-group Reed–Solomon provisioning.
+func GroupFromRanks(p *topology.Placement, members []topology.Rank) Group {
+	g := Group{MembersOn: map[topology.NodeID]int{}, Tolerance: len(members) / 2}
+	for _, r := range members {
+		g.MembersOn[p.NodeOf(r)]++
+	}
+	return g
+}
+
+// destroyedBy reports whether losing exactly the nodes in failed destroys
+// the group.
+func (g *Group) destroyedBy(failed []topology.NodeID) bool {
+	lost := 0
+	for _, n := range failed {
+		lost += g.MembersOn[n]
+	}
+	return lost > g.Tolerance
+}
+
+// NodeSpan returns the number of distinct nodes hosting group members.
+func (g *Group) NodeSpan() int { return len(g.MembersOn) }
+
+// Model computes catastrophe probabilities for a set of groups on a
+// machine.
+type Model struct {
+	// Nodes is the total node count failures draw from.
+	Nodes int
+	// Mix is the failure-type distribution.
+	Mix Mix
+	// ExactLimit caps the number of failure-set enumerations per f before
+	// switching to bounds/sampling; 0 means 100,000.
+	ExactLimit int
+	// MonteCarloSamples is used when neither enumeration nor the union
+	// bound is adequate; 0 means 200,000. Sampling is seeded and
+	// deterministic.
+	MonteCarloSamples int
+}
+
+// CatastropheProb returns P(catastrophic | a failure occurs) for the groups.
+func (mdl *Model) CatastropheProb(groups []Group) (float64, error) {
+	if mdl.Nodes <= 0 {
+		return 0, fmt.Errorf("reliability: model has %d nodes", mdl.Nodes)
+	}
+	if err := mdl.Mix.Validate(); err != nil {
+		return 0, err
+	}
+	exactLimit := mdl.ExactLimit
+	if exactLimit == 0 {
+		exactLimit = 100_000
+	}
+	samples := mdl.MonteCarloSamples
+	if samples == 0 {
+		samples = 200_000
+	}
+	var total float64
+	for i, pf := range mdl.Mix.NodeLoss {
+		f := i + 1
+		if pf == 0 || f > mdl.Nodes {
+			continue
+		}
+		var pcat float64
+		switch {
+		case combinations(mdl.Nodes, f) <= float64(exactLimit):
+			pcat = exactConditional(groups, mdl.Nodes, f)
+		default:
+			ub := unionBoundConditional(groups, mdl.Nodes, f)
+			if ub <= 0.1 {
+				pcat = ub
+			} else {
+				pcat = monteCarloConditional(groups, mdl.Nodes, f, samples, int64(f)*7919)
+			}
+		}
+		if f == 2 && mdl.Mix.PairCorrelation > 0 {
+			// A share of double failures hits a power-supply pair rather
+			// than two uniform nodes.
+			aligned := alignedPairConditional(groups, mdl.Nodes)
+			pcat = mdl.Mix.PairCorrelation*aligned + (1-mdl.Mix.PairCorrelation)*pcat
+		}
+		total += pf * pcat
+	}
+	return total, nil
+}
+
+// alignedPairConditional returns P(some group destroyed | a uniformly random
+// power-supply pair (2i, 2i+1) fails).
+func alignedPairConditional(groups []Group, n int) float64 {
+	fg := flatten(groups, n)
+	pairs := 0
+	hits := 0
+	for base := 0; base+1 < n; base += 2 {
+		pairs++
+		if fg.destroys([]int{base, base + 1}) {
+			hits++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(hits) / float64(pairs)
+}
+
+// flatGroups is a cache-friendly representation for hot enumeration loops:
+// members[g][node] = member count, plus per-node lists of affected groups.
+type flatGroups struct {
+	members   [][]int32 // [group][node]
+	tolerance []int32
+	byNode    [][]int32 // byNode[node] = groups with members there
+}
+
+func flatten(groups []Group, n int) *flatGroups {
+	fg := &flatGroups{
+		members:   make([][]int32, len(groups)),
+		tolerance: make([]int32, len(groups)),
+		byNode:    make([][]int32, n),
+	}
+	for gi := range groups {
+		row := make([]int32, n)
+		for node, c := range groups[gi].MembersOn {
+			if int(node) >= 0 && int(node) < n {
+				row[node] = int32(c)
+				fg.byNode[node] = append(fg.byNode[node], int32(gi))
+			}
+		}
+		fg.members[gi] = row
+		fg.tolerance[gi] = int32(groups[gi].Tolerance)
+	}
+	return fg
+}
+
+// destroys reports whether failing exactly the listed nodes destroys any
+// group, touching only groups with members on failed nodes.
+func (fg *flatGroups) destroys(failed []int) bool {
+	for _, node := range failed {
+		for _, gi := range fg.byNode[node] {
+			var lost int32
+			row := fg.members[gi]
+			for _, m := range failed {
+				lost += row[m]
+			}
+			if lost > fg.tolerance[gi] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exactConditional enumerates every f-subset of nodes and returns the
+// fraction that destroys at least one group.
+func exactConditional(groups []Group, n, f int) float64 {
+	fg := flatten(groups, n)
+	idx := make([]int, f)
+	for i := range idx {
+		idx[i] = i
+	}
+	var hits, totalSets float64
+	for {
+		totalSets++
+		if fg.destroys(idx) {
+			hits++
+		}
+		// next combination
+		i := f - 1
+		for i >= 0 && idx[i] == n-f+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < f; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return hits / totalSets
+}
+
+// unionBoundConditional sums the exact per-group destruction probability
+// over groups (an upper bound on the union, tight when events are rare).
+func unionBoundConditional(groups []Group, n, f int) float64 {
+	var sum float64
+	for gi := range groups {
+		sum += groupConditional(&groups[gi], n, f)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// groupConditional computes P(group destroyed | f uniform random distinct
+// node failures) exactly, enumerating subsets of the group's node span when
+// small and sampling otherwise.
+func groupConditional(g *Group, n, f int) float64 {
+	counts := make([]int, 0, len(g.MembersOn))
+	for _, c := range g.MembersOn {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	s := len(counts)
+	// Early exit: even the worst-case choice of f failed nodes cannot lose
+	// more members than the tolerance.
+	worst := 0
+	for i := 0; i < f && i < s; i++ {
+		worst += counts[i]
+	}
+	if worst <= g.Tolerance {
+		return 0
+	}
+	denom := combinations(n, f)
+	if denom == 0 {
+		return 0
+	}
+	// Partition failure sets by their intersection with the span: for each
+	// span subset of size j that loses > tolerance members, the remaining
+	// f-j failures land outside the span, counted by C(n-s, f-j). Each
+	// failure set is counted once, under its actual intersection.
+	var hit float64
+	maxJ := f
+	if maxJ > s {
+		maxJ = s
+	}
+	var work float64
+	for j := 1; j <= maxJ; j++ {
+		work += combinations(s, j)
+	}
+	if work > 2e6 {
+		return monteCarloConditional([]Group{*g}, n, f, 100_000, int64(n)*31+int64(f))
+	}
+	idx := make([]int, maxJ)
+	for j := 1; j <= maxJ; j++ {
+		outside := combinations(n-s, f-j)
+		if outside == 0 {
+			continue
+		}
+		for i := 0; i < j; i++ {
+			idx[i] = i
+		}
+		sub := idx[:j]
+		for {
+			lost := 0
+			for _, b := range sub {
+				lost += counts[b]
+			}
+			if lost > g.Tolerance {
+				hit += outside
+			}
+			i := j - 1
+			for i >= 0 && sub[i] == s-j+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			sub[i]++
+			for k := i + 1; k < j; k++ {
+				sub[k] = sub[k-1] + 1
+			}
+		}
+	}
+	p := hit / denom
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// monteCarloConditional estimates the union probability by sampling
+// f-subsets with a fixed seed.
+func monteCarloConditional(groups []Group, n, f, samples int, seed int64) float64 {
+	fg := flatten(groups, n)
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	failed := make([]int, f)
+	hits := 0
+	for s := 0; s < samples; s++ {
+		// partial Fisher–Yates for the first f positions
+		for i := 0; i < f; i++ {
+			j := i + rng.Intn(n-i)
+			perm[i], perm[j] = perm[j], perm[i]
+			failed[i] = perm[i]
+		}
+		if fg.destroys(failed) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// combinations returns C(n,k) as float64 (0 when k<0 or k>n).
+func combinations(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// SystemMTBF returns the system mean time between failures given a per-node
+// MTBF and the node count, under independent exponential failures.
+func SystemMTBF(nodeMTBF float64, nodes int) float64 {
+	if nodes <= 0 || nodeMTBF <= 0 {
+		return math.Inf(1)
+	}
+	return nodeMTBF / float64(nodes)
+}
+
+// Schedule draws failure times over [0, horizon) for a system with the
+// given MTBF, using a seeded exponential process.
+func Schedule(mtbf, horizon float64, seed int64) []float64 {
+	if mtbf <= 0 || horizon <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var times []float64
+	t := rng.ExpFloat64() * mtbf
+	for t < horizon {
+		times = append(times, t)
+		t += rng.ExpFloat64() * mtbf
+	}
+	return times
+}

@@ -1,0 +1,188 @@
+package simmpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCollectivesAgainstReferenceProperty drives every collective with
+// random world sizes, roots, and payloads, and checks the results against
+// straightforward reference computations.
+func TestCollectivesAgainstReferenceProperty(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 131))
+		n := 1 + rng.Intn(12)
+		root := rng.Intn(n)
+		payloads := make([][]byte, n)
+		values := make([]float64, n)
+		for r := 0; r < n; r++ {
+			payloads[r] = make([]byte, 1+rng.Intn(64))
+			rng.Read(payloads[r])
+			values[r] = math.Round(rng.Float64() * 1000)
+		}
+		var sum float64
+		for _, v := range values {
+			sum += v
+		}
+
+		err := Run(n, Options{}, func(p *Proc) error {
+			c := p.Comm()
+			me := c.Rank()
+
+			// Bcast: everyone ends with root's payload.
+			got, err := c.Bcast(root, payloads[root])
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, payloads[root]) {
+				return fmt.Errorf("bcast: rank %d got wrong payload", me)
+			}
+
+			// Allgather: everyone ends with everyone's payload.
+			all, err := c.Allgather(payloads[me])
+			if err != nil {
+				return err
+			}
+			for r := 0; r < n; r++ {
+				if !bytes.Equal(all[r], payloads[r]) {
+					return fmt.Errorf("allgather: rank %d block %d wrong", me, r)
+				}
+			}
+
+			// Allreduce sum of one float64 per rank.
+			buf := make([]byte, 8)
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(values[me]))
+			red, err := c.Allreduce(buf, OpSumFloat64)
+			if err != nil {
+				return err
+			}
+			if got := math.Float64frombits(binary.LittleEndian.Uint64(red)); got != sum {
+				return fmt.Errorf("allreduce: rank %d got %g, want %g", me, got, sum)
+			}
+
+			// Gather at root.
+			g, err := c.Gather(root, payloads[me])
+			if err != nil {
+				return err
+			}
+			if me == root {
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(g[r], payloads[r]) {
+						return fmt.Errorf("gather: block %d wrong at root", r)
+					}
+				}
+			} else if g != nil {
+				return fmt.Errorf("gather: non-root rank %d got data", me)
+			}
+
+			// Alltoall with deterministic per-pair payloads.
+			parts := make([][]byte, n)
+			for d := 0; d < n; d++ {
+				parts[d] = []byte{byte(me), byte(d), byte(me ^ d)}
+			}
+			a2a, err := c.Alltoall(parts)
+			if err != nil {
+				return err
+			}
+			for s := 0; s < n; s++ {
+				want := []byte{byte(s), byte(me), byte(s ^ me)}
+				if !bytes.Equal(a2a[s], want) {
+					return fmt.Errorf("alltoall: rank %d slot %d = %v, want %v", me, s, a2a[s], want)
+				}
+			}
+
+			// Scatter from root.
+			var sparts [][]byte
+			if me == root {
+				sparts = make([][]byte, n)
+				for r := 0; r < n; r++ {
+					sparts[r] = payloads[r]
+				}
+			}
+			sp, err := c.Scatter(root, sparts)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(sp, payloads[me]) {
+				return fmt.Errorf("scatter: rank %d wrong part", me)
+			}
+
+			return c.Barrier()
+		})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d root=%d): %v", trial, n, root, err)
+		}
+	}
+}
+
+// TestCollectiveSequences runs several different collectives back to back
+// on the same communicator, which exercises the per-communicator sequence
+// numbering that keeps rounds from cross-matching.
+func TestCollectiveSequences(t *testing.T) {
+	const n = 8
+	err := Run(n, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		for i := 0; i < 10; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			out, err := c.Bcast(i%n, []byte{byte(i)})
+			if err != nil {
+				return err
+			}
+			if out[0] != byte(i) {
+				return fmt.Errorf("round %d: bcast returned %d", i, out[0])
+			}
+			all, err := c.Allgather([]byte{byte(c.Rank() + i)})
+			if err != nil {
+				return err
+			}
+			for r := 0; r < n; r++ {
+				if all[r][0] != byte(r+i) {
+					return fmt.Errorf("round %d: allgather block %d = %d", i, r, all[r][0])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNestedSplitCollectives splits twice and runs collectives on the
+// grandchild communicators.
+func TestNestedSplitCollectives(t *testing.T) {
+	const n = 16
+	err := Run(n, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		half, err := c.Split(p.Rank()/8, p.Rank())
+		if err != nil {
+			return err
+		}
+		quarter, err := half.Split(half.Rank()/4, half.Rank())
+		if err != nil {
+			return err
+		}
+		if quarter.Size() != 4 {
+			return fmt.Errorf("grandchild size = %d", quarter.Size())
+		}
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(1))
+		out, err := quarter.Allreduce(buf, OpSumFloat64)
+		if err != nil {
+			return err
+		}
+		if got := math.Float64frombits(binary.LittleEndian.Uint64(out)); got != 4 {
+			return fmt.Errorf("grandchild allreduce = %g", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,681 @@
+package simmpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// countingTracer records total bytes and message count per (src,dst).
+type countingTracer struct {
+	mu    sync.Mutex
+	bytes map[[2]int]int
+	msgs  int
+}
+
+func newCountingTracer() *countingTracer {
+	return &countingTracer{bytes: map[[2]int]int{}}
+}
+
+func (t *countingTracer) Record(src, dst, n int) {
+	t.mu.Lock()
+	t.bytes[[2]int{src, dst}] += n
+	t.msgs++
+	t.mu.Unlock()
+}
+
+func f64s(vals ...float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+func readF64(b []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		switch p.Rank() {
+		case 0:
+			return c.Send(1, 7, []byte("hello"))
+		case 1:
+			b, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if string(b) != "hello" {
+				return fmt.Errorf("got %q", b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	// Messages with different tags must not match, regardless of order.
+	err := Run(2, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		if p.Rank() == 0 {
+			if err := c.Send(1, 1, []byte("one")); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []byte("two"))
+		}
+		b2, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		b1, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(b1) != "one" || string(b2) != "two" {
+			return fmt.Errorf("tag mismatch: %q %q", b1, b2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerTag(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		if p.Rank() == 0 {
+			for i := 0; i < 50; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 50; i++ {
+			b, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if b[0] != byte(i) {
+				return fmt.Errorf("message %d arrived as %d", i, b[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		if p.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // must not affect the in-flight message
+			return c.Send(1, 1, nil)
+		}
+		if _, err := c.Recv(0, 1); err != nil {
+			return err
+		}
+		b, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if b[0] != 1 {
+			return fmt.Errorf("payload mutated after send: %v", b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecvWaitAll(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		if p.Rank() == 0 {
+			r1 := c.Isend(1, 5, []byte("a"))
+			r2 := c.Isend(1, 6, []byte("b"))
+			return WaitAll(r1, r2)
+		}
+		r6 := c.Irecv(0, 6)
+		r5 := c.Irecv(0, 5)
+		b5, err := r5.Wait()
+		if err != nil {
+			return err
+		}
+		b6, err := r6.Wait()
+		if err != nil {
+			return err
+		}
+		if string(b5) != "a" || string(b6) != "b" {
+			return fmt.Errorf("got %q %q", b5, b6)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	// Simultaneous neighbor exchange, the stencil pattern.
+	err := Run(4, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		n := c.Size()
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		got, err := c.SendRecv(right, 9, []byte{byte(c.Rank())}, left, 9)
+		if err != nil {
+			return err
+		}
+		if got[0] != byte(left) {
+			return fmt.Errorf("rank %d received %d, want %d", c.Rank(), got[0], left)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		if err := c.Send(5, 0, nil); err == nil {
+			return errors.New("send to rank 5 accepted")
+		}
+		if _, err := c.Recv(-1, 0); err == nil {
+			return errors.New("recv from rank -1 accepted")
+		}
+		if err := c.Send(0, -3, nil); err == nil {
+			return errors.New("negative user tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorld(0, Options{}); err == nil {
+		t.Error("NewWorld accepted size 0")
+	}
+	w, _ := NewWorld(1, Options{})
+	if _, err := w.Proc(1); err == nil {
+		t.Error("Proc accepted out-of-range rank")
+	}
+}
+
+func TestAbortUnblocksReceivers(t *testing.T) {
+	err := Run(3, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		if p.Rank() == 0 {
+			return errors.New("rank 0 exploded")
+		}
+		// Ranks 1 and 2 wait for a message that never comes; the abort
+		// must unblock them with ErrAborted rather than deadlocking.
+		_, err := c.Recv(0, 0)
+		if errors.Is(err, ErrAborted) {
+			return nil
+		}
+		return fmt.Errorf("recv returned %v, want ErrAborted", err)
+	})
+	if err == nil || err.Error() != "simmpi: rank 0: rank 0 exploded" {
+		t.Fatalf("Run error = %v", err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+		var mu sync.Mutex
+		arrived := 0
+		err := Run(n, Options{}, func(p *Proc) error {
+			c := p.Comm()
+			mu.Lock()
+			arrived++
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if arrived != n {
+				return fmt.Errorf("rank %d passed barrier with only %d/%d arrived", p.Rank(), arrived, n)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 16} {
+		for root := 0; root < n; root += max(1, n/3) {
+			payload := []byte(fmt.Sprintf("payload-from-%d", root))
+			err := Run(n, Options{}, func(p *Proc) error {
+				c := p.Comm()
+				var in []byte
+				if c.Rank() == root {
+					in = payload
+				}
+				out, err := c.Bcast(root, in)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(out, payload) {
+					return fmt.Errorf("rank %d got %q", c.Rank(), out)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func TestBcastRootValidation(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		if _, err := p.Comm().Bcast(7, nil); err == nil {
+			return errors.New("bcast accepted root 7")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 8, 11} {
+		err := Run(n, Options{}, func(p *Proc) error {
+			c := p.Comm()
+			out, err := c.Reduce(0, f64s(float64(c.Rank()+1)), OpSumFloat64)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				want := float64(n*(n+1)) / 2
+				if got := readF64(out, 0); got != want {
+					return fmt.Errorf("sum = %g, want %g", got, want)
+				}
+			} else if out != nil {
+				return fmt.Errorf("non-root rank %d got %v", c.Rank(), out)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAllreduceSumAndMax(t *testing.T) {
+	const n = 8
+	err := Run(n, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		out, err := c.Allreduce(f64s(float64(c.Rank()), 1), OpSumFloat64)
+		if err != nil {
+			return err
+		}
+		if got := readF64(out, 0); got != 28 { // 0+..+7
+			return fmt.Errorf("allreduce sum = %g, want 28", got)
+		}
+		if got := readF64(out, 1); got != n {
+			return fmt.Errorf("allreduce count = %g, want %d", got, n)
+		}
+		out, err = c.Allreduce(f64s(float64(c.Rank()%3)), OpMaxFloat64)
+		if err != nil {
+			return err
+		}
+		if got := readF64(out, 0); got != 2 {
+			return fmt.Errorf("allreduce max = %g, want 2", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpSumInt64(t *testing.T) {
+	a := make([]byte, 8)
+	b := make([]byte, 8)
+	neg := int64(-5)
+	binary.LittleEndian.PutUint64(a, uint64(neg))
+	binary.LittleEndian.PutUint64(b, 12)
+	out, err := OpSumInt64(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(binary.LittleEndian.Uint64(out)); got != 7 {
+		t.Errorf("sum = %d, want 7", got)
+	}
+	if _, err := OpSumInt64(a, []byte{1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := OpSumFloat64(a, []byte{1}); err == nil {
+		t.Error("OpSumFloat64 accepted mismatched lengths")
+	}
+	if _, err := OpMaxFloat64(a, []byte{1}); err == nil {
+		t.Error("OpMaxFloat64 accepted mismatched lengths")
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 5
+	err := Run(n, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		out, err := c.Gather(2, []byte{byte(c.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			if out != nil {
+				return fmt.Errorf("non-root got %v", out)
+			}
+			return nil
+		}
+		for r := 0; r < n; r++ {
+			if out[r][0] != byte(r*10) {
+				return fmt.Errorf("gather[%d] = %d", r, out[r][0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherPowerOfTwoAndNot(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 3, 6, 12} {
+		err := Run(n, Options{}, func(p *Proc) error {
+			c := p.Comm()
+			out, err := c.Allgather([]byte(fmt.Sprintf("r%d", c.Rank())))
+			if err != nil {
+				return err
+			}
+			if len(out) != n {
+				return fmt.Errorf("allgather returned %d blocks", len(out))
+			}
+			for r := 0; r < n; r++ {
+				if string(out[r]) != fmt.Sprintf("r%d", r) {
+					return fmt.Errorf("block %d = %q", r, out[r])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAllgatherRecursiveDoublingPattern(t *testing.T) {
+	// For a power-of-two size the trace must show each rank talking only to
+	// partners at XOR distances 1,2,4,... — the Fig. 5b diagonal pattern.
+	tr := newCountingTracer()
+	const n = 8
+	err := Run(n, Options{Tracer: tr}, func(p *Proc) error {
+		_, err := p.Comm().Allgather([]byte{byte(p.Rank())})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pair := range tr.bytes {
+		d := pair[0] ^ pair[1]
+		if d != 1 && d != 2 && d != 4 {
+			t.Errorf("allgather communicated %d->%d (xor distance %d); want powers of two", pair[0], pair[1], d)
+		}
+	}
+	if tr.msgs != n*3 { // log2(8)=3 rounds, one send per rank per round
+		t.Errorf("message count = %d, want %d", tr.msgs, n*3)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const n = 4
+	err := Run(n, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		var parts [][]byte
+		if c.Rank() == 1 {
+			for r := 0; r < n; r++ {
+				parts = append(parts, []byte{byte(r + 100)})
+			}
+		}
+		got, err := c.Scatter(1, parts)
+		if err != nil {
+			return err
+		}
+		if got[0] != byte(c.Rank()+100) {
+			return fmt.Errorf("rank %d got %d", c.Rank(), got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(0, [][]byte{{1}}); err == nil {
+				return errors.New("scatter accepted short parts")
+			}
+			// unblock rank 1 which waits in its (valid) scatter call
+			return c.Send(1, 0, nil)
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		err := Run(n, Options{}, func(p *Proc) error {
+			c := p.Comm()
+			parts := make([][]byte, n)
+			for r := range parts {
+				parts[r] = []byte{byte(c.Rank()), byte(r)}
+			}
+			got, err := c.Alltoall(parts)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < n; r++ {
+				if got[r][0] != byte(r) || got[r][1] != byte(c.Rank()) {
+					return fmt.Errorf("rank %d slot %d = %v", c.Rank(), r, got[r])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	// 8 ranks split into even/odd; even comm reverses order via key.
+	err := Run(8, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		color := p.Rank() % 2
+		key := p.Rank()
+		if color == 0 {
+			key = -p.Rank() // reverse ordering for the even group
+		}
+		sub, err := c.Split(color, key)
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 4 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		// Check translated membership.
+		want := map[int][]int{
+			0: {6, 4, 2, 0}, // reversed evens
+			1: {1, 3, 5, 7},
+		}
+		g := sub.Group()
+		for i, wr := range want[color] {
+			if g[i] != wr {
+				return fmt.Errorf("color %d group = %v", color, g)
+			}
+		}
+		// The sub-communicator must work for collectives.
+		out, err := sub.Allreduce(f64s(1), OpSumFloat64)
+		if err != nil {
+			return err
+		}
+		if got := readF64(out, 0); got != 4 {
+			return fmt.Errorf("sub allreduce = %g", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefined(t *testing.T) {
+	err := Run(4, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		color := 0
+		if p.Rank() == 3 {
+			color = -1 // opt out
+		}
+		sub, err := c.Split(color, p.Rank())
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 3 {
+			if sub != nil {
+				return errors.New("opted-out rank received a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d, want 3", sub.Size())
+		}
+		return sub.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagIsolationAcrossComms(t *testing.T) {
+	// The same user tag on world and a split comm must not cross-match.
+	err := Run(2, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		sub, err := c.Split(0, p.Rank())
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			if err := c.Send(1, 42, []byte("world")); err != nil {
+				return err
+			}
+			return sub.Send(1, 42, []byte("sub"))
+		}
+		bs, err := sub.Recv(0, 42)
+		if err != nil {
+			return err
+		}
+		bw, err := c.Recv(0, 42)
+		if err != nil {
+			return err
+		}
+		if string(bs) != "sub" || string(bw) != "world" {
+			return fmt.Errorf("cross-communicator tag leak: %q %q", bs, bw)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerSeesPayloadBytes(t *testing.T) {
+	tr := newCountingTracer()
+	err := Run(2, Options{Tracer: tr}, func(p *Proc) error {
+		c := p.Comm()
+		if p.Rank() == 0 {
+			return c.Send(1, 0, make([]byte, 1000))
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.bytes[[2]int{0, 1}]; got != 1000 {
+		t.Errorf("traced bytes = %d, want 1000", got)
+	}
+}
+
+func TestLargeWorldStencilSweep(t *testing.T) {
+	// 256 ranks doing 10 iterations of neighbor exchange + allreduce:
+	// a smoke test that the runtime scales to the experiment sizes.
+	const n, iters = 256, 10
+	err := Run(n, Options{}, func(p *Proc) error {
+		c := p.Comm()
+		for it := 0; it < iters; it++ {
+			if c.Rank() > 0 {
+				if err := c.Send(c.Rank()-1, Tag(it), []byte{1}); err != nil {
+					return err
+				}
+			}
+			if c.Rank() < n-1 {
+				if err := c.Send(c.Rank()+1, Tag(it), []byte{1}); err != nil {
+					return err
+				}
+				if _, err := c.Recv(c.Rank()+1, Tag(it)); err != nil {
+					return err
+				}
+			}
+			if c.Rank() > 0 {
+				if _, err := c.Recv(c.Rank()-1, Tag(it)); err != nil {
+					return err
+				}
+			}
+			if _, err := c.Allreduce(f64s(1), OpSumFloat64); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hierclust/internal/topology"
+)
+
+func TestDeviceTimes(t *testing.T) {
+	d := &Device{Name: "ssd", ReadBps: 500e6, WriteBps: 360e6, Latency: time.Millisecond}
+	// 360 MB at 360 MB/s = 1 s + latency
+	if got := d.WriteTime(360e6, 1); got != time.Second+time.Millisecond {
+		t.Errorf("WriteTime = %v, want 1.001s", got)
+	}
+	// contention doubles time
+	if got := d.WriteTime(360e6, 2); got != 2*time.Second+time.Millisecond {
+		t.Errorf("contended WriteTime = %v, want 2.001s", got)
+	}
+	if got := d.ReadTime(500e6, 1); got != time.Second+time.Millisecond {
+		t.Errorf("ReadTime = %v, want 1.001s", got)
+	}
+	// sharing < 1 clamps
+	if got := d.WriteTime(360e6, 0); got != time.Second+time.Millisecond {
+		t.Errorf("WriteTime sharing=0 = %v", got)
+	}
+	zero := &Device{Name: "z", Latency: time.Millisecond}
+	if got := zero.WriteTime(100, 1); got != time.Millisecond {
+		t.Errorf("zero-bandwidth WriteTime = %v, want latency only", got)
+	}
+	if got := zero.ReadTime(100, 1); got != time.Millisecond {
+		t.Errorf("zero-bandwidth ReadTime = %v, want latency only", got)
+	}
+}
+
+func TestLocalStorePutGetDelete(t *testing.T) {
+	s := NewLocalStore(3, &Device{Name: "ssd", ReadBps: 1e9, WriteBps: 1e9})
+	if s.Node() != 3 {
+		t.Errorf("Node = %d", s.Node())
+	}
+	if _, err := s.Put("a", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := s.Get("a")
+	if err != nil || len(v) != 2 {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	// stored value is a copy
+	v[0] = 99
+	v2, _, _ := s.Get("a")
+	if v2[0] != 1 {
+		t.Error("Get returned aliased storage")
+	}
+	var nf *NotFoundError
+	if _, _, err := s.Get("missing"); !errors.As(err, &nf) {
+		t.Errorf("Get(missing) err = %v, want NotFoundError", err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("a"); err == nil {
+		t.Error("Get after Delete succeeded")
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Errorf("Delete of absent key: %v", err)
+	}
+}
+
+func TestLocalStorePutCopies(t *testing.T) {
+	s := NewLocalStore(0, &Device{Name: "ssd", ReadBps: 1, WriteBps: 1})
+	buf := []byte{7}
+	_, _ = s.Put("k", buf)
+	buf[0] = 8
+	v, _, _ := s.Get("k")
+	if v[0] != 7 {
+		t.Error("Put aliased the caller's buffer")
+	}
+}
+
+func TestLocalStoreFailRepair(t *testing.T) {
+	s := NewLocalStore(1, &Device{Name: "ssd", ReadBps: 1e9, WriteBps: 1e9})
+	_, _ = s.Put("ckpt", make([]byte, 10))
+	s.Fail()
+	if !s.Failed() {
+		t.Error("Failed() = false after Fail")
+	}
+	var fe *FailedError
+	if _, err := s.Put("x", nil); !errors.As(err, &fe) || fe.Node != 1 {
+		t.Errorf("Put on failed store err = %v", err)
+	}
+	if _, _, err := s.Get("ckpt"); !errors.As(err, &fe) {
+		t.Errorf("Get on failed store err = %v", err)
+	}
+	if err := s.Delete("ckpt"); !errors.As(err, &fe) {
+		t.Errorf("Delete on failed store err = %v", err)
+	}
+	s.Repair()
+	if s.Failed() {
+		t.Error("Failed() = true after Repair")
+	}
+	// data was lost
+	if _, _, err := s.Get("ckpt"); err == nil {
+		t.Error("data survived Fail/Repair")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewLocalStore(0, &Device{Name: "ssd", ReadBps: 1, WriteBps: 1})
+	_, _ = s.Put("b", nil)
+	_, _ = s.Put("a", nil)
+	_, _ = s.Put("c", nil)
+	k := s.Keys()
+	if len(k) != 3 || k[0] != "a" || k[2] != "c" {
+		t.Errorf("Keys = %v", k)
+	}
+}
+
+func TestPFS(t *testing.T) {
+	p := NewPFS(&Device{Name: "lustre", ReadBps: 10e3, WriteBps: 10e3})
+	dur, err := p.Put("k", make([]byte, 1e3), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 KB * 10 writers / 10 KB/s = 1s of simulated time
+	if dur != time.Second {
+		t.Errorf("contended PFS write = %v, want 1s", dur)
+	}
+	v, _, err := p.Get("k", 1)
+	if err != nil || len(v) != 1e3 {
+		t.Fatalf("Get: %d bytes, %v", len(v), err)
+	}
+	if _, _, err := p.Get("nope", 1); err == nil {
+		t.Error("Get of absent key succeeded")
+	}
+	p.Delete("k")
+	if _, _, err := p.Get("k", 1); err == nil {
+		t.Error("Get after Delete succeeded")
+	}
+	_, _ = p.Put("z", nil, 1)
+	_, _ = p.Put("a", nil, 1)
+	if k := p.Keys(); len(k) != 2 || k[0] != "a" {
+		t.Errorf("Keys = %v", k)
+	}
+}
+
+func TestCluster(t *testing.T) {
+	m := &topology.Machine{Name: "t", Nodes: 4, SSDWriteBps: 360e6, SSDReadBps: 500e6, PFSWriteBps: 10e9, PFSReadBps: 10e9}
+	c := NewCluster(m)
+	s, err := c.Local(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = s.Put("x", []byte{1})
+	if _, err := c.Local(9); err == nil {
+		t.Error("Local accepted out-of-range node")
+	}
+	if err := c.FailNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FailedNodes(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("FailedNodes = %v", got)
+	}
+	if err := c.FailNode(9); err == nil {
+		t.Error("FailNode accepted out-of-range node")
+	}
+	if err := c.RepairNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FailedNodes(); got != nil {
+		t.Errorf("FailedNodes after repair = %v", got)
+	}
+	if err := c.RepairNode(-1); err == nil {
+		t.Error("RepairNode accepted out-of-range node")
+	}
+	if c.PFS() == nil {
+		t.Error("PFS is nil")
+	}
+}

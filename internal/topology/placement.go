@@ -1,0 +1,146 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement maps application ranks to compute nodes. It is the bridge
+// between the logical process space (ranks) and the physical machine
+// (nodes): clustering strategies need it to know which processes die
+// together and which communications stay inside a node.
+type Placement struct {
+	machine *Machine
+	node    []NodeID // node[r] = node hosting rank r
+	ranks   [][]Rank // ranks[n] = ranks hosted on node n, ascending
+}
+
+// NewPlacement builds a placement from an explicit rank→node assignment.
+// Every referenced node must exist in the machine.
+func NewPlacement(m *Machine, nodeOf []NodeID) (*Placement, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Placement{
+		machine: m,
+		node:    make([]NodeID, len(nodeOf)),
+		ranks:   make([][]Rank, m.Nodes),
+	}
+	for r, n := range nodeOf {
+		if n < 0 || int(n) >= m.Nodes {
+			return nil, fmt.Errorf("topology: rank %d placed on node %d; machine has %d nodes", r, n, m.Nodes)
+		}
+		p.node[r] = n
+		p.ranks[n] = append(p.ranks[n], Rank(r))
+	}
+	for n := range p.ranks {
+		sort.Slice(p.ranks[n], func(i, j int) bool { return p.ranks[n][i] < p.ranks[n][j] })
+	}
+	return p, nil
+}
+
+// Block places ranks in consecutive blocks of procsPerNode per node:
+// ranks 0..procsPerNode-1 on node 0, and so on. This is the topology-aware
+// positioning the paper's tsunami runs use (consecutive MPI ranks share a
+// node to maximize intra-node communication).
+func Block(m *Machine, nranks, procsPerNode int) (*Placement, error) {
+	if procsPerNode <= 0 {
+		return nil, fmt.Errorf("topology: procsPerNode must be positive, got %d", procsPerNode)
+	}
+	need := (nranks + procsPerNode - 1) / procsPerNode
+	if need > m.Nodes {
+		return nil, fmt.Errorf("topology: %d ranks at %d per node need %d nodes; machine has %d",
+			nranks, procsPerNode, need, m.Nodes)
+	}
+	nodeOf := make([]NodeID, nranks)
+	for r := range nodeOf {
+		nodeOf[r] = NodeID(r / procsPerNode)
+	}
+	return NewPlacement(m, nodeOf)
+}
+
+// RoundRobin places consecutive ranks on consecutive nodes, wrapping around:
+// rank r lands on node r mod usedNodes. It is the adversarial placement for
+// locality but the friendly one for erasure-code distribution.
+func RoundRobin(m *Machine, nranks, usedNodes int) (*Placement, error) {
+	if usedNodes <= 0 || usedNodes > m.Nodes {
+		return nil, fmt.Errorf("topology: RoundRobin over %d nodes; machine has %d", usedNodes, m.Nodes)
+	}
+	nodeOf := make([]NodeID, nranks)
+	for r := range nodeOf {
+		nodeOf[r] = NodeID(r % usedNodes)
+	}
+	return NewPlacement(m, nodeOf)
+}
+
+// Machine returns the machine this placement maps onto.
+func (p *Placement) Machine() *Machine { return p.machine }
+
+// NumRanks returns the number of placed ranks.
+func (p *Placement) NumRanks() int { return len(p.node) }
+
+// NodeOf returns the node hosting rank r.
+func (p *Placement) NodeOf(r Rank) NodeID { return p.node[r] }
+
+// RanksOn returns the ranks hosted on node n in ascending order. The caller
+// must not modify the returned slice.
+func (p *Placement) RanksOn(n NodeID) []Rank { return p.ranks[n] }
+
+// UsedNodes returns the nodes that host at least one rank, ascending.
+func (p *Placement) UsedNodes() []NodeID {
+	var used []NodeID
+	for n, rs := range p.ranks {
+		if len(rs) > 0 {
+			used = append(used, NodeID(n))
+		}
+	}
+	return used
+}
+
+// MaxProcsPerNode returns the largest number of ranks on any node.
+func (p *Placement) MaxProcsPerNode() int {
+	max := 0
+	for _, rs := range p.ranks {
+		if len(rs) > max {
+			max = len(rs)
+		}
+	}
+	return max
+}
+
+// SameNode reports whether two ranks are hosted on the same node.
+func (p *Placement) SameNode(a, b Rank) bool { return p.node[a] == p.node[b] }
+
+// LocalIndex returns the position of rank r among the ranks of its node
+// (0-based). With block placement and k procs per node this is r mod k.
+// The hierarchical L2 clustering groups the i-th process of each node.
+func (p *Placement) LocalIndex(r Rank) int {
+	rs := p.ranks[p.node[r]]
+	for i, rr := range rs {
+		if rr == r {
+			return i
+		}
+	}
+	return -1 // unreachable for ranks built through NewPlacement
+}
+
+// CorrelatedNodes returns every node whose failure is correlated with node
+// n's: the power-supply partner and, when racks are modeled with
+// includeRack, the rest of n's rack.
+func (p *Placement) CorrelatedNodes(n NodeID, includeRack bool) []NodeID {
+	set := map[NodeID]bool{}
+	for _, g := range p.machine.PowerGroup(n) {
+		set[g] = true
+	}
+	if includeRack && p.machine.NodesPerRack > 0 {
+		for _, g := range p.machine.RackNodes(p.machine.Rack(n)) {
+			set[g] = true
+		}
+	}
+	out := make([]NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,265 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTsubame2TableI(t *testing.T) {
+	m := Tsubame2()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Tsubame2 invalid: %v", err)
+	}
+	if m.Nodes != 1408 {
+		t.Errorf("Nodes = %d, want 1408 (Table I)", m.Nodes)
+	}
+	if m.CoresPerNode != 12 {
+		t.Errorf("CoresPerNode = %d, want 12 (Table I)", m.CoresPerNode)
+	}
+	if m.SSDWriteBps != 360e6 {
+		t.Errorf("SSDWriteBps = %g, want 360e6 (Table I: 360 MB/s RAID0)", m.SSDWriteBps)
+	}
+	if m.PFSWriteBps != 10e9 {
+		t.Errorf("PFSWriteBps = %g, want 10e9 (Table I: measured Lustre 10GB/s)", m.PFSWriteBps)
+	}
+	if m.NetBps != 8e9 {
+		t.Errorf("NetBps = %g, want 8e9 (dual rail QDR 4GB/s x2)", m.NetBps)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Machine{Name: "empty", Nodes: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a 0-node machine")
+	}
+	bad2 := &Machine{Name: "negrack", Nodes: 4, NodesPerRack: -1}
+	if err := bad2.Validate(); err == nil {
+		t.Error("Validate accepted negative NodesPerRack")
+	}
+}
+
+func TestPowerGroup(t *testing.T) {
+	m := &Machine{Name: "t", Nodes: 5, PowerPairs: true}
+	cases := []struct {
+		n    NodeID
+		want []NodeID
+	}{
+		{0, []NodeID{0, 1}},
+		{1, []NodeID{0, 1}},
+		{2, []NodeID{2, 3}},
+		{3, []NodeID{2, 3}},
+		{4, []NodeID{4}}, // odd tail: no partner
+	}
+	for _, c := range cases {
+		got := m.PowerGroup(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("PowerGroup(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("PowerGroup(%d) = %v, want %v", c.n, got, c.want)
+			}
+		}
+	}
+
+	solo := &Machine{Name: "solo", Nodes: 4, PowerPairs: false}
+	if g := solo.PowerGroup(2); len(g) != 1 || g[0] != 2 {
+		t.Errorf("without PowerPairs, PowerGroup(2) = %v, want [2]", g)
+	}
+}
+
+func TestRacks(t *testing.T) {
+	m := &Machine{Name: "t", Nodes: 10, NodesPerRack: 4}
+	if m.Rack(0) != 0 || m.Rack(3) != 0 || m.Rack(4) != 1 || m.Rack(9) != 2 {
+		t.Errorf("rack assignment wrong: %d %d %d %d", m.Rack(0), m.Rack(3), m.Rack(4), m.Rack(9))
+	}
+	last := m.RackNodes(2)
+	if len(last) != 2 || last[0] != 8 || last[1] != 9 {
+		t.Errorf("RackNodes(2) = %v, want [8 9]", last)
+	}
+	if got := m.RackNodes(3); got != nil {
+		t.Errorf("RackNodes(3) = %v, want nil", got)
+	}
+	flat := &Machine{Name: "flat", Nodes: 3}
+	if got := flat.RackNodes(0); len(got) != 3 {
+		t.Errorf("rackless RackNodes = %v, want all 3 nodes", got)
+	}
+}
+
+func TestBlockPlacement(t *testing.T) {
+	m := &Machine{Name: "t", Nodes: 64}
+	p, err := Block(m, 1024, 16)
+	if err != nil {
+		t.Fatalf("Block: %v", err)
+	}
+	if p.NumRanks() != 1024 {
+		t.Fatalf("NumRanks = %d, want 1024", p.NumRanks())
+	}
+	if p.NodeOf(0) != 0 || p.NodeOf(15) != 0 || p.NodeOf(16) != 1 || p.NodeOf(1023) != 63 {
+		t.Errorf("block mapping wrong: %d %d %d %d",
+			p.NodeOf(0), p.NodeOf(15), p.NodeOf(16), p.NodeOf(1023))
+	}
+	if got := p.RanksOn(1); len(got) != 16 || got[0] != 16 || got[15] != 31 {
+		t.Errorf("RanksOn(1) = %v", got)
+	}
+	if p.MaxProcsPerNode() != 16 {
+		t.Errorf("MaxProcsPerNode = %d, want 16", p.MaxProcsPerNode())
+	}
+	if !p.SameNode(0, 15) || p.SameNode(15, 16) {
+		t.Error("SameNode wrong for block placement")
+	}
+	if p.LocalIndex(17) != 1 {
+		t.Errorf("LocalIndex(17) = %d, want 1", p.LocalIndex(17))
+	}
+}
+
+func TestBlockPlacementErrors(t *testing.T) {
+	m := &Machine{Name: "t", Nodes: 2}
+	if _, err := Block(m, 100, 16); err == nil {
+		t.Error("Block accepted more ranks than the machine holds")
+	}
+	if _, err := Block(m, 4, 0); err == nil {
+		t.Error("Block accepted procsPerNode=0")
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	m := &Machine{Name: "t", Nodes: 8}
+	p, err := RoundRobin(m, 32, 8)
+	if err != nil {
+		t.Fatalf("RoundRobin: %v", err)
+	}
+	for r := 0; r < 32; r++ {
+		if p.NodeOf(Rank(r)) != NodeID(r%8) {
+			t.Fatalf("NodeOf(%d) = %d, want %d", r, p.NodeOf(Rank(r)), r%8)
+		}
+	}
+	if got := p.RanksOn(3); len(got) != 4 || got[0] != 3 || got[1] != 11 {
+		t.Errorf("RanksOn(3) = %v", got)
+	}
+	if _, err := RoundRobin(m, 32, 0); err == nil {
+		t.Error("RoundRobin accepted usedNodes=0")
+	}
+	if _, err := RoundRobin(m, 32, 9); err == nil {
+		t.Error("RoundRobin accepted usedNodes > machine nodes")
+	}
+}
+
+func TestNewPlacementRejectsBadNode(t *testing.T) {
+	m := &Machine{Name: "t", Nodes: 2}
+	if _, err := NewPlacement(m, []NodeID{0, 1, 2}); err == nil {
+		t.Error("NewPlacement accepted node out of range")
+	}
+	if _, err := NewPlacement(m, []NodeID{0, -1}); err == nil {
+		t.Error("NewPlacement accepted negative node")
+	}
+}
+
+func TestUsedNodes(t *testing.T) {
+	m := &Machine{Name: "t", Nodes: 10}
+	p, err := NewPlacement(m, []NodeID{0, 0, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := p.UsedNodes()
+	want := []NodeID{0, 3, 7}
+	if len(used) != len(want) {
+		t.Fatalf("UsedNodes = %v, want %v", used, want)
+	}
+	for i := range used {
+		if used[i] != want[i] {
+			t.Fatalf("UsedNodes = %v, want %v", used, want)
+		}
+	}
+}
+
+func TestCorrelatedNodes(t *testing.T) {
+	m := &Machine{Name: "t", Nodes: 8, PowerPairs: true, NodesPerRack: 4}
+	p, err := Block(m, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.CorrelatedNodes(2, false)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("CorrelatedNodes(2, no rack) = %v, want [2 3]", got)
+	}
+	got = p.CorrelatedNodes(2, true)
+	if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Errorf("CorrelatedNodes(2, rack) = %v, want [0 1 2 3]", got)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	m := Tsubame2()
+	sub, err := m.Subset(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Nodes != 64 || sub.SSDWriteBps != m.SSDWriteBps {
+		t.Errorf("Subset lost parameters: %+v", sub)
+	}
+	if _, err := m.Subset(0); err == nil {
+		t.Error("Subset accepted 0 nodes")
+	}
+	if _, err := m.Subset(2000); err == nil {
+		t.Error("Subset accepted more nodes than the machine has")
+	}
+}
+
+// Property: for any block placement, LocalIndex(r) == r mod procsPerNode and
+// every node's rank list is consecutive.
+func TestBlockPlacementProperty(t *testing.T) {
+	f := func(nodesRaw, ppnRaw uint8) bool {
+		nodes := int(nodesRaw%32) + 1
+		ppn := int(ppnRaw%8) + 1
+		m := &Machine{Name: "q", Nodes: nodes}
+		nranks := nodes * ppn
+		p, err := Block(m, nranks, ppn)
+		if err != nil {
+			return false
+		}
+		for r := 0; r < nranks; r++ {
+			if p.LocalIndex(Rank(r)) != r%ppn {
+				return false
+			}
+			if p.NodeOf(Rank(r)) != NodeID(r/ppn) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round-robin and block placements host the same total rank count
+// per machine, and RanksOn partitions the rank space.
+func TestPlacementPartitionProperty(t *testing.T) {
+	f := func(nodesRaw, ranksRaw uint8) bool {
+		nodes := int(nodesRaw%16) + 1
+		nranks := int(ranksRaw%64) + 1
+		m := &Machine{Name: "q", Nodes: nodes}
+		p, err := RoundRobin(m, nranks, nodes)
+		if err != nil {
+			return false
+		}
+		seen := make(map[Rank]bool)
+		for n := 0; n < nodes; n++ {
+			for _, r := range p.RanksOn(NodeID(n)) {
+				if seen[r] {
+					return false // duplicated rank
+				}
+				seen[r] = true
+				if p.NodeOf(r) != NodeID(n) {
+					return false
+				}
+			}
+		}
+		return len(seen) == nranks
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The on-disk format is a compact sparse binary encoding:
+//
+//	magic "HCTR" | uint32 version | uint32 N | uint32 nnz |
+//	nnz × { uint32 src | uint32 dst | int64 bytes | int64 msgs }
+//
+// so a 1088-rank tsunami trace (≈220k messages but only ≈5k distinct pairs)
+// costs ~120 KB instead of the 9.5 MB dense CSV.
+
+const (
+	traceMagic   = "HCTR"
+	traceVersion = 1
+)
+
+// WriteTo serializes the matrix in sparse binary form.
+func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	nnz := 0
+	for s := 0; s < m.N; s++ {
+		for _, b := range m.Bytes[s] {
+			if b != 0 {
+				nnz++
+			}
+		}
+	}
+	hdr := make([]byte, 4+4+4+4)
+	copy(hdr, traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.N))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(nnz))
+	n, err := bw.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	rec := make([]byte, 4+4+8+8)
+	for s := 0; s < m.N; s++ {
+		for d, b := range m.Bytes[s] {
+			if b == 0 {
+				continue
+			}
+			binary.LittleEndian.PutUint32(rec[0:], uint32(s))
+			binary.LittleEndian.PutUint32(rec[4:], uint32(d))
+			binary.LittleEndian.PutUint64(rec[8:], uint64(b))
+			binary.LittleEndian.PutUint64(rec[16:], uint64(m.Msgs[s][d]))
+			n, err := bw.Write(rec)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadMatrix deserializes a matrix written by WriteTo.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[8:]))
+	nnz := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if n < 0 || n > 1<<22 {
+		return nil, fmt.Errorf("trace: implausible rank count %d", n)
+	}
+	m := NewMatrix(n)
+	rec := make([]byte, 24)
+	for i := 0; i < nnz; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d/%d: %w", i, nnz, err)
+		}
+		s := int(binary.LittleEndian.Uint32(rec[0:]))
+		d := int(binary.LittleEndian.Uint32(rec[4:]))
+		if s < 0 || s >= n || d < 0 || d >= n {
+			return nil, fmt.Errorf("trace: record %d has pair (%d,%d) outside %d ranks", i, s, d, n)
+		}
+		m.Bytes[s][d] = int64(binary.LittleEndian.Uint64(rec[8:]))
+		m.Msgs[s][d] = int64(binary.LittleEndian.Uint64(rec[16:]))
+	}
+	return m, nil
+}

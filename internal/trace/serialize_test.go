@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m := stencilMatrix(16, 1234)
+	_ = m.Add(3, 9, 42)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != m.N {
+		t.Fatalf("N = %d, want %d", got.N, m.N)
+	}
+	for s := 0; s < m.N; s++ {
+		for d := 0; d < m.N; d++ {
+			if got.Bytes[s][d] != m.Bytes[s][d] || got.Msgs[s][d] != m.Msgs[s][d] {
+				t.Fatalf("cell (%d,%d) mismatch", s, d)
+			}
+		}
+	}
+}
+
+func TestSerializeEmpty(t *testing.T) {
+	m := NewMatrix(4)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 16 { // header only
+		t.Errorf("empty matrix serialized to %d bytes, want 16", buf.Len())
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil || got.N != 4 || got.TotalBytes() != 0 {
+		t.Errorf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestReadMatrixRejectsGarbage(t *testing.T) {
+	if _, err := ReadMatrix(strings.NewReader("not a trace file at all")); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ReadMatrix(strings.NewReader("HC")); err == nil {
+		t.Error("accepted truncated header")
+	}
+	// right magic, wrong version
+	bad := []byte("HCTR\x09\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00")
+	if _, err := ReadMatrix(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted unknown version")
+	}
+	// truncated records
+	m := stencilMatrix(4, 10)
+	var buf bytes.Buffer
+	_, _ = m.WriteTo(&buf)
+	cut := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadMatrix(bytes.NewReader(cut)); err == nil {
+		t.Error("accepted truncated body")
+	}
+	// out-of-range pair
+	evil := []byte("HCTR\x01\x00\x00\x00\x02\x00\x00\x00\x01\x00\x00\x00" +
+		"\x07\x00\x00\x00\x00\x00\x00\x00" + // src 7 of 2 ranks
+		"\x01\x00\x00\x00\x00\x00\x00\x00" +
+		"\x01\x00\x00\x00\x00\x00\x00\x00")
+	if _, err := ReadMatrix(bytes.NewReader(evil)); err == nil {
+		t.Error("accepted out-of-range pair")
+	}
+}
+
+func TestSerializeSparseIsCompact(t *testing.T) {
+	// A 512-rank stencil has ~1022 nonzero cells: the sparse file must be
+	// a small fraction of the dense 512×512 representation.
+	m := stencilMatrix(512, 100)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dense := 512 * 512 * 16
+	if buf.Len() > dense/8 {
+		t.Errorf("sparse encoding %d bytes vs dense %d — not compact", buf.Len(), dense)
+	}
+}
+
+// Property: any random sparse matrix round-trips exactly.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(n)
+		for i := 0; i < 2*n; i++ {
+			_ = m.Add(rng.Intn(n), rng.Intn(n), int64(rng.Intn(1_000_000)+1))
+		}
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadMatrix(&buf)
+		if err != nil || got.N != n {
+			return false
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if got.Bytes[s][d] != m.Bytes[s][d] || got.Msgs[s][d] != m.Msgs[s][d] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hierclust/internal/simmpi"
+	"hierclust/internal/topology"
+)
+
+func stencilMatrix(n int, perMsg int64) *Matrix {
+	// rank±1 neighbor exchange, the tsunami pattern.
+	m := NewMatrix(n)
+	for r := 0; r+1 < n; r++ {
+		_ = m.Add(r, r+1, perMsg)
+		_ = m.Add(r+1, r, perMsg)
+	}
+	return m
+}
+
+func TestAddAndTotals(t *testing.T) {
+	m := NewMatrix(3)
+	if err := m.Add(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(2, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalBytes() != 22 {
+		t.Errorf("TotalBytes = %d, want 22", m.TotalBytes())
+	}
+	if m.TotalMsgs() != 3 {
+		t.Errorf("TotalMsgs = %d, want 3", m.TotalMsgs())
+	}
+	if m.Bytes[0][1] != 15 || m.Msgs[0][1] != 2 {
+		t.Errorf("cell (0,1) = %d bytes / %d msgs", m.Bytes[0][1], m.Msgs[0][1])
+	}
+	if err := m.Add(3, 0, 1); err == nil {
+		t.Error("Add accepted out-of-range src")
+	}
+	if err := m.Add(0, -1, 1); err == nil {
+		t.Error("Add accepted negative dst")
+	}
+}
+
+func TestCutBytesAndLoggedFraction(t *testing.T) {
+	// 8-rank stencil, clusters of 4: one crossing pair (3<->4) of 7 total.
+	m := stencilMatrix(8, 100)
+	part := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	cut, err := m.CutBytes(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 200 { // both directions
+		t.Errorf("cut = %d, want 200", cut)
+	}
+	frac, err := m.LoggedFraction(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 200.0 / 1400.0
+	if math.Abs(frac-want) > 1e-12 {
+		t.Errorf("logged fraction = %g, want %g", frac, want)
+	}
+	if _, err := m.CutBytes([]int{0}); err == nil {
+		t.Error("CutBytes accepted short assignment")
+	}
+}
+
+func TestLoggedFractionMatchesPaperSweetSpot(t *testing.T) {
+	// The paper's Fig. 3a sweet spot: 1024 ranks, clusters of 32
+	// => 31 crossing pairs of 1023 ≈ 3.0% of stencil traffic logged.
+	m := stencilMatrix(1024, 1000)
+	part := make([]int, 1024)
+	for r := range part {
+		part[r] = r / 32
+	}
+	frac, err := m.LoggedFraction(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 31.0 / 1023.0
+	if math.Abs(frac-want) > 1e-12 {
+		t.Errorf("logged = %g, want %g", frac, want)
+	}
+}
+
+func TestEmptyMatrixLoggedFraction(t *testing.T) {
+	m := NewMatrix(4)
+	frac, err := m.LoggedFraction([]int{0, 1, 2, 3})
+	if err != nil || frac != 0 {
+		t.Errorf("empty matrix logged = %g, %v; want 0, nil", frac, err)
+	}
+}
+
+func TestToGraphSymmetric(t *testing.T) {
+	m := NewMatrix(3)
+	_ = m.Add(0, 1, 10)
+	_ = m.Add(1, 0, 4)
+	_ = m.Add(2, 2, 5) // self traffic
+	g := m.ToGraph()
+	if g.Weight(0, 1) != 14 {
+		t.Errorf("graph weight(0,1) = %g, want 14", g.Weight(0, 1))
+	}
+	if g.Weight(2, 2) != 5 {
+		t.Errorf("graph self-loop = %g, want 5", g.Weight(2, 2))
+	}
+}
+
+func TestNodeMatrix(t *testing.T) {
+	mach := &topology.Machine{Name: "t", Nodes: 2}
+	p, err := topology.Block(mach, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stencilMatrix(4, 10) // ranks 0,1 on node 0; 2,3 on node 1
+	nm, err := m.NodeMatrix(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.N != 2 {
+		t.Fatalf("node matrix size = %d, want 2", nm.N)
+	}
+	if nm.Bytes[0][0] != 20 { // 0<->1 both directions
+		t.Errorf("intra-node 0 = %d, want 20", nm.Bytes[0][0])
+	}
+	if nm.Bytes[0][1] != 10 || nm.Bytes[1][0] != 10 { // 1->2 and 2->1
+		t.Errorf("inter-node = %d/%d, want 10/10", nm.Bytes[0][1], nm.Bytes[1][0])
+	}
+	bad, _ := topology.Block(mach, 2, 1)
+	if _, err := m.NodeMatrix(bad); err == nil {
+		t.Error("NodeMatrix accepted mismatched placement")
+	}
+}
+
+func TestRecorderWithSimmpi(t *testing.T) {
+	rec := NewRecorder(4)
+	err := simmpi.Run(4, simmpi.Options{Tracer: rec}, func(p *simmpi.Proc) error {
+		c := p.Comm()
+		n := c.Size()
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		_, err := c.SendRecv(right, 1, make([]byte, 64), left, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rec.Matrix()
+	if m.TotalMsgs() != 4 {
+		t.Errorf("TotalMsgs = %d, want 4", m.TotalMsgs())
+	}
+	if m.Bytes[0][1] != 64 {
+		t.Errorf("0->1 bytes = %d, want 64", m.Bytes[0][1])
+	}
+	// ignores out-of-range gracefully
+	rec.Record(99, 0, 1)
+	if m.TotalMsgs() != 4 {
+		t.Error("out-of-range record was accumulated")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	m := NewMatrix(2)
+	_ = m.Add(0, 1, 3)
+	got := m.CSV()
+	want := "0,3\n0,0\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTopPairs(t *testing.T) {
+	m := NewMatrix(4)
+	_ = m.Add(0, 1, 100)
+	_ = m.Add(2, 3, 300)
+	_ = m.Add(1, 0, 200)
+	top := m.TopPairs(2)
+	if len(top) != 2 || top[0].Bytes != 300 || top[1].Bytes != 200 {
+		t.Errorf("TopPairs = %+v", top)
+	}
+	all := m.TopPairs(100)
+	if len(all) != 3 {
+		t.Errorf("TopPairs(100) returned %d entries", len(all))
+	}
+}
+
+func TestASCIIHeatmap(t *testing.T) {
+	m := stencilMatrix(8, 1000)
+	art := m.ASCIIHeatmap(8)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Fatalf("heatmap has %d lines, want 9:\n%s", len(lines), art)
+	}
+	// The ±1 diagonals must be the only non-space cells.
+	for r, line := range lines[1:] {
+		for c := 0; c < 8; c++ {
+			isDiag := c == r-1 || c == r+1
+			filled := line[c] != ' '
+			if isDiag != filled {
+				t.Errorf("cell (%d,%d) filled=%v, want %v\n%s", r, c, filled, isDiag, art)
+			}
+		}
+	}
+}
+
+func TestASCIIHeatmapDownsamples(t *testing.T) {
+	m := stencilMatrix(256, 10)
+	art := m.ASCIIHeatmap(64)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 65 {
+		t.Errorf("downsampled heatmap has %d lines, want 65", len(lines))
+	}
+	empty := NewMatrix(4)
+	if got := empty.ASCIIHeatmap(0); !strings.Contains(got, "4 x 4") {
+		t.Errorf("empty heatmap header missing: %q", got)
+	}
+}
+
+func TestPGM(t *testing.T) {
+	m := stencilMatrix(4, 100)
+	pgm := m.PGM()
+	if !strings.HasPrefix(pgm, "P2\n4 4\n255\n") {
+		t.Errorf("PGM header wrong: %q", pgm[:20])
+	}
+	lines := strings.Split(strings.TrimRight(pgm, "\n"), "\n")
+	if len(lines) != 3+4 {
+		t.Errorf("PGM has %d lines, want 7", len(lines))
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := stencilMatrix(10, 5)
+	sub, err := m.Submatrix(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N != 4 {
+		t.Fatalf("sub.N = %d, want 4", sub.N)
+	}
+	if sub.Bytes[0][1] != 5 { // was (2,3)
+		t.Errorf("sub(0,1) = %d, want 5", sub.Bytes[0][1])
+	}
+	if _, err := m.Submatrix(5, 5); err == nil {
+		t.Error("Submatrix accepted empty range")
+	}
+	if _, err := m.Submatrix(-1, 3); err == nil {
+		t.Error("Submatrix accepted negative lo")
+	}
+	if _, err := m.Submatrix(0, 99); err == nil {
+		t.Error("Submatrix accepted hi > N")
+	}
+}
+
+// Property: LoggedFraction is within [0,1] and monotone under merging
+// clusters (merging two clusters can only reduce the cut).
+func TestLoggedFractionMergeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 4
+		m := NewMatrix(n)
+		rng := seed
+		next := func() int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := rng >> 33
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		for i := 0; i < 3*n; i++ {
+			s := int(next()) % n
+			d := int(next()) % n
+			_ = m.Add(s, d, next()%1000+1)
+		}
+		part := make([]int, n)
+		for i := range part {
+			part[i] = int(next()) % 4
+		}
+		f1, err := m.LoggedFraction(part)
+		if err != nil || f1 < 0 || f1 > 1 {
+			return false
+		}
+		merged := make([]int, n)
+		for i, p := range part {
+			if p == 3 {
+				p = 2 // merge clusters 2 and 3
+			}
+			merged[i] = p
+		}
+		f2, err := m.LoggedFraction(merged)
+		if err != nil {
+			return false
+		}
+		return f2 <= f1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package tsunami
+
+import (
+	"fmt"
+
+	"hierclust/internal/hybrid"
+)
+
+// FTApp adapts a decomposed tsunami simulation to the hybrid protocol's App
+// interface: Produce emits the boundary-row exchanges to ranks ±1 and
+// Advance installs received ghosts and steps the slab. The solver is
+// deterministic, so the application is send-deterministic as the protocol
+// requires.
+type FTApp struct {
+	params  Params
+	solvers []*Solver
+}
+
+// NewFTApp builds the per-rank solvers for a full simulation.
+func NewFTApp(p Params) (*FTApp, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	a := &FTApp{params: p, solvers: make([]*Solver, p.Ranks)}
+	for r := 0; r < p.Ranks; r++ {
+		s, err := NewSolver(p, r)
+		if err != nil {
+			return nil, err
+		}
+		a.solvers[r] = s
+	}
+	return a, nil
+}
+
+// Solver exposes rank r's slab (for diagnostics).
+func (a *FTApp) Solver(r int) *Solver { return a.solvers[r] }
+
+// upNeighbor returns the rank above r (-1 if none).
+func (a *FTApp) upNeighbor(r int) int {
+	if r > 0 {
+		return r - 1
+	}
+	if a.params.Boundary == Periodic && a.params.Ranks > 1 {
+		return a.params.Ranks - 1
+	}
+	return -1
+}
+
+func (a *FTApp) downNeighbor(r int) int {
+	if r < a.params.Ranks-1 {
+		return r + 1
+	}
+	if a.params.Boundary == Periodic && a.params.Ranks > 1 {
+		return 0
+	}
+	return -1
+}
+
+// Produce implements hybrid.App: boundary rows to the neighbor slabs.
+func (a *FTApp) Produce(rank, iter int) ([]hybrid.Message, error) {
+	s := a.solvers[rank]
+	if s.Iter() != iter {
+		return nil, fmt.Errorf("tsunami: rank %d produce at iter %d but solver at %d", rank, iter, s.Iter())
+	}
+	var out []hybrid.Message
+	if up := a.upNeighbor(rank); up >= 0 {
+		out = append(out, hybrid.Message{Dest: up, Payload: s.TopRows()})
+	}
+	if down := a.downNeighbor(rank); down >= 0 {
+		out = append(out, hybrid.Message{Dest: down, Payload: s.BottomRows()})
+	}
+	return out, nil
+}
+
+// Advance implements hybrid.App: install ghosts, then step.
+func (a *FTApp) Advance(rank, iter int, inbox []hybrid.Message) error {
+	s := a.solvers[rank]
+	if s.Iter() != iter {
+		return fmt.Errorf("tsunami: rank %d advance at iter %d but solver at %d", rank, iter, s.Iter())
+	}
+	for _, m := range inbox {
+		switch m.Src {
+		case a.upNeighbor(rank):
+			if err := s.SetTopGhost(m.Payload); err != nil {
+				return err
+			}
+		case a.downNeighbor(rank):
+			if err := s.SetBottomGhost(m.Payload); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("tsunami: rank %d received ghost from non-neighbor %d", rank, m.Src)
+		}
+	}
+	s.Step()
+	return nil
+}
+
+// Snapshot implements hybrid.App.
+func (a *FTApp) Snapshot(rank int) ([]byte, error) { return a.solvers[rank].Snapshot() }
+
+// Restore implements hybrid.App.
+func (a *FTApp) Restore(rank int, b []byte) error { return a.solvers[rank].Restore(b) }
+
+// TotalMass sums all slabs' mass.
+func (a *FTApp) TotalMass() float64 {
+	var m float64
+	for _, s := range a.solvers {
+		m += s.Mass()
+	}
+	return m
+}
+
+// TotalEnergy sums all slabs' energy.
+func (a *FTApp) TotalEnergy() float64 {
+	var e float64
+	for _, s := range a.solvers {
+		e += s.Energy()
+	}
+	return e
+}
+
+// RunSequential advances the whole simulation without any protocol — the
+// failure-free ground truth used by tests and examples.
+func (a *FTApp) RunSequential(iters int) error {
+	for it := 0; it < iters; it++ {
+		type ghost struct {
+			rank int
+			top  bool
+			data []byte
+		}
+		var ghosts []ghost
+		for r := 0; r < a.params.Ranks; r++ {
+			if up := a.upNeighbor(r); up >= 0 {
+				ghosts = append(ghosts, ghost{rank: up, top: false, data: a.solvers[r].TopRows()})
+			}
+			if down := a.downNeighbor(r); down >= 0 {
+				ghosts = append(ghosts, ghost{rank: down, top: true, data: a.solvers[r].BottomRows()})
+			}
+		}
+		for _, g := range ghosts {
+			var err error
+			if g.top {
+				err = a.solvers[g.rank].SetTopGhost(g.data)
+			} else {
+				err = a.solvers[g.rank].SetBottomGhost(g.data)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		for r := 0; r < a.params.Ranks; r++ {
+			a.solvers[r].Step()
+		}
+	}
+	return nil
+}
