@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt bench bench-smoke ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs gofmt (the CI gate).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench records a BENCH_<date>.json snapshot of the full suite
+# (BENCH=regexp, BENCHTIME=1s, NOTE="..." to customize).
+bench:
+	sh scripts/bench.sh
+
+# bench-smoke is the quick CI benchmark: one iteration of RS encoding.
+bench-smoke:
+	$(GO) test -run '^$$' -bench RSEncode -benchtime 1x .
+
+ci: fmt vet build race bench-smoke

@@ -88,6 +88,93 @@ func BenchmarkRSEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkRSEncodeStream measures the streaming encode path: identical
+// coding work to BenchmarkRSEncode but with parity buffers reused across
+// calls via GroupEncoder.NewStream, the zero-allocation hot path the
+// checkpoint manager runs.
+func BenchmarkRSEncodeStream(b *testing.B) {
+	const shard = 1 << 20
+	for _, k := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			enc, err := erasure.NewGroupEncoder(k, k, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream := enc.NewStream()
+			data := make([][]byte, k)
+			for i := range data {
+				data[i] = make([]byte, shard)
+				for j := range data[i] {
+					data[i][j] = byte(i + j)
+				}
+			}
+			b.SetBytes(int64(k * shard))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := stream.Encode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkXOREncode measures the single-parity XOR codec (the L3-xor
+// cheap alternative), now word-wide.
+func BenchmarkXOREncode(b *testing.B) {
+	const shard = 1 << 20
+	for _, k := range []int{8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			x, err := erasure.NewXOR(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([][]byte, k)
+			for i := range data {
+				data[i] = make([]byte, shard)
+				for j := range data[i] {
+					data[i][j] = byte(i ^ j)
+				}
+			}
+			parity := make([]byte, shard)
+			b.SetBytes(int64(k * shard))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := x.Encode(data, parity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHarnessRun measures the pooled experiment runner end to end on a
+// small deterministic subset (worker counts 1 and 4 share the rig cache).
+func BenchmarkHarnessRun(b *testing.B) {
+	var exps []harness.Experiment
+	for _, id := range []string{"table1", "fig4a"} {
+		e, err := harness.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range harness.Run(harness.Config{Quick: true}, exps, workers) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRSReconstruct measures decode after losing half the group.
 func BenchmarkRSReconstruct(b *testing.B) {
 	const shard = 1 << 20

@@ -4,11 +4,17 @@
 //
 //	hcrun -exp table2              # one experiment at paper scale
 //	hcrun -exp all -quick          # every experiment, laptop scale
+//	hcrun -exp all -quick -parallel  # pooled runner, identical output
+//	hcrun -exp all -quick -json    # machine-readable results
 //	hcrun -exp fig5a -out results  # also write PGM/CSV artifacts
 //	hcrun -list                    # list experiment ids
 //
+// -parallel runs the experiments on a GOMAXPROCS-wide worker pool
+// (override with -workers); results still print in experiment order, so
+// the output is byte-identical to a serial run.
+//
 // Experiments: table1, fig3a, fig3b, fig4a, fig4b, fig4c, fig5a, fig5b,
-// fig5c, table2, protocol, ablation.
+// fig5c, table2, protocol, ablation, scaling.
 package main
 
 import (
@@ -24,14 +30,18 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all'")
-		quick   = flag.Bool("quick", false, "shrink to laptop scale")
-		ranks   = flag.Int("ranks", 0, "override application rank count")
-		ppn     = flag.Int("ppn", 0, "override processes per node")
-		iters   = flag.Int("iters", 0, "override traced iterations")
-		out     = flag.String("out", "", "directory for CSV/PGM artifacts")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		csvFlag = flag.Bool("csv", false, "print CSV instead of ASCII tables")
+		exp      = flag.String("exp", "all", "experiment id or 'all'")
+		quick    = flag.Bool("quick", false, "shrink to laptop scale")
+		ranks    = flag.Int("ranks", 0, "override application rank count")
+		ppn      = flag.Int("ppn", 0, "override processes per node")
+		iters    = flag.Int("iters", 0, "override traced iterations")
+		out      = flag.String("out", "", "directory for CSV/PGM artifacts")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csvFlag  = flag.Bool("csv", false, "print CSV instead of ASCII tables")
+		jsonFlag = flag.Bool("json", false, "print one JSON document of all results")
+		parallel = flag.Bool("parallel", false, "run experiments concurrently on a worker pool")
+		workers  = flag.Int("workers", 0, "worker pool size (implies -parallel; 0 with -parallel = GOMAXPROCS)")
+		timings  = flag.Bool("timings", false, "include wall-clock measurement columns (non-deterministic)")
 	)
 	flag.Parse()
 
@@ -42,7 +52,7 @@ func main() {
 		return
 	}
 
-	cfg := harness.Config{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick}
+	cfg := harness.Config{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick, Timings: *timings}
 
 	var exps []harness.Experiment
 	if *exp == "all" {
@@ -55,21 +65,66 @@ func main() {
 		exps = []harness.Experiment{e}
 	}
 
-	for _, e := range exps {
-		table, err := e.Run(cfg)
-		if err != nil {
-			fail(fmt.Errorf("%s: %w", e.ID, err))
+	nworkers := 1
+	if *parallel || *workers > 0 { // a nonzero -workers implies -parallel
+		nworkers = *workers
+		if nworkers <= 0 {
+			nworkers = harness.DefaultWorkers()
+		}
+	}
+
+	emit := func(r harness.RunResult) {
+		if r.Err != nil {
+			fail(fmt.Errorf("%s: %w", r.Experiment.ID, r.Err))
 		}
 		if *csvFlag {
-			fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
+			fmt.Printf("# %s: %s\n%s\n", r.Table.ID, r.Table.Title, r.Table.CSV())
 		} else {
-			fmt.Println(table.ASCII())
+			fmt.Println(r.Table.ASCII())
 		}
 		if *out != "" {
-			if err := writeArtifacts(*out, table, cfg, e.ID); err != nil {
+			if err := writeArtifacts(*out, r.Table, cfg, r.Experiment.ID); err != nil {
 				fail(err)
 			}
 		}
+	}
+
+	// Serial non-JSON runs stream each table as it completes and abort at
+	// the first failure; pooled and JSON runs batch (JSON is one document,
+	// and pooled results must print in experiment order).
+	if nworkers <= 1 && !*jsonFlag {
+		for _, e := range exps {
+			emit(harness.RunOne(cfg, e))
+		}
+		return
+	}
+	results := harness.Run(cfg, exps, nworkers)
+	if *jsonFlag {
+		doc, err := harness.ResultsJSON(results)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(doc))
+		failed := false
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "hcrun: %s: %v\n", r.Experiment.ID, r.Err)
+				failed = true
+				continue
+			}
+			if *out != "" {
+				if err := writeArtifacts(*out, r.Table, cfg, r.Experiment.ID); err != nil {
+					fail(err)
+				}
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range results {
+		emit(r)
 	}
 }
 

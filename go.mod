@@ -1,0 +1,3 @@
+module hierclust
+
+go 1.24

@@ -101,6 +101,18 @@ type Manager struct {
 	groups    [][]topology.Rank
 	groupOf   map[topology.Rank]int
 	meta      map[int]map[topology.Rank]Meta // version -> rank -> meta
+
+	// Codec caches, keyed by group size: building an RS codec inverts a
+	// k×k matrix and compiles the coefficient tables, so it is paid once
+	// per group shape, not once per checkpoint round.
+	streams map[int]*erasure.Stream
+	codecs  map[int]*erasure.RS
+	// pad holds the reusable padded-shard scratch buffers for encoding.
+	pad [][]byte
+	// decodeWall accumulates measured erasure reconstruction wall time
+	// (RS and XOR group decodes); hybrid recovery drains it per failure
+	// event.
+	decodeWall time.Duration
 }
 
 // New creates a manager. groups lists the encoding groups (the L2 clusters
@@ -113,6 +125,8 @@ func New(cluster *storage.Cluster, placement *topology.Placement, groups [][]top
 		groups:    make([][]topology.Rank, len(groups)),
 		groupOf:   map[topology.Rank]int{},
 		meta:      map[int]map[topology.Rank]Meta{},
+		streams:   map[int]*erasure.Stream{},
+		codecs:    map[int]*erasure.RS{},
 	}
 	for gi, g := range groups {
 		if len(g) < 2 {
@@ -147,6 +161,96 @@ func (m *Manager) GroupOf(r topology.Rank) int {
 		return gi
 	}
 	return -1
+}
+
+// streamFor returns the cached buffer-reusing encode stream for groups of k
+// members (RS(k, k), the FTI layout).
+func (m *Manager) streamFor(k int) (*erasure.Stream, error) {
+	if s, ok := m.streams[k]; ok {
+		return s, nil
+	}
+	enc, err := erasure.NewGroupEncoder(k, k, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := enc.NewStream()
+	m.streams[k] = s
+	return s, nil
+}
+
+// codecFor returns the cached RS(k, k) codec used by group reconstruction.
+func (m *Manager) codecFor(k int) (*erasure.RS, error) {
+	if rs, ok := m.codecs[k]; ok {
+		return rs, nil
+	}
+	rs, err := erasure.NewRS(k, k)
+	if err != nil {
+		return nil, err
+	}
+	m.codecs[k] = rs
+	return rs, nil
+}
+
+// padGroup gathers one encoding group's blobs from a checkpoint round and
+// length-prefix-pads them to a common shard size in the manager's reusable
+// scratch buffers (valid until the next call). skip reports that no member
+// of the group checkpointed this round; a partially present group is an
+// error.
+func (m *Manager) padGroup(gi int, group []topology.Rank, version int, data map[topology.Rank][]byte) (padded [][]byte, skip bool, err error) {
+	any := false
+	for _, r := range group {
+		if _, ok := data[r]; ok {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil, true, nil
+	}
+	blobs := make([][]byte, len(group))
+	maxLen := 0
+	for i, r := range group {
+		blob, ok := data[r]
+		if !ok {
+			return nil, false, fmt.Errorf("checkpoint: group %d member %d missing from version %d data", gi, r, version)
+		}
+		blobs[i] = blob
+		if len(blob)+4 > maxLen {
+			maxLen = len(blob) + 4
+		}
+	}
+	return m.padShards(blobs, maxLen), false, nil
+}
+
+// padShards length-prefixes and pads the blobs to maxLen into the manager's
+// reusable scratch buffers; the result is valid until the next call.
+func (m *Manager) padShards(blobs [][]byte, maxLen int) [][]byte {
+	for len(m.pad) < len(blobs) {
+		m.pad = append(m.pad, nil)
+	}
+	out := make([][]byte, len(blobs))
+	for i, blob := range blobs {
+		if cap(m.pad[i]) < maxLen {
+			m.pad[i] = make([]byte, maxLen)
+		}
+		p := m.pad[i][:maxLen]
+		binary.LittleEndian.PutUint32(p[:4], uint32(len(blob)))
+		n := copy(p[4:], blob)
+		for j := 4 + n; j < maxLen; j++ {
+			p[j] = 0
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// DrainDecodeTime returns the erasure (RS or XOR) reconstruction wall time
+// accumulated since the last drain (hybrid recovery reports it per failure
+// event).
+func (m *Manager) DrainDecodeTime() time.Duration {
+	d := m.decodeWall
+	m.decodeWall = 0
+	return d
 }
 
 func keyL1(r topology.Rank, v int) string  { return fmt.Sprintf("l1/%d/%d", r, v) }
@@ -204,39 +308,18 @@ func (m *Manager) Checkpoint(version int, level Level, data map[topology.Rank][]
 // *other* node entirely).
 func (m *Manager) xorGroups(version int, data map[topology.Rank][]byte, res *Result) error {
 	for gi, group := range m.groups {
-		any := false
-		for _, r := range group {
-			if _, ok := data[r]; ok {
-				any = true
-				break
-			}
+		padded, skip, err := m.padGroup(gi, group, version, data)
+		if err != nil {
+			return err
 		}
-		if !any {
+		if skip {
 			continue
-		}
-		maxLen := 0
-		for _, r := range group {
-			blob, ok := data[r]
-			if !ok {
-				return fmt.Errorf("checkpoint: group %d member %d missing from version %d data", gi, r, version)
-			}
-			if len(blob)+4 > maxLen {
-				maxLen = len(blob) + 4
-			}
-		}
-		padded := make([][]byte, len(group))
-		for i, r := range group {
-			blob := data[r]
-			p := make([]byte, maxLen)
-			binary.LittleEndian.PutUint32(p[:4], uint32(len(blob)))
-			copy(p[4:], blob)
-			padded[i] = p
 		}
 		codec, err := erasure.NewXOR(len(group))
 		if err != nil {
 			return err
 		}
-		parity := make([]byte, maxLen)
+		parity := make([]byte, len(padded[0]))
 		start := time.Now()
 		if err := codec.Encode(padded, parity); err != nil {
 			return fmt.Errorf("checkpoint: group %d xor encode: %w", gi, err)
@@ -311,42 +394,19 @@ func (m *Manager) writePartner(version int, data map[topology.Rank][]byte, res *
 
 func (m *Manager) encodeGroups(version int, data map[topology.Rank][]byte, res *Result) error {
 	for gi, group := range m.groups {
-		// Skip groups with no checkpointing member this round.
-		any := false
-		for _, r := range group {
-			if _, ok := data[r]; ok {
-				any = true
-				break
-			}
+		padded, skip, err := m.padGroup(gi, group, version, data)
+		if err != nil {
+			return err
 		}
-		if !any {
+		if skip {
 			continue
 		}
-		shards := make([][]byte, len(group))
-		maxLen := 0
-		for i, r := range group {
-			blob, ok := data[r]
-			if !ok {
-				return fmt.Errorf("checkpoint: group %d member %d missing from version %d data", gi, r, version)
-			}
-			shards[i] = blob
-			if len(blob)+4 > maxLen {
-				maxLen = len(blob) + 4
-			}
-		}
-		padded := make([][]byte, len(group))
-		for i, blob := range shards {
-			p := make([]byte, maxLen)
-			binary.LittleEndian.PutUint32(p[:4], uint32(len(blob)))
-			copy(p[4:], blob)
-			padded[i] = p
-		}
 		k := len(group)
-		enc, err := erasure.NewGroupEncoder(k, k, 0, 0)
+		stream, err := m.streamFor(k)
 		if err != nil {
 			return fmt.Errorf("checkpoint: group %d encoder: %w", gi, err)
 		}
-		gres, err := enc.Encode(padded)
+		gres, err := stream.Encode(padded)
 		if err != nil {
 			return fmt.Errorf("checkpoint: group %d encode: %w", gi, err)
 		}

@@ -130,12 +130,14 @@ func (m *Manager) tryGroupDecode(version int, r topology.Rank, meta *Meta, cache
 	shards, ok := cache[gi]
 	if !ok {
 		shards = m.collectGroupShards(version, gi)
-		k := len(group)
-		rs, err := erasure.NewRS(k, k)
+		rs, err := m.codecFor(len(group))
 		if err != nil {
 			return nil, false
 		}
-		if err := rs.Reconstruct(shards); err != nil {
+		start := time.Now()
+		err = rs.Reconstruct(shards)
+		m.decodeWall += time.Since(start)
+		if err != nil {
 			cache[gi] = nil // remember the failure
 			return nil, false
 		}
@@ -200,7 +202,10 @@ func (m *Manager) tryXORDecode(version int, r topology.Rank, meta *Meta) ([]byte
 	if err != nil {
 		return nil, false
 	}
-	if err := codec.Reconstruct(shards); err != nil {
+	start := time.Now()
+	err = codec.Reconstruct(shards)
+	m.decodeWall += time.Since(start)
+	if err != nil {
 		return nil, false
 	}
 	blob, err := unpadShard(shards[idx])

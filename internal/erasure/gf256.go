@@ -35,6 +35,7 @@ func init() {
 	for i := 255; i < 512; i++ {
 		gfExp[i] = gfExp[i-255]
 	}
+	initMulTable()
 }
 
 // gfMul multiplies two field elements.
@@ -82,33 +83,32 @@ func gfPow(a byte, n int) byte {
 
 // mulSlice computes dst[i] ^= c*src[i] for all i; the inner loop of every
 // Reed–Solomon encode and decode. dst and src must have equal length.
+// c == 1 takes the 64-bit-word XOR fast path; other coefficients use the
+// precomputed 256-entry row of gfMulTable.
 func mulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("erasure: mulSlice length mismatch %d != %d", len(src), len(dst)))
 	}
-	if c == 0 {
+	switch c {
+	case 0:
 		return
-	}
-	if c == 1 {
+	case 1:
+		xorWords(src, dst)
+	default:
+		// Byte-wise via the 8-bit table: mulSlice serves the small-row
+		// matrix algebra; the bulk coding paths go through encodeRow,
+		// whose plans carry the 16-bit double tables.
+		tbl := mulRow(c)
 		for i, s := range src {
-			dst[i] ^= s
-		}
-		return
-	}
-	logC := int(gfLog[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= gfExp[logC+int(gfLog[s])]
+			dst[i] ^= tbl[s]
 		}
 	}
 }
 
-// xorSlice computes dst[i] ^= src[i].
+// xorSlice computes dst[i] ^= src[i], 8 bytes at a time.
 func xorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("erasure: xorSlice length mismatch %d != %d", len(src), len(dst)))
 	}
-	for i, s := range src {
-		dst[i] ^= s
-	}
+	xorWords(src, dst)
 }

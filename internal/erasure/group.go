@@ -58,9 +58,43 @@ func NewGroupEncoder(k, m, chunkSize, workers int) (*GroupEncoder, error) {
 
 // Encode produces parity for the group's data shards. All shards must have
 // equal length. The returned GroupResult owns freshly allocated parity.
+// Callers encoding repeatedly should prefer NewStream, which reuses parity
+// buffers across calls.
 func (ge *GroupEncoder) Encode(data [][]byte) (*GroupResult, error) {
+	size, err := ge.checkData(data)
+	if err != nil {
+		return nil, err
+	}
+	parity := make([][]byte, ge.rs.m)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+	}
+	return ge.encodeTimed(data, parity, size)
+}
+
+// EncodeInto encodes into caller-provided parity buffers, allocating
+// nothing: each parity slice must match the data shard length and is
+// overwritten. Stream.Encode layers buffer ownership on top of this entry
+// point; callers managing their own buffers use it directly.
+func (ge *GroupEncoder) EncodeInto(data, parity [][]byte) (*GroupResult, error) {
+	size, err := ge.checkData(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(parity) != ge.rs.m {
+		return nil, fmt.Errorf("erasure: got %d parity buffers, encoder built for %d", len(parity), ge.rs.m)
+	}
+	for i, p := range parity {
+		if len(p) != size {
+			return nil, fmt.Errorf("erasure: parity buffer %d size %d != shard size %d", i, len(p), size)
+		}
+	}
+	return ge.encodeTimed(data, parity, size)
+}
+
+func (ge *GroupEncoder) checkData(data [][]byte) (int, error) {
 	if len(data) != ge.rs.k {
-		return nil, fmt.Errorf("erasure: group has %d shards, encoder built for %d", len(data), ge.rs.k)
+		return 0, fmt.Errorf("erasure: group has %d shards, encoder built for %d", len(data), ge.rs.k)
 	}
 	size := 0
 	if len(data) > 0 {
@@ -68,13 +102,13 @@ func (ge *GroupEncoder) Encode(data [][]byte) (*GroupResult, error) {
 	}
 	for i, d := range data {
 		if len(d) != size {
-			return nil, fmt.Errorf("erasure: shard %d size %d != %d", i, len(d), size)
+			return 0, fmt.Errorf("erasure: shard %d size %d != %d", i, len(d), size)
 		}
 	}
-	parity := make([][]byte, ge.rs.m)
-	for i := range parity {
-		parity[i] = make([]byte, size)
-	}
+	return size, nil
+}
+
+func (ge *GroupEncoder) encodeTimed(data, parity [][]byte, size int) (*GroupResult, error) {
 	start := time.Now()
 	if err := ge.encodeChunked(data, parity, size); err != nil {
 		return nil, err
@@ -85,6 +119,37 @@ func (ge *GroupEncoder) Encode(data [][]byte) (*GroupResult, error) {
 		Elapsed:   elapsed,
 		ModelTime: time.Duration(ModelEncodeSeconds(ge.rs.k, int64(size)) * float64(time.Second)),
 	}, nil
+}
+
+// Stream is a single-goroutine encoding session that owns its parity
+// buffers, growing them on demand and reusing them across Encode calls.
+// Results alias the internal buffers: they are valid until the next Encode.
+type Stream struct {
+	ge     *GroupEncoder
+	parity [][]byte
+}
+
+// NewStream starts a buffer-reusing encode session. Streams are not safe
+// for concurrent use; the encoder itself still chunks each encode across
+// its worker pool.
+func (ge *GroupEncoder) NewStream() *Stream {
+	return &Stream{ge: ge, parity: make([][]byte, ge.rs.m)}
+}
+
+// Encode encodes one group, reusing the stream's parity buffers. The
+// returned parity is overwritten by the next call.
+func (s *Stream) Encode(data [][]byte) (*GroupResult, error) {
+	size, err := s.ge.checkData(data)
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.parity {
+		if cap(s.parity[i]) < size {
+			s.parity[i] = make([]byte, size)
+		}
+		s.parity[i] = s.parity[i][:size]
+	}
+	return s.ge.EncodeInto(data, s.parity)
 }
 
 func (ge *GroupEncoder) encodeChunked(data, parity [][]byte, size int) error {

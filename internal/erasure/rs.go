@@ -16,6 +16,10 @@ type RS struct {
 	k, m int
 	// enc is the (k+m)×k encoding matrix whose top k×k block is identity.
 	enc *matrix
+	// parityPlans[p] is the precompiled table plan of parity row p: one
+	// 256-entry multiplication table per coefficient, built once here so
+	// every Encode walks tables instead of the log/exp pair.
+	parityPlans [][]rowPlan
 }
 
 // NewRS builds a codec for k data and m parity shards. k+m must not exceed
@@ -41,7 +45,11 @@ func NewRS(k, m int) (*RS, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RS{k: k, m: m, enc: enc}, nil
+	plans := make([][]rowPlan, m)
+	for p := 0; p < m; p++ {
+		plans[p] = makePlan(enc.row(k + p))
+	}
+	return &RS{k: k, m: m, enc: enc, parityPlans: plans}, nil
 }
 
 // K returns the number of data shards.
@@ -64,14 +72,7 @@ func (r *RS) Encode(data, parity [][]byte) error {
 		return fmt.Errorf("erasure: parity shard size %d != data shard size %d", len(parity[0]), len(data[0]))
 	}
 	for p := 0; p < r.m; p++ {
-		out := parity[p]
-		for i := range out {
-			out[i] = 0
-		}
-		row := r.enc.row(r.k + p)
-		for d := 0; d < r.k; d++ {
-			mulSlice(row[d], data[d], out)
-		}
+		encodeRow(r.parityPlans[p], data, parity[p])
 	}
 	return nil
 }
@@ -150,12 +151,15 @@ func (r *RS) Reconstruct(shards [][]byte) error {
 			missingData = append(missingData, d)
 		}
 	}
+	survivors := make([][]byte, len(rows))
+	for j, src := range rows {
+		survivors[j] = shards[src]
+	}
 	for _, d := range missingData {
 		out := make([]byte, size)
-		row := dec.row(d)
-		for j, src := range rows {
-			mulSlice(row[j], shards[src], out)
-		}
+		// 8-bit plans: decode coefficients are data-dependent one-shots,
+		// not worth building (and permanently caching) 16-bit tables for.
+		encodeRow(makePlan8(dec.row(d)), survivors, out)
 		shards[d] = out
 	}
 	// Rebuild missing parity from (now complete) data.
@@ -164,10 +168,7 @@ func (r *RS) Reconstruct(shards [][]byte) error {
 			continue
 		}
 		out := make([]byte, size)
-		row := r.enc.row(r.k + p)
-		for d := 0; d < r.k; d++ {
-			mulSlice(row[d], shards[d], out)
-		}
+		encodeRow(r.parityPlans[p], shards[:r.k], out)
 		shards[r.k+p] = out
 	}
 	return nil

@@ -22,6 +22,11 @@ type Config struct {
 	Iterations int
 	// Quick shrinks the run for fast smoke tests.
 	Quick bool
+	// Timings enables wall-clock measurement columns (fig3b's measured
+	// encode times). Off by default so experiment tables are deterministic
+	// and byte-comparable across runs and worker counts; turn on (hcrun
+	// -timings) to validate the measured linear-in-k encode law.
+	Timings bool
 }
 
 func (c *Config) normalize() {
@@ -93,13 +98,22 @@ func ByID(id string) (Experiment, error) {
 
 // tracedRig is the shared backbone: the tsunami communication matrix traced
 // on the simmpi runtime, plus the matching placement. Cached per (ranks,
-// procsPerNode, iterations) because several experiments reuse it.
+// procsPerNode, iterations) because several experiments reuse it. The lock
+// only guards the map; each entry builds under its own sync.Once, so the
+// parallel runner can construct rigs with different keys concurrently while
+// same-key experiments still share one build.
 type rigKey struct{ ranks, ppn, iters int }
 
 var (
 	rigMu    sync.Mutex
-	rigCache = map[rigKey]*rig{}
+	rigCache = map[rigKey]*rigEntry{}
 )
+
+type rigEntry struct {
+	once sync.Once
+	rig  *rig
+	err  error
+}
 
 type rig struct {
 	matrix    *trace.Matrix
@@ -125,10 +139,17 @@ func tracedRig(cfg Config) (*rig, error) {
 	cfg.normalize()
 	key := rigKey{cfg.Ranks, cfg.ProcsPerNode, cfg.Iterations}
 	rigMu.Lock()
-	defer rigMu.Unlock()
-	if r, ok := rigCache[key]; ok {
-		return r, nil
+	e, ok := rigCache[key]
+	if !ok {
+		e = &rigEntry{}
+		rigCache[key] = e
 	}
+	rigMu.Unlock()
+	e.once.Do(func() { e.rig, e.err = buildRig(cfg) })
+	return e.rig, e.err
+}
+
+func buildRig(cfg Config) (*rig, error) {
 	if cfg.Ranks%cfg.ProcsPerNode != 0 {
 		return nil, fmt.Errorf("harness: %d ranks not divisible by %d per node", cfg.Ranks, cfg.ProcsPerNode)
 	}
@@ -149,9 +170,7 @@ func tracedRig(cfg Config) (*rig, error) {
 	}); err != nil {
 		return nil, err
 	}
-	r := &rig{matrix: rec.Matrix(), placement: placement}
-	rigCache[key] = r
-	return r, nil
+	return &rig{matrix: rec.Matrix(), placement: placement}, nil
 }
 
 // Table1 renders the TSUBAME2 constants used by the models (paper Table I).

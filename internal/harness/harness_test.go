@@ -90,7 +90,14 @@ func TestFig3aShape(t *testing.T) {
 }
 
 func TestFig3bEncodeLinear(t *testing.T) {
-	table := runExp(t, "fig3b")
+	exp, err := ByID("fig3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := exp.Run(Config{Quick: true, Timings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// model column doubles with size
 	for i := 1; i < len(table.Rows); i++ {
 		prev, cur := cell(t, table, i-1, 2), cell(t, table, i, 2)
@@ -102,6 +109,13 @@ func TestFig3bEncodeLinear(t *testing.T) {
 	first, last := cell(t, table, 0, 3), cell(t, table, len(table.Rows)-1, 3)
 	if last <= first {
 		t.Errorf("measured encode not growing: first %gms last %gms", first, last)
+	}
+	// without Timings the measured column is deterministic
+	plain := runExp(t, "fig3b")
+	for i := range plain.Rows {
+		if got := plain.Rows[i][3]; got != "-" {
+			t.Errorf("row %d measured cell = %q without Timings, want \"-\"", i, got)
+		}
 	}
 }
 

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunResult is one experiment's outcome under the pooled runner.
+type RunResult struct {
+	Experiment Experiment
+	Table      *Table
+	Err        error
+	Elapsed    time.Duration
+}
+
+// Run executes the experiments on a pool of workers and returns results in
+// input order, so output is byte-identical regardless of worker count or
+// completion order. workers <= 1 runs serially; workers == 0 and
+// DefaultWorkers() pick GOMAXPROCS. Every experiment is independent (the
+// traced-rig cache is the only shared state and is mutex-guarded), which is
+// what makes the pool safe.
+func Run(cfg Config, exps []Experiment, workers int) []RunResult {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	results := make([]RunResult, len(exps))
+	if workers <= 1 {
+		for i, e := range exps {
+			results[i] = runOne(cfg, e)
+		}
+		return results
+	}
+	jobs := make(chan int, len(exps))
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(cfg, exps[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// DefaultWorkers is the pool size used when the caller passes 0.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// RunOne executes and times a single experiment. Serial callers (hcrun
+// without -parallel) use it to stream each table as it completes and stop
+// at the first failure instead of batching through Run.
+func RunOne(cfg Config, e Experiment) RunResult { return runOne(cfg, e) }
+
+func runOne(cfg Config, e Experiment) RunResult {
+	start := time.Now()
+	table, err := e.Run(cfg)
+	return RunResult{Experiment: e, Table: table, Err: err, Elapsed: time.Since(start)}
+}
+
+// jsonResult is the machine-readable form of one experiment result.
+type jsonResult struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Columns   []string   `json:"columns,omitempty"`
+	Rows      [][]string `json:"rows,omitempty"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// ResultsJSON renders the results as an indented JSON array, the emitter
+// behind hcrun -json.
+func ResultsJSON(results []RunResult) ([]byte, error) {
+	out := make([]jsonResult, len(results))
+	for i, r := range results {
+		out[i] = jsonResult{
+			ID:        r.Experiment.ID,
+			Title:     r.Experiment.Title,
+			ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
+		}
+		if r.Table != nil {
+			out[i].Columns = r.Table.Columns
+			out[i].Rows = r.Table.Rows
+			out[i].Notes = r.Table.Notes
+		}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -15,6 +15,7 @@ package hybrid
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hierclust/internal/checkpoint"
 	"hierclust/internal/msglog"
@@ -87,6 +88,10 @@ type FailureEvent struct {
 	SuppressedDuplicates int
 	// ReExecutedIters is how many iterations the cluster re-ran.
 	ReExecutedIters int
+	// DecodeWallTime is the measured erasure reconstruction time (RS or
+	// XOR group decode) spent restoring this failure's ranks; zero when
+	// every rank restored from an intact copy.
+	DecodeWallTime time.Duration
 }
 
 // Report summarizes a run.

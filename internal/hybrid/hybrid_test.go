@@ -224,6 +224,11 @@ func TestContainedRecoverySingleNode(t *testing.T) {
 	if ev.RestoreLevels[checkpoint.L3Encoded] == 0 {
 		t.Errorf("RestoreLevels = %v, want some L3 recoveries", ev.RestoreLevels)
 	}
+	// The L3 recoveries above ran a real RS decode, so the event must
+	// carry its measured reconstruction time.
+	if ev.DecodeWallTime <= 0 {
+		t.Errorf("DecodeWallTime = %v, want > 0 when L3 decode ran", ev.DecodeWallTime)
+	}
 }
 
 func TestRecoveryViaPartnerCopies(t *testing.T) {

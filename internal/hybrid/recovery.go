@@ -90,10 +90,12 @@ func (ru *Runner) handleFailure(it int, nodes []topology.NodeID) error {
 	ev.RestartedFraction = float64(len(restart)) / float64(ru.nranks)
 
 	// Restore state from the cheapest surviving checkpoint level.
+	ru.mgr.DrainDecodeTime() // reset so the event sees only this failure
 	restored, err := ru.mgr.Restore(ru.epoch, restart)
 	if err != nil {
 		return fmt.Errorf("hybrid: recovering clusters %v at iter %d: %w", keys(failedClusters), it, err)
 	}
+	ev.DecodeWallTime = ru.mgr.DrainDecodeTime()
 	for _, re := range restored {
 		if err := ru.app.Restore(int(re.Rank), re.Data); err != nil {
 			return fmt.Errorf("hybrid: app restore rank %d: %w", re.Rank, err)

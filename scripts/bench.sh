@@ -1,0 +1,24 @@
+#!/bin/sh
+# bench.sh runs the root benchmark suite and records a BENCH_<date>.json
+# snapshot, the repository's performance trajectory. Knobs:
+#
+#   BENCH=RSEncode  restrict the benchmark regexp (default: .)
+#   BENCHTIME=2s    per-benchmark time or iteration budget (default: 1s)
+#   NOTE="..."      free-form note recorded in the snapshot
+set -eu
+cd "$(dirname "$0")/.."
+
+stamp=$(date -u +%Y-%m-%d)
+out="BENCH_${stamp}.json"
+raw=$(mktemp)
+json=$(mktemp)
+trap 'rm -f "$raw" "$json"' EXIT
+
+# No pipeline: a failing benchmark run must abort the snapshot, and the
+# snapshot file is only replaced once benchjson has fully succeeded.
+go test -run '^$' -bench "${BENCH:-.}" -benchmem -benchtime "${BENCHTIME:-1s}" . > "$raw"
+cat "$raw"
+go run ./cmd/benchjson -date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" -note "${NOTE:-}" < "$raw" > "$json"
+chmod 644 "$json" # mktemp creates 0600; the snapshot is a shared artifact
+mv "$json" "$out"
+echo "wrote $out" >&2
