@@ -26,8 +26,14 @@ fmt:
 bench:
 	sh scripts/bench.sh
 
-# bench-smoke is the quick CI benchmark: one iteration of RS encoding.
+# bench-smoke is the quick CI benchmark: one iteration of the guarded hot
+# paths, compared against the latest committed snapshot (RSEncode kernels
+# gate at a noise-tolerant 300%; Fig* deltas print for inspection).
 bench-smoke:
-	$(GO) test -run '^$$' -bench RSEncode -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'RSEncode|Fig' -benchmem -benchtime 1x . > smoke.txt
+	$(GO) run ./cmd/benchjson < smoke.txt > smoke.json
+	baseline=$$(ls BENCH_*.json | sort | tail -1); \
+		$(GO) run ./cmd/benchjson -compare -threshold 300 -filter RSEncode $$baseline smoke.json; \
+		rc=$$?; rm -f smoke.txt smoke.json; exit $$rc
 
 ci: fmt vet build race bench-smoke

@@ -175,6 +175,34 @@ func BenchmarkHarnessRun(b *testing.B) {
 	}
 }
 
+// BenchmarkScaling64k measures the full sparse evaluation pipeline at
+// 65,536 ranks on 4096 nodes: synthetic 2-D stencil trace generation (CSR),
+// hierarchical clustering (node aggregation, partitioning, L2 groups), and
+// the four-dimension evaluation including the reliability model. The
+// dense-matrix path would need ~34 GB for the trace alone; allocs/op and
+// B/op document the sub-O(n²) footprint of the CSR pipeline.
+func BenchmarkScaling64k(b *testing.B) {
+	const ranks, ppn = 65536, 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, placement, err := harness.SyntheticRig(ranks, ppn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hier, err := core.Hierarchical(m, placement, core.HierOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := core.Evaluate(hier, m, placement, reliability.DefaultMix())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok, viol := e.Meets(core.DefaultBaseline()); !ok {
+			b.Fatalf("64k-rank evaluation outside baseline: %v", viol)
+		}
+	}
+}
+
 // BenchmarkRSReconstruct measures decode after losing half the group.
 func BenchmarkRSReconstruct(b *testing.B) {
 	const shard = 1 << 20

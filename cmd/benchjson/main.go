@@ -1,10 +1,19 @@
 // Command benchjson converts `go test -bench` text output (read on stdin)
 // into a machine-readable JSON snapshot, the format of the repository's
-// BENCH_*.json performance trajectory (see scripts/bench.sh).
+// BENCH_*.json performance trajectory (see scripts/bench.sh), and compares
+// two snapshots for regressions.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -date 2026-07-26 > BENCH_2026-07-26.json
+//	benchjson -compare BENCH_old.json BENCH_new.json
+//	benchjson -compare -threshold 50 -filter 'RSEncode|Fig' old.json new.json
+//
+// Compare mode prints a per-benchmark delta table (ns/op) for every name
+// present in both snapshots and exits nonzero when any benchmark matching
+// -filter (default: the RSEncode and Fig benchmarks, the repository's
+// guarded hot paths) slowed down by more than -threshold percent
+// (default 25).
 package main
 
 import (
@@ -13,7 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,7 +54,18 @@ type Snapshot struct {
 func main() {
 	date := flag.String("date", "", "timestamp recorded in the snapshot")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	compare := flag.Bool("compare", false, "compare two snapshot files given as arguments instead of reading stdin")
+	threshold := flag.Float64("threshold", 25, "compare: max tolerated ns/op regression in percent for guarded benchmarks")
+	filter := flag.String("filter", `RSEncode|Fig`, "compare: regexp of benchmark names whose regressions fail the run")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files")
+			os.Exit(2)
+		}
+		os.Exit(compareSnapshots(flag.Arg(0), flag.Arg(1), *threshold, *filter))
+	}
 
 	snap := Snapshot{Date: *date, Note: *note, GoVersion: runtime.Version()}
 	sc := bufio.NewScanner(os.Stdin)
@@ -79,6 +101,111 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// gomaxprocsSuffix matches the "-N" GOMAXPROCS suffix the testing package
+// appends to benchmark names when N != 1.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalizeBenchName strips the GOMAXPROCS suffix so snapshots recorded on
+// machines with different core counts still match up in compare mode
+// ("BenchmarkRSEncode/k=8-4" and "BenchmarkRSEncode/k=8" are the same
+// benchmark).
+func normalizeBenchName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// loadSnapshot reads one BENCH_*.json document.
+func loadSnapshot(path string) (Snapshot, error) {
+	var snap Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// compareSnapshots loads two snapshots, prints the ns/op delta for every
+// benchmark present in both, and returns the process exit code: 1 when a
+// benchmark matching the filter regressed past the threshold, 0 otherwise.
+func compareSnapshots(oldPath, newPath string, thresholdPct float64, filter string) int {
+	re, err := regexp.Compile(filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: bad -filter:", err)
+		return 2
+	}
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[normalizeBenchName(b.Name)] = b
+	}
+	names := make([]string, 0, len(newSnap.Benchmarks))
+	newBy := map[string]Benchmark{}
+	for _, b := range newSnap.Benchmarks {
+		name := normalizeBenchName(b.Name)
+		if _, ok := oldBy[name]; ok {
+			names = append(names, name)
+			newBy[name] = b
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: the snapshots share no benchmark names")
+		return 2
+	}
+	fmt.Printf("%-40s %15s %15s %9s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "guard")
+	failed := false
+	guardedCompared := 0
+	for _, name := range names {
+		ob, nb := oldBy[name], newBy[name]
+		deltaPct := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		guarded := re.MatchString(name)
+		verdict := ""
+		if guarded {
+			guardedCompared++
+			verdict = "ok"
+			if deltaPct > thresholdPct {
+				verdict = fmt.Sprintf("REGRESSION (> %g%%)", thresholdPct)
+				failed = true
+			}
+		}
+		fmt.Printf("%-40s %15.0f %15.0f %+8.1f%% %s\n", name, ob.NsPerOp, nb.NsPerOp, deltaPct, verdict)
+	}
+	// A gate that compared nothing is a disabled gate, not a passing one:
+	// losing every guarded benchmark (rename, -bench filter drift) must be
+	// loud. Losing a subset only warns, since partial runs are a normal way
+	// to probe.
+	inNew := map[string]bool{}
+	for _, name := range names {
+		inNew[name] = true
+	}
+	for _, b := range oldSnap.Benchmarks {
+		name := normalizeBenchName(b.Name)
+		if re.MatchString(name) && !inNew[name] {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: guarded benchmark %s missing from %s\n", name, newPath)
+		}
+	}
+	if guardedCompared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matching guard filter %q was compared — the regression gate checked nothing\n", filter)
+		return 2
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: guarded benchmarks regressed beyond %g%% (filter %q)\n", thresholdPct, filter)
+		return 1
+	}
+	return 0
 }
 
 // parseBenchLine parses one result line, e.g.

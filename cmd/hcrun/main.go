@@ -7,6 +7,7 @@
 //	hcrun -exp all -quick -parallel  # pooled runner, identical output
 //	hcrun -exp all -quick -json    # machine-readable results
 //	hcrun -exp fig5a -out results  # also write PGM/CSV artifacts
+//	hcrun -exp scaling -maxranks 65536  # synthetic-trace scaling to 64k ranks
 //	hcrun -list                    # list experiment ids
 //
 // -parallel runs the experiments on a GOMAXPROCS-wide worker pool
@@ -32,6 +33,7 @@ func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id or 'all'")
 		quick    = flag.Bool("quick", false, "shrink to laptop scale")
+		maxRanks = flag.Int("maxranks", 0, "extend the scaling experiment with synthetic traces up to this rank count (doubling from 4096)")
 		ranks    = flag.Int("ranks", 0, "override application rank count")
 		ppn      = flag.Int("ppn", 0, "override processes per node")
 		iters    = flag.Int("iters", 0, "override traced iterations")
@@ -52,7 +54,7 @@ func main() {
 		return
 	}
 
-	cfg := harness.Config{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick, Timings: *timings}
+	cfg := harness.Config{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick, Timings: *timings, MaxRanks: *maxRanks}
 
 	var exps []harness.Experiment
 	if *exp == "all" {

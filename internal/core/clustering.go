@@ -191,7 +191,8 @@ func (o *HierOptions) normalize() {
 }
 
 // Hierarchical builds the paper's two-level clustering from a traced
-// communication matrix:
+// communication matrix (dense *trace.Matrix or sparse *trace.CSR — any
+// trace.Comm):
 //
 //  1. Aggregate the rank matrix into a node-based graph (so all processes
 //     of a node share a cluster and one node failure touches one cluster).
@@ -201,12 +202,12 @@ func (o *HierOptions) normalize() {
 //     SubgroupNodes (or more, never fewer) and build one L2 encoding group
 //     per local process index: the i-th process of every node in the
 //     sub-group.
-func Hierarchical(m *trace.Matrix, p *topology.Placement, opts HierOptions) (*Clustering, error) {
+func Hierarchical(m trace.Comm, p *topology.Placement, opts HierOptions) (*Clustering, error) {
 	opts.normalize()
-	if m.N != p.NumRanks() {
-		return nil, fmt.Errorf("core: matrix covers %d ranks, placement %d", m.N, p.NumRanks())
+	if m.Ranks() != p.NumRanks() {
+		return nil, fmt.Errorf("core: matrix covers %d ranks, placement %d", m.Ranks(), p.NumRanks())
 	}
-	nodeMatrix, err := m.NodeMatrix(p)
+	nodeGraph, err := m.NodeGraph(p)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +215,7 @@ func Hierarchical(m *trace.Matrix, p *topology.Placement, opts HierOptions) (*Cl
 	if len(used) < opts.MinNodesPerL1 {
 		return nil, fmt.Errorf("core: %d used nodes < MinNodesPerL1 %d", len(used), opts.MinNodesPerL1)
 	}
-	nodePart, err := partitionNodes(nodeMatrix.ToGraph(), used, p, opts)
+	nodePart, err := partitionNodes(nodeGraph, used, p, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -50,14 +50,14 @@ func DefaultBaseline() Baseline {
 	}
 }
 
-// Evaluate scores a clustering against a traced communication matrix, a
-// placement, and a failure mix.
-func Evaluate(c *Clustering, m *trace.Matrix, p *topology.Placement, mix reliability.Mix) (*Evaluation, error) {
+// Evaluate scores a clustering against a traced communication matrix
+// (dense or sparse), a placement, and a failure mix.
+func Evaluate(c *Clustering, m trace.Comm, p *topology.Placement, mix reliability.Mix) (*Evaluation, error) {
 	if err := c.Validate(p.NumRanks()); err != nil {
 		return nil, err
 	}
-	if m.N != p.NumRanks() {
-		return nil, fmt.Errorf("core: matrix covers %d ranks, placement %d", m.N, p.NumRanks())
+	if m.Ranks() != p.NumRanks() {
+		return nil, fmt.Errorf("core: matrix covers %d ranks, placement %d", m.Ranks(), p.NumRanks())
 	}
 	logged, err := m.LoggedFraction(c.L1)
 	if err != nil {

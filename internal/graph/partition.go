@@ -61,6 +61,7 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 	if n == 0 {
 		return []int{}, nil
 	}
+	g.ensure()
 
 	part := make([]int, n)
 	for i := range part {
@@ -74,7 +75,7 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		sa, sb := g.Strength(order[a]), g.Strength(order[b])
+		sa, sb := g.strength[order[a]], g.strength[order[b]]
 		if sa != sb {
 			return sa > sb
 		}
@@ -83,6 +84,9 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 
 	next := 0
 	sizes := []int{}
+	// fallback scans order for any unassigned vertex; assignments only grow,
+	// so a monotonic cursor keeps the total fallback cost O(n).
+	fallbackCursor := 0
 	for _, seed := range order {
 		if part[seed] != -1 {
 			continue
@@ -93,9 +97,10 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 		size := 1
 		// conn[v] = weight connecting unassigned v to the growing cluster.
 		conn := map[int]float64{}
-		for v, w := range g.adj[seed] {
-			if part[v] == -1 {
-				conn[v] += w
+		seedCols, seedWs := g.row(seed)
+		for i, c := range seedCols {
+			if part[c] == -1 {
+				conn[int(c)] += seedWs[i]
 			}
 		}
 		for size < opts.TargetSize {
@@ -110,11 +115,12 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 				// strongest remaining vertex so every cluster reaches the
 				// target (reliability requires the minimum size even for
 				// isolated vertices).
-				for _, v := range order {
-					if part[v] == -1 {
-						best = v
+				for fallbackCursor < n {
+					if part[order[fallbackCursor]] == -1 {
+						best = order[fallbackCursor]
 						break
 					}
+					fallbackCursor++
 				}
 				if best == -1 {
 					break // nothing left anywhere
@@ -123,9 +129,10 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 			part[best] = id
 			delete(conn, best)
 			size++
-			for v, w := range g.adj[best] {
-				if part[v] == -1 {
-					conn[v] += w
+			cols, ws := g.row(best)
+			for i, c := range cols {
+				if part[c] == -1 {
+					conn[int(c)] += ws[i]
 				}
 			}
 		}
@@ -166,9 +173,10 @@ func mergeSmall(g *Graph, part []int, sizes []int, opts PartitionOptions) ([]int
 			if part[v] != small {
 				continue
 			}
-			for u, w := range g.adj[v] {
-				if part[u] != small {
-					conn[part[u]] += w
+			cols, ws := g.row(v)
+			for i, c := range cols {
+				if part[c] != small {
+					conn[part[c]] += ws[i]
 				}
 			}
 		}
@@ -220,24 +228,36 @@ func activeClusters(sizes []int) []int {
 // refine performs boundary-move passes: each vertex may move to the
 // neighboring cluster it communicates with most if the move strictly lowers
 // the cut and keeps both clusters within the size bounds.
+//
+// The per-vertex connection weights (vertex → adjacent cluster → weight) are
+// built once in O(E) and then maintained incrementally: moving v from
+// cluster a to cluster b only touches the cached entries of v's neighbors.
+// The previous implementation rebuilt every vertex's map on every sweep,
+// which dominated partitioning time on large node graphs.
 func refine(g *Graph, part []int, sizes []int, opts PartitionOptions) {
+	n := g.N()
+	conn := make([]map[int]float64, n)
+	for v := 0; v < n; v++ {
+		m := map[int]float64{}
+		cols, ws := g.row(v)
+		for i, c := range cols {
+			if int(c) != v {
+				m[part[c]] += ws[i]
+			}
+		}
+		conn[v] = m
+	}
 	for pass := 0; pass < opts.RefinePasses; pass++ {
 		moved := false
-		for v := 0; v < g.N(); v++ {
+		for v := 0; v < n; v++ {
 			from := part[v]
 			if sizes[from] <= opts.MinSize {
 				continue // removing v would break the reliability bound
 			}
-			// Weight from v to each adjacent cluster.
-			conn := map[int]float64{}
-			for u, w := range g.adj[v] {
-				if u != v {
-					conn[part[u]] += w
-				}
-			}
-			own := conn[from]
+			cm := conn[v]
+			own := cm[from]
 			bestTo, bestW := -1, own
-			for id, w := range conn {
+			for id, w := range cm {
 				if id == from {
 					continue
 				}
@@ -253,6 +273,22 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions) {
 				sizes[from]--
 				sizes[bestTo]++
 				moved = true
+				// Incremental update: every neighbor of v sees v's weight
+				// shift from cluster `from` to `bestTo`.
+				cols, ws := g.row(v)
+				for i, c := range cols {
+					u := int(c)
+					if u == v {
+						continue
+					}
+					cu := conn[u]
+					if nw := cu[from] - ws[i]; nw == 0 {
+						delete(cu, from)
+					} else {
+						cu[from] = nw
+					}
+					cu[bestTo] += ws[i]
+				}
 			}
 		}
 		if !moved {

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomIntGraph builds a connected random graph with integer weights —
+// integer so that the incremental gain cache's additions and subtractions
+// are exact and the cut-monotonicity invariant is testable without float
+// tolerance.
+func randomIntGraph(seed int64, n int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i+1 < n; i++ { // spanning path keeps it connected
+		_ = g.AddEdge(i, i+1, float64(rng.Intn(100)+1))
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = g.AddEdge(u, v, float64(rng.Intn(50)+1))
+		}
+	}
+	return g
+}
+
+// The refinement invariant: every additional refinement pass can only keep
+// or lower the cut weight, never raise it. Partition with RefinePasses = p
+// runs exactly p sweeps over the same greedy seed assignment, so sweeping
+// p+1 times must produce a cut no worse than p times.
+func TestRefineNeverIncreasesCut(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := randomIntGraph(seed, 48)
+		prev := -1.0
+		for passes := 1; passes <= 6; passes++ {
+			part, err := Partition(g, PartitionOptions{MinSize: 4, TargetSize: 4, RefinePasses: passes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut, err := g.CutWeight(part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev >= 0 && cut > prev {
+				t.Errorf("seed %d: cut rose from %g to %g at %d passes", seed, prev, cut, passes)
+			}
+			prev = cut
+		}
+	}
+}
+
+// The incremental gain cache must leave refinement decisions identical to
+// recomputing every vertex's cluster connections from scratch each sweep:
+// verify that after refinement no vertex still has a strictly better
+// cluster available (a fixed point of the recomputed gains), when passes
+// are plentiful enough to converge.
+func TestRefineReachesFixedPoint(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := randomIntGraph(seed, 40)
+		opts := PartitionOptions{MinSize: 4, TargetSize: 4, RefinePasses: 64}
+		part, err := Partition(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := PartSizes(part)
+		for v := 0; v < g.N(); v++ {
+			if sizes[part[v]] <= opts.MinSize {
+				continue // not movable
+			}
+			conn := map[int]float64{}
+			for _, u := range g.Neighbors(v) {
+				if u != v {
+					conn[part[u]] += g.Weight(v, u)
+				}
+			}
+			for id, w := range conn {
+				if id != part[v] && w > conn[part[v]] {
+					t.Errorf("seed %d: vertex %d still improvable: cluster %d weight %g > own %g",
+						seed, v, id, w, conn[part[v]])
+				}
+			}
+		}
+	}
+}
+
+// AddEdge after a query (freeze) must transparently thaw and refreeze with
+// the new edge incorporated.
+func TestAddEdgeAfterFreeze(t *testing.T) {
+	g := New(4)
+	_ = g.AddEdge(0, 1, 2)
+	if got := g.Weight(0, 1); got != 2 { // freezes
+		t.Fatalf("Weight = %g, want 2", got)
+	}
+	if err := g.AddEdge(0, 1, 3); err != nil { // thaw + restage
+		t.Fatal(err)
+	}
+	_ = g.AddEdge(2, 3, 7)
+	if got := g.Weight(0, 1); got != 5 {
+		t.Errorf("Weight(0,1) after refreeze = %g, want 5", got)
+	}
+	if got := g.Weight(2, 3); got != 7 {
+		t.Errorf("Weight(2,3) after refreeze = %g, want 7", got)
+	}
+	if got := g.TotalWeight(); got != 12 {
+		t.Errorf("TotalWeight = %g, want 12", got)
+	}
+}
+
+func TestFromCSRValidation(t *testing.T) {
+	// Valid 2-vertex graph with one edge of weight 3.
+	g, err := FromCSR(2, []int64{0, 1, 2}, []int32{1, 0}, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(0, 1) != 3 || g.Strength(0) != 3 || g.TotalWeight() != 3 {
+		t.Errorf("FromCSR graph: weight %g strength %g total %g", g.Weight(0, 1), g.Strength(0), g.TotalWeight())
+	}
+	if _, err := FromCSR(2, []int64{0, 1}, []int32{1}, []float64{1}); err == nil {
+		t.Error("accepted short rowptr")
+	}
+	if _, err := FromCSR(2, []int64{0, 1, 2}, []int32{5, 0}, []float64{1, 1}); err == nil {
+		t.Error("accepted out-of-range column")
+	}
+	if _, err := FromCSR(2, []int64{0, 2, 2}, []int32{1, 1}, []float64{1, 1}); err == nil {
+		t.Error("accepted duplicate columns")
+	}
+	if _, err := FromCSR(2, []int64{0, 2, 1}, []int32{0, 1}, []float64{1, 1}); err == nil {
+		t.Error("accepted decreasing rowptr")
+	}
+}

@@ -22,6 +22,13 @@ type Config struct {
 	Iterations int
 	// Quick shrinks the run for fast smoke tests.
 	Quick bool
+	// MaxRanks extends the scaling experiment beyond traced runs with
+	// synthetically generated stencil traces, doubling from 4096 ranks up
+	// to this bound (hcrun -maxranks). 0 disables the synthetic axis, and
+	// the scaling table is then byte-identical to previous releases. The
+	// synthetic rows exercise the sparse (CSR) pipeline end to end: no
+	// dense matrix and no simmpi run is involved at any size.
+	MaxRanks int
 	// Timings enables wall-clock measurement columns (fig3b's measured
 	// encode times). Off by default so experiment tables are deterministic
 	// and byte-comparable across runs and worker counts; turn on (hcrun

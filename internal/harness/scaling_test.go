@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"hierclust/internal/core"
+	"hierclust/internal/reliability"
+)
+
+// The synthetic axis must extend the scaling table with rows that stay
+// inside the baseline — the 64k-rank acceptance scenario at test-friendly
+// scale — and the whole pipeline must run on the sparse path (the rig here
+// never materializes a dense matrix).
+func TestScalingSyntheticAxis(t *testing.T) {
+	table, err := Scaling(Config{Quick: true, MaxRanks: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 5 { // 64, 128, 256 traced + 4096, 8192 synthetic
+		t.Fatalf("rows = %d, want 5 (%v)", len(table.Rows), table.Rows)
+	}
+	last := table.Rows[len(table.Rows)-1]
+	if last[0] != "8192" {
+		t.Fatalf("last row ranks = %s, want 8192", last[0])
+	}
+	for _, row := range table.Rows[3:] {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("synthetic row %v outside baseline", row)
+		}
+	}
+	found := false
+	for _, n := range table.Notes {
+		if strings.Contains(n, "synthetic") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("synthetic rows present but no note explains them")
+	}
+}
+
+// MaxRanks = 0 must leave the scaling table exactly as before — the
+// backwards-compatibility contract for existing figure output.
+func TestScalingDefaultUnchangedByMaxRanks(t *testing.T) {
+	base, err := Scaling(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Rows) != 3 {
+		t.Fatalf("default quick scaling rows = %d, want 3", len(base.Rows))
+	}
+	for _, n := range base.Notes {
+		if strings.Contains(n, "synthetic") {
+			t.Errorf("default scaling table mentions synthetic rows: %q", n)
+		}
+	}
+}
+
+// Rank counts that do not divide evenly must still get a machine large
+// enough for the straggler node.
+func TestSyntheticRigNonMultipleRanks(t *testing.T) {
+	m, placement, err := SyntheticRig(23000, 16) // 1438 nodes > Tsubame2's 1408
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ranks() != 23000 || placement.NumRanks() != 23000 {
+		t.Fatalf("rig covers %d/%d ranks, want 23000", m.Ranks(), placement.NumRanks())
+	}
+	if got := len(placement.UsedNodes()); got != 1438 {
+		t.Errorf("used nodes = %d, want 1438", got)
+	}
+}
+
+// The synthetic rig end to end at a 16k-rank scale: hierarchical
+// clustering plus full evaluation against the default baseline, all sparse.
+func TestSyntheticRigPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16k-rank pipeline in -short mode")
+	}
+	m, placement, err := SyntheticRig(16384, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := core.Hierarchical(m, placement, core.HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hier.Validate(16384); err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.Evaluate(hier, m, placement, reliability.DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, viol := e.Meets(core.DefaultBaseline()); !ok {
+		t.Errorf("16k-rank synthetic evaluation violates baseline: %v", viol)
+	}
+	// Logging should stay near the 2-D stencil's analytic cut share and
+	// recovery near one L1 cluster's share of the machine.
+	if e.LoggedFraction <= 0 || e.LoggedFraction > 0.2 {
+		t.Errorf("logged fraction %g outside (0, 0.2]", e.LoggedFraction)
+	}
+	if e.RecoveryFraction <= 0 || e.RecoveryFraction > 0.01 {
+		t.Errorf("recovery fraction %g outside (0, 0.01]", e.RecoveryFraction)
+	}
+}

@@ -22,13 +22,26 @@
 // bounded by a per-group hypergeometric union bound (tight for rare events)
 // for the tail, falling back to seeded Monte Carlo when the union bound is
 // too loose to be meaningful.
+//
+// The hot paths are engineered for large machines: groups are flattened
+// once per CatastropheProb call into sparse (node, count) spans — O(members)
+// memory instead of the dense group×node rows that made 100k-node models
+// impossible — single-node-fatal groups collapse into a per-node critical
+// bitmap, per-group node bitsets answer "how many members failed" with
+// masked popcounts, and both exact enumeration and Monte Carlo sampling
+// shard across a worker pool in fixed chunks whose integer hit counts sum
+// identically in any order, so parallel results are bit-identical to serial.
 package reliability
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"hierclust/internal/topology"
 )
@@ -145,9 +158,12 @@ type Model struct {
 	// switching to bounds/sampling; 0 means 100,000.
 	ExactLimit int
 	// MonteCarloSamples is used when neither enumeration nor the union
-	// bound is adequate; 0 means 200,000. Sampling is seeded and
-	// deterministic.
+	// bound is adequate; 0 means 200,000. Sampling is seeded, sharded in
+	// fixed deterministic chunks, and bit-identical at any worker count.
 	MonteCarloSamples int
+	// Workers bounds the worker pool for exact enumeration and Monte
+	// Carlo sharding; 0 means GOMAXPROCS. Results do not depend on it.
+	Workers int
 }
 
 // CatastropheProb returns P(catastrophic | a failure occurs) for the groups.
@@ -166,6 +182,10 @@ func (mdl *Model) CatastropheProb(groups []Group) (float64, error) {
 	if samples == 0 {
 		samples = 200_000
 	}
+	workers := mdl.Workers
+	// Flatten once per call: every failure-count branch (and the aligned-
+	// pair correction) shares the same sparse group representation.
+	fg := flatten(groups, mdl.Nodes)
 	var total float64
 	for i, pf := range mdl.Mix.NodeLoss {
 		f := i + 1
@@ -175,19 +195,22 @@ func (mdl *Model) CatastropheProb(groups []Group) (float64, error) {
 		var pcat float64
 		switch {
 		case combinations(mdl.Nodes, f) <= float64(exactLimit):
-			pcat = exactConditional(groups, mdl.Nodes, f)
+			pcat = exactConditional(fg, mdl.Nodes, f, workers)
+		case fg.dpOK:
+			// Disjoint uniform spans: exact closed form, no sampling.
+			pcat = fg.disjointConditional(mdl.Nodes, f)
 		default:
-			ub := unionBoundConditional(groups, mdl.Nodes, f)
+			ub := unionBoundConditional(groups, mdl.Nodes, f, workers)
 			if ub <= 0.1 {
 				pcat = ub
 			} else {
-				pcat = monteCarloConditional(groups, mdl.Nodes, f, samples, int64(f)*7919)
+				pcat = monteCarloConditional(fg, mdl.Nodes, f, samples, int64(f)*7919, workers)
 			}
 		}
 		if f == 2 && mdl.Mix.PairCorrelation > 0 {
 			// A share of double failures hits a power-supply pair rather
 			// than two uniform nodes.
-			aligned := alignedPairConditional(groups, mdl.Nodes)
+			aligned := alignedPairConditional(fg, mdl.Nodes)
 			pcat = mdl.Mix.PairCorrelation*aligned + (1-mdl.Mix.PairCorrelation)*pcat
 		}
 		total += pf * pcat
@@ -197,13 +220,15 @@ func (mdl *Model) CatastropheProb(groups []Group) (float64, error) {
 
 // alignedPairConditional returns P(some group destroyed | a uniformly random
 // power-supply pair (2i, 2i+1) fails).
-func alignedPairConditional(groups []Group, n int) float64 {
-	fg := flatten(groups, n)
+func alignedPairConditional(fg *flatGroups, n int) float64 {
 	pairs := 0
 	hits := 0
+	bits := fg.newScratch()
+	failed := make([]int, 2)
 	for base := 0; base+1 < n; base += 2 {
 		pairs++
-		if fg.destroys([]int{base, base + 1}) {
+		failed[0], failed[1] = base, base+1
+		if fg.destroys(failed, bits) {
 			hits++
 		}
 	}
@@ -213,88 +238,386 @@ func alignedPairConditional(groups []Group, n int) float64 {
 	return float64(hits) / float64(pairs)
 }
 
-// flatGroups is a cache-friendly representation for hot enumeration loops:
-// members[g][node] = member count, plus per-node lists of affected groups.
+// flatGroups is the cache-friendly representation behind every hot
+// enumeration and sampling loop. Instead of a dense [group][node] member
+// table — O(groups·nodes) memory, the scaling wall of the old layout — each
+// group keeps its sparse (node, count) span plus a bitset over its span
+// words, and the failure set under test is a node bitset:
+//
+//   - critical[node] is set when some group loses more members than its
+//     tolerance from that node alone, so any failure containing such a
+//     node is catastrophic without touching a single group.
+//   - byNode[node] lists the groups that need that node plus at least one
+//     more failed node to die; membership loss is counted by testing the
+//     group's span against the failed bitset (masked popcounts when all
+//     span counts are equal, per-node count sums otherwise).
 type flatGroups struct {
-	members   [][]int32 // [group][node]
-	tolerance []int32
-	byNode    [][]int32 // byNode[node] = groups with members there
+	n          int
+	spanNodes  [][]int32 // sorted node ids hosting members, per group
+	spanCounts [][]int32 // member counts parallel to spanNodes
+	tolerance  []int32
+	uniform    []int32   // >0: every span count equals this value
+	maskWords  [][]int32 // word indices of the group's span bitset
+	maskBits   [][]uint64
+	critical   []bool    // node alone destroys some group
+	byNode     [][]int32 // groups destroyable only with >=2 failed nodes
+
+	// Disjoint-span reduction. Erasure-code layouts in practice (FTI's and
+	// every strategy in this repository) place groups on node spans that
+	// are pairwise disjoint or exactly identical, with the same member
+	// count on every span node. Destruction then depends only on *how
+	// many* nodes of each span fail, so the conditional catastrophe
+	// probability has an exact product-form count (disjointConditional)
+	// and the Monte Carlo fallback is never needed. dpOK reports whether
+	// the reduction applies; dpSpans holds one (size, threshold) constraint
+	// per distinct span, threshold = failed span nodes that destroy it.
+	dpOK    bool
+	dpSpans []dpSpan
+}
+
+// dpSpan is one disjoint-span constraint: a span of `size` nodes whose
+// groups are destroyed once `thresh` of them fail.
+type dpSpan struct {
+	size   int
+	thresh int32
 }
 
 func flatten(groups []Group, n int) *flatGroups {
 	fg := &flatGroups{
-		members:   make([][]int32, len(groups)),
-		tolerance: make([]int32, len(groups)),
-		byNode:    make([][]int32, n),
+		n:          n,
+		spanNodes:  make([][]int32, len(groups)),
+		spanCounts: make([][]int32, len(groups)),
+		tolerance:  make([]int32, len(groups)),
+		uniform:    make([]int32, len(groups)),
+		maskWords:  make([][]int32, len(groups)),
+		maskBits:   make([][]uint64, len(groups)),
+		critical:   make([]bool, n),
+		byNode:     make([][]int32, n),
+		dpOK:       true,
+	}
+	owner := make([]int32, n) // node -> dpSpan index, -1 when unclaimed
+	for i := range owner {
+		owner[i] = -1
 	}
 	for gi := range groups {
-		row := make([]int32, n)
-		for node, c := range groups[gi].MembersOn {
+		tol := int32(groups[gi].Tolerance)
+		fg.tolerance[gi] = tol
+		nodes := make([]int32, 0, len(groups[gi].MembersOn))
+		for node := range groups[gi].MembersOn {
 			if int(node) >= 0 && int(node) < n {
-				row[node] = int32(c)
+				nodes = append(nodes, int32(node))
+			}
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		counts := make([]int32, len(nodes))
+		var worst int64
+		uniform := int32(-1)
+		for i, node := range nodes {
+			c := int32(groups[gi].MembersOn[topology.NodeID(node)])
+			counts[i] = c
+			worst += int64(c)
+			if uniform == -1 {
+				uniform = c
+			} else if uniform != c {
+				uniform = 0
+			}
+		}
+		fg.spanNodes[gi] = nodes
+		fg.spanCounts[gi] = counts
+		if uniform > 0 {
+			fg.uniform[gi] = uniform
+			var words []int32
+			var masks []uint64
+			for _, node := range nodes { // nodes sorted, so words ascend
+				w := node >> 6
+				if len(words) == 0 || words[len(words)-1] != w {
+					words = append(words, w)
+					masks = append(masks, 0)
+				}
+				masks[len(masks)-1] |= 1 << (uint(node) & 63)
+			}
+			fg.maskWords[gi] = words
+			fg.maskBits[gi] = masks
+		}
+		if worst <= int64(tol) {
+			continue // no failure of any size can destroy this group
+		}
+		fg.addDPSpan(nodes, uniform, tol, owner)
+		for i, node := range nodes {
+			if counts[i] > tol {
+				fg.critical[node] = true
+			} else {
 				fg.byNode[node] = append(fg.byNode[node], int32(gi))
 			}
 		}
-		fg.members[gi] = row
-		fg.tolerance[gi] = int32(groups[gi].Tolerance)
 	}
 	return fg
 }
 
+// addDPSpan folds one destroyable group into the disjoint-span reduction,
+// or invalidates it when the group's span overlaps another span partially
+// or its per-node counts are not uniform.
+func (fg *flatGroups) addDPSpan(nodes []int32, uniform, tol int32, owner []int32) {
+	if !fg.dpOK {
+		return
+	}
+	if uniform <= 0 || len(nodes) == 0 {
+		fg.dpOK = false
+		return
+	}
+	// Destroyed once j·uniform > tol, i.e. j >= tol/uniform + 1 failed
+	// span nodes.
+	thresh := tol/uniform + 1
+	s := owner[nodes[0]]
+	if s == -1 {
+		for _, nd := range nodes {
+			if owner[nd] != -1 {
+				fg.dpOK = false // partial overlap with an existing span
+				return
+			}
+		}
+		idx := int32(len(fg.dpSpans))
+		for _, nd := range nodes {
+			owner[nd] = idx
+		}
+		fg.dpSpans = append(fg.dpSpans, dpSpan{size: len(nodes), thresh: thresh})
+		return
+	}
+	if fg.dpSpans[s].size != len(nodes) {
+		fg.dpOK = false
+		return
+	}
+	for _, nd := range nodes {
+		if owner[nd] != s {
+			fg.dpOK = false
+			return
+		}
+	}
+	if thresh < fg.dpSpans[s].thresh {
+		fg.dpSpans[s].thresh = thresh
+	}
+}
+
+// disjointConditional returns the exact P(some group destroyed | f uniform
+// random distinct node failures) for group sets that pass the disjoint-span
+// reduction. It counts the safe failure sets with a generating-function
+// convolution: each span of size s and threshold t contributes the
+// polynomial Σ_{j<t} C(s,j)·x^j (ways to lose j of its nodes safely), the
+// n-Σs unconstrained nodes contribute binomially at the end, and the
+// coefficient sum at degree f over C(n,f) is the survival probability. Runs
+// in O(spans·f·min(span,f)) — microseconds where enumeration needs hours
+// and Monte Carlo needs megasamples.
+func (fg *flatGroups) disjointConditional(n, f int) float64 {
+	poly := make([]float64, f+1)
+	next := make([]float64, f+1)
+	poly[0] = 1
+	constrained := 0
+	for _, sp := range fg.dpSpans {
+		constrained += sp.size
+		maxJ := int(sp.thresh) - 1
+		if maxJ > sp.size {
+			maxJ = sp.size
+		}
+		if maxJ > f {
+			maxJ = f
+		}
+		for d := range next {
+			next[d] = 0
+		}
+		for j := 0; j <= maxJ; j++ {
+			ways := combinations(sp.size, j)
+			for d := j; d <= f; d++ {
+				next[d] += poly[d-j] * ways
+			}
+		}
+		poly, next = next, poly
+	}
+	free := n - constrained
+	var safe float64
+	for d := 0; d <= f; d++ {
+		safe += poly[d] * combinations(free, f-d)
+	}
+	total := combinations(n, f)
+	if total == 0 {
+		return 0
+	}
+	p := 1 - safe/total
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// newScratch returns a zeroed failed-node bitset sized for the machine.
+func (fg *flatGroups) newScratch() []uint64 {
+	return make([]uint64, (fg.n+63)/64)
+}
+
+// lost returns the members the group loses given the failed-node bitset.
+func (fg *flatGroups) lost(gi int32, failedBits []uint64) int32 {
+	if u := fg.uniform[gi]; u > 0 {
+		var pc int32
+		words, masks := fg.maskWords[gi], fg.maskBits[gi]
+		for k, w := range words {
+			pc += int32(bits.OnesCount64(failedBits[w] & masks[k]))
+		}
+		return pc * u
+	}
+	var lost int32
+	nodes, counts := fg.spanNodes[gi], fg.spanCounts[gi]
+	for k, node := range nodes {
+		if failedBits[node>>6]&(1<<(uint(node)&63)) != 0 {
+			lost += counts[k]
+		}
+	}
+	return lost
+}
+
 // destroys reports whether failing exactly the listed nodes destroys any
-// group, touching only groups with members on failed nodes.
-func (fg *flatGroups) destroys(failed []int) bool {
+// group. failedBits is caller-owned zeroed scratch from newScratch; it is
+// zeroed again before returning.
+func (fg *flatGroups) destroys(failed []int, failedBits []uint64) bool {
+	for _, node := range failed {
+		if fg.critical[node] {
+			return true
+		}
+	}
+	for _, node := range failed {
+		failedBits[node>>6] |= 1 << (uint(node) & 63)
+	}
+	hit := false
+scan:
 	for _, node := range failed {
 		for _, gi := range fg.byNode[node] {
-			var lost int32
-			row := fg.members[gi]
-			for _, m := range failed {
-				lost += row[m]
-			}
-			if lost > fg.tolerance[gi] {
-				return true
+			if fg.lost(gi, failedBits) > fg.tolerance[gi] {
+				hit = true
+				break scan
 			}
 		}
 	}
-	return false
+	for _, node := range failed {
+		failedBits[node>>6] = 0
+	}
+	return hit
+}
+
+// resolveWorkers returns the effective pool size parallelChunks will use:
+// workers (0 = GOMAXPROCS) capped by the chunk count, at least 1. Callers
+// size per-worker scratch state with it.
+func resolveWorkers(workers, nchunks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelChunks runs fn(chunk, worker) for every chunk in [0, nchunks) on
+// a pool of resolveWorkers(workers, nchunks) goroutines. Chunks are claimed
+// dynamically; worker is a stable id < the resolved pool size, so callers
+// can reuse per-worker scratch buffers without the results ever depending
+// on scheduling (fn must write conclusions only to per-chunk state).
+func parallelChunks(nchunks, workers int, fn func(chunk, worker int)) {
+	workers = resolveWorkers(workers, nchunks)
+	if workers <= 1 {
+		for i := 0; i < nchunks; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(nchunks) {
+					return
+				}
+				fn(int(i), worker)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // exactConditional enumerates every f-subset of nodes and returns the
-// fraction that destroys at least one group.
-func exactConditional(groups []Group, n, f int) float64 {
-	fg := flatten(groups, n)
-	idx := make([]int, f)
-	for i := range idx {
-		idx[i] = i
+// fraction that destroys at least one group. The enumeration is chunked by
+// the lexicographically first failed node: chunk v covers all subsets
+// {v, ...} with the remaining f-1 nodes drawn from v+1..n-1, so chunks are
+// disjoint, cover everything, and carry integer hit counts that sum to the
+// same total in any order — the parallel result is bit-identical to serial.
+func exactConditional(fg *flatGroups, n, f, workers int) float64 {
+	if f <= 0 || f > n {
+		return 0
 	}
-	var hits, totalSets float64
-	for {
-		totalSets++
-		if fg.destroys(idx) {
-			hits++
-		}
-		// next combination
-		i := f - 1
-		for i >= 0 && idx[i] == n-f+i {
-			i--
-		}
-		if i < 0 {
-			break
-		}
-		idx[i]++
-		for j := i + 1; j < f; j++ {
-			idx[j] = idx[j-1] + 1
-		}
+	nchunks := n - f + 1
+	hits := make([]int64, nchunks)
+	sets := make([]int64, nchunks)
+	// Per-worker scratch, reused across chunks: with one chunk per leading
+	// node, per-chunk allocation would be O(n²/64) bitset churn at f=1.
+	type exactState struct {
+		idx     []int
+		scratch []uint64
 	}
-	return hits / totalSets
+	states := make([]*exactState, resolveWorkers(workers, nchunks))
+	parallelChunks(nchunks, workers, func(v, worker int) {
+		st := states[worker]
+		if st == nil {
+			st = &exactState{idx: make([]int, f), scratch: fg.newScratch()}
+			states[worker] = st
+		}
+		idx := st.idx
+		idx[0] = v
+		for i := 1; i < f; i++ {
+			idx[i] = v + i
+		}
+		scratch := st.scratch
+		var h, s int64
+		for {
+			s++
+			if fg.destroys(idx, scratch) {
+				h++
+			}
+			// next combination with idx[0] fixed at v
+			i := f - 1
+			for i >= 1 && idx[i] == n-f+i {
+				i--
+			}
+			if i < 1 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < f; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+		hits[v], sets[v] = h, s
+	})
+	var hit, totalSets int64
+	for i := range hits {
+		hit += hits[i]
+		totalSets += sets[i]
+	}
+	return float64(hit) / float64(totalSets)
 }
 
 // unionBoundConditional sums the exact per-group destruction probability
 // over groups (an upper bound on the union, tight when events are rare).
-func unionBoundConditional(groups []Group, n, f int) float64 {
+func unionBoundConditional(groups []Group, n, f, workers int) float64 {
 	var sum float64
 	for gi := range groups {
-		sum += groupConditional(&groups[gi], n, f)
+		sum += groupConditional(&groups[gi], n, f, workers)
 	}
 	if sum > 1 {
 		sum = 1
@@ -305,7 +628,7 @@ func unionBoundConditional(groups []Group, n, f int) float64 {
 // groupConditional computes P(group destroyed | f uniform random distinct
 // node failures) exactly, enumerating subsets of the group's node span when
 // small and sampling otherwise.
-func groupConditional(g *Group, n, f int) float64 {
+func groupConditional(g *Group, n, f, workers int) float64 {
 	counts := make([]int, 0, len(g.MembersOn))
 	for _, c := range g.MembersOn {
 		counts = append(counts, c)
@@ -339,7 +662,7 @@ func groupConditional(g *Group, n, f int) float64 {
 		work += combinations(s, j)
 	}
 	if work > 2e6 {
-		return monteCarloConditional([]Group{*g}, n, f, 100_000, int64(n)*31+int64(f))
+		return monteCarloConditional(flatten([]Group{*g}, n), n, f, 100_000, int64(n)*31+int64(f), workers)
 	}
 	idx := make([]int, maxJ)
 	for j := 1; j <= maxJ; j++ {
@@ -379,29 +702,103 @@ func groupConditional(g *Group, n, f int) float64 {
 	return p
 }
 
+// mcChunkSamples is the fixed Monte Carlo shard size. The chunking is part
+// of the estimator's definition, not a tuning knob: chunk c always draws
+// the same mcChunkSamples subsets from its own RNG stream, so the summed
+// hit count — and therefore the estimate — is identical whether chunks run
+// on one goroutine or many.
+const mcChunkSamples = 8192
+
 // monteCarloConditional estimates the union probability by sampling
-// f-subsets with a fixed seed.
-func monteCarloConditional(groups []Group, n, f, samples int, seed int64) float64 {
-	fg := flatten(groups, n)
-	rng := rand.New(rand.NewSource(seed))
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
+// f-subsets, sharded into fixed deterministic chunks with independent
+// splitmix-seeded generators.
+func monteCarloConditional(fg *flatGroups, n, f, samples int, seed int64, workers int) float64 {
+	if samples <= 0 {
+		return 0
 	}
-	failed := make([]int, f)
-	hits := 0
-	for s := 0; s < samples; s++ {
-		// partial Fisher–Yates for the first f positions
-		for i := 0; i < f; i++ {
-			j := i + rng.Intn(n-i)
-			perm[i], perm[j] = perm[j], perm[i]
-			failed[i] = perm[i]
+	nchunks := (samples + mcChunkSamples - 1) / mcChunkSamples
+	hits := make([]int64, nchunks)
+	// Per-worker buffers, reused across chunks. perm must restart at the
+	// identity for every chunk — each chunk's sample stream is defined
+	// independently of which worker ran the previous chunk.
+	type mcState struct {
+		perm    []int
+		failed  []int
+		scratch []uint64
+	}
+	states := make([]*mcState, resolveWorkers(workers, nchunks))
+	parallelChunks(nchunks, workers, func(c, worker int) {
+		st := states[worker]
+		if st == nil {
+			st = &mcState{perm: make([]int, n), failed: make([]int, f), scratch: fg.newScratch()}
+			states[worker] = st
 		}
-		if fg.destroys(failed) {
-			hits++
+		count := mcChunkSamples
+		if c == nchunks-1 {
+			count = samples - c*mcChunkSamples
+		}
+		rng := newSplitMix(uint64(seed), uint64(c))
+		perm := st.perm
+		for i := range perm {
+			perm[i] = i
+		}
+		failed := st.failed
+		scratch := st.scratch
+		var h int64
+		for s := 0; s < count; s++ {
+			// partial Fisher–Yates for the first f positions
+			for i := 0; i < f; i++ {
+				j := i + rng.intn(n-i)
+				perm[i], perm[j] = perm[j], perm[i]
+				failed[i] = perm[i]
+			}
+			if fg.destroys(failed, scratch) {
+				h++
+			}
+		}
+		hits[c] = h
+	})
+	var hit int64
+	for _, h := range hits {
+		hit += h
+	}
+	return float64(hit) / float64(samples)
+}
+
+// splitMix is a splitmix64 generator — a few arithmetic ops per draw, far
+// cheaper than math/rand's source in the sampling inner loop, and trivially
+// seedable per chunk.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed, chunk uint64) *splitMix {
+	r := &splitMix{state: seed ^ (chunk+1)*0x9e3779b97f4a7c15}
+	r.next() // decorrelate nearby seeds
+	r.next()
+	return r
+}
+
+func (r *splitMix) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns an unbiased uniform int in [0, n) via Lemire's
+// multiply-shift with rejection.
+func (r *splitMix) intn(n int) int {
+	un := uint64(n)
+	v := r.next()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = r.next()
+			hi, lo = bits.Mul64(v, un)
 		}
 	}
-	return float64(hits) / float64(samples)
+	return int(hi)
 }
 
 // combinations returns C(n,k) as float64 (0 when k<0 or k>n).

@@ -119,8 +119,9 @@ func (m *Matrix) Submatrix(lo, hi int) (*Matrix, error) {
 	out := NewMatrix(hi - lo)
 	for s := lo; s < hi; s++ {
 		for d := lo; d < hi; d++ {
-			out.Bytes[s-lo][d-lo] = m.Bytes[s][d]
-			out.Msgs[s-lo][d-lo] = m.Msgs[s][d]
+			if m.Bytes[s][d] != 0 || m.Msgs[s][d] != 0 {
+				out.setCell(s-lo, d-lo, m.Bytes[s][d], m.Msgs[s][d])
+			}
 		}
 	}
 	return out, nil

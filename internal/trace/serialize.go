@@ -91,8 +91,79 @@ func ReadMatrix(r io.Reader) (*Matrix, error) {
 		if s < 0 || s >= n || d < 0 || d >= n {
 			return nil, fmt.Errorf("trace: record %d has pair (%d,%d) outside %d ranks", i, s, d, n)
 		}
-		m.Bytes[s][d] = int64(binary.LittleEndian.Uint64(rec[8:]))
-		m.Msgs[s][d] = int64(binary.LittleEndian.Uint64(rec[16:]))
+		m.setCell(s, d,
+			int64(binary.LittleEndian.Uint64(rec[8:])),
+			int64(binary.LittleEndian.Uint64(rec[16:])))
 	}
 	return m, nil
+}
+
+// WriteTo serializes the CSR matrix in the same sparse binary form as the
+// dense WriteTo; the two are interchangeable on disk.
+func (c *CSR) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	hdr := make([]byte, 4+4+4+4)
+	copy(hdr, traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(c.n))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(c.NNZ()))
+	n, err := bw.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	rec := make([]byte, 4+4+8+8)
+	for s := 0; s < c.n; s++ {
+		for i := c.rowPtr[s]; i < c.rowPtr[s+1]; i++ {
+			binary.LittleEndian.PutUint32(rec[0:], uint32(s))
+			binary.LittleEndian.PutUint32(rec[4:], uint32(c.col[i]))
+			binary.LittleEndian.PutUint64(rec[8:], uint64(c.bytes[i]))
+			binary.LittleEndian.PutUint64(rec[16:], uint64(c.msgs[i]))
+			n, err := bw.Write(rec)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadCSR deserializes a matrix written by either WriteTo into sparse form,
+// never materializing the dense n×n array — the right reader for large-
+// machine traces.
+func ReadCSR(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[8:]))
+	nnz := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if n < 0 || n > 1<<22 {
+		return nil, fmt.Errorf("trace: implausible rank count %d", n)
+	}
+	b := NewSparseBuilder(n)
+	rec := make([]byte, 24)
+	for i := 0; i < nnz; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d/%d: %w", i, nnz, err)
+		}
+		s := int(binary.LittleEndian.Uint32(rec[0:]))
+		d := int(binary.LittleEndian.Uint32(rec[4:]))
+		if s < 0 || s >= n || d < 0 || d >= n {
+			return nil, fmt.Errorf("trace: record %d has pair (%d,%d) outside %d ranks", i, s, d, n)
+		}
+		b.set(s, d,
+			int64(binary.LittleEndian.Uint64(rec[8:])),
+			int64(binary.LittleEndian.Uint64(rec[16:])))
+	}
+	return b.Freeze(), nil
 }

@@ -15,14 +15,48 @@ import (
 	"hierclust/internal/topology"
 )
 
+// Comm is the read-side view of a communication matrix shared by the dense
+// Matrix and the sparse CSR: everything the clustering pipeline needs
+// (totals, cut volumes, graph conversion) without committing callers to a
+// storage layout. Dense matrices stay the natural fit for heatmaps and
+// submatrix zooms; CSR scales the same pipeline to 100k+ ranks where an n×n
+// array would not fit in memory.
+type Comm interface {
+	// Ranks returns the number of ranks the matrix covers.
+	Ranks() int
+	// TotalBytes returns the total traffic volume.
+	TotalBytes() int64
+	// TotalMsgs returns the total message count.
+	TotalMsgs() int64
+	// CutBytes returns the bytes crossing cluster boundaries under part.
+	CutBytes(part []int) (int64, error)
+	// LoggedFraction returns CutBytes/TotalBytes (0 for an empty trace).
+	LoggedFraction(part []int) (float64, error)
+	// ToGraph converts to an undirected weighted graph (both directions
+	// summed), the partitioner's input.
+	ToGraph() *graph.Graph
+	// NodeGraph aggregates the rank matrix under a placement and returns
+	// the undirected node-based graph the L1 partitioner consumes.
+	NodeGraph(p *topology.Placement) (*graph.Graph, error)
+}
+
 // Matrix is a dense communication matrix: Bytes[s][d] counts payload bytes
 // sent from rank s to rank d, Msgs[s][d] counts messages. Matrices are
 // directed; use Symmetrize or ToGraph for undirected views.
+//
+// Mutate cells through Add (or the in-package helpers), not by writing the
+// exported slices directly: TotalBytes/TotalMsgs are maintained as running
+// totals rather than rescanning the n×n array per call.
 type Matrix struct {
 	N     int
 	Bytes [][]int64
 	Msgs  [][]int64
+
+	totalBytes int64
+	totalMsgs  int64
 }
+
+var _ Comm = (*Matrix)(nil)
 
 // NewMatrix returns an all-zero n×n matrix.
 func NewMatrix(n int) *Matrix {
@@ -34,6 +68,9 @@ func NewMatrix(n int) *Matrix {
 	return m
 }
 
+// Ranks returns the number of ranks the matrix covers.
+func (m *Matrix) Ranks() int { return m.N }
+
 // Add accumulates one message of the given size.
 func (m *Matrix) Add(src, dst int, bytes int64) error {
 	if src < 0 || src >= m.N || dst < 0 || dst >= m.N {
@@ -41,30 +78,34 @@ func (m *Matrix) Add(src, dst int, bytes int64) error {
 	}
 	m.Bytes[src][dst] += bytes
 	m.Msgs[src][dst]++
+	m.totalBytes += bytes
+	m.totalMsgs++
 	return nil
 }
 
-// TotalBytes returns the total traffic volume.
-func (m *Matrix) TotalBytes() int64 {
-	var t int64
-	for _, row := range m.Bytes {
-		for _, b := range row {
-			t += b
-		}
-	}
-	return t
+// setCell overwrites one cell, keeping the running totals consistent. All
+// in-package writers that bypass Add (deserialization, submatrix extraction,
+// node aggregation) must go through it.
+func (m *Matrix) setCell(src, dst int, bytes, msgs int64) {
+	m.totalBytes += bytes - m.Bytes[src][dst]
+	m.totalMsgs += msgs - m.Msgs[src][dst]
+	m.Bytes[src][dst] = bytes
+	m.Msgs[src][dst] = msgs
 }
 
-// TotalMsgs returns the total message count.
-func (m *Matrix) TotalMsgs() int64 {
-	var t int64
-	for _, row := range m.Msgs {
-		for _, b := range row {
-			t += b
-		}
-	}
-	return t
+// addCell accumulates into one cell, keeping the running totals consistent.
+func (m *Matrix) addCell(src, dst int, bytes, msgs int64) {
+	m.Bytes[src][dst] += bytes
+	m.Msgs[src][dst] += msgs
+	m.totalBytes += bytes
+	m.totalMsgs += msgs
 }
+
+// TotalBytes returns the total traffic volume.
+func (m *Matrix) TotalBytes() int64 { return m.totalBytes }
+
+// TotalMsgs returns the total message count.
+func (m *Matrix) TotalMsgs() int64 { return m.totalMsgs }
 
 // CutBytes returns the bytes crossing cluster boundaries under part
 // (part[r] = cluster of rank r) — exactly the volume a hybrid protocol
@@ -137,11 +178,21 @@ func (m *Matrix) NodeMatrix(p *topology.Placement) (*Matrix, error) {
 				continue
 			}
 			nd := idx[p.NodeOf(topology.Rank(d))]
-			nm.Bytes[ns][nd] += b
-			nm.Msgs[ns][nd] += m.Msgs[s][d]
+			nm.addCell(ns, nd, b, m.Msgs[s][d])
 		}
 	}
 	return nm, nil
+}
+
+// NodeGraph aggregates the rank matrix under the placement and returns the
+// undirected node graph (Comm interface; see CSR.NodeGraph for the sparse
+// equivalent).
+func (m *Matrix) NodeGraph(p *topology.Placement) (*graph.Graph, error) {
+	nm, err := m.NodeMatrix(p)
+	if err != nil {
+		return nil, err
+	}
+	return nm.ToGraph(), nil
 }
 
 // Recorder is a concurrency-safe simmpi.Tracer accumulating into a Matrix.

@@ -10,6 +10,17 @@ cd "$(dirname "$0")/.."
 
 stamp=$(date -u +%Y-%m-%d)
 out="BENCH_${stamp}.json"
+# Never clobber an earlier same-day snapshot: suffix with b, c, ... so the
+# performance trajectory keeps every point and `ls | sort | tail -1` still
+# finds the newest.
+for suffix in b c d e f g; do
+  [ -e "$out" ] || break
+  out="BENCH_${stamp}${suffix}.json"
+done
+if [ -e "$out" ]; then
+  echo "bench.sh: all snapshot names for ${stamp} are taken (through ${out}); refusing to overwrite" >&2
+  exit 1
+fi
 raw=$(mktemp)
 json=$(mktemp)
 trap 'rm -f "$raw" "$json"' EXIT
