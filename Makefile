@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke serve-smoke ci
 
 all: build test
 
@@ -36,4 +36,9 @@ bench-smoke:
 		$(GO) run ./cmd/benchjson -compare -threshold 300 -filter RSEncode $$baseline smoke.json; \
 		rc=$$?; rm -f smoke.txt smoke.json; exit $$rc
 
-ci: fmt vet build race bench-smoke
+# serve-smoke boots hcserve and round-trips the quickstart scenario
+# through POST /v1/evaluate (the CI examples-job check).
+serve-smoke:
+	sh scripts/hcserve_smoke.sh
+
+ci: fmt vet build race bench-smoke serve-smoke

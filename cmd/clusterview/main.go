@@ -1,6 +1,7 @@
 // Command clusterview builds and compares clustering strategies for a
 // traced communication matrix, printing the four-dimension evaluation and
-// an ASCII heatmap of the traffic.
+// an ASCII heatmap of the traffic. It is a client of the public
+// pkg/hierclust API.
 //
 // Usage:
 //
@@ -13,11 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"hierclust/internal/core"
-	"hierclust/internal/reliability"
-	"hierclust/internal/topology"
-	"hierclust/internal/trace"
-	"hierclust/internal/tsunami"
+	"hierclust/pkg/hierclust"
 )
 
 func main() {
@@ -36,19 +33,18 @@ func main() {
 		fail(fmt.Errorf("ranks %d not divisible by ppn %d", *ranks, *ppn))
 	}
 	nodes := *ranks / *ppn
-	mach, err := topology.Tsubame2().Subset(nodes)
+	mach, err := hierclust.Tsubame2().Subset(nodes)
 	if err != nil {
 		fail(err)
 	}
-	placement, err := topology.Block(mach, *ranks, *ppn)
+	placement, err := hierclust.Block(mach, *ranks, *ppn)
 	if err != nil {
 		fail(err)
 	}
 
-	params := tsunami.DefaultParams(*ranks)
-	params.NX, params.NY = 64, 2**ranks
-	rec := trace.NewRecorder(*ranks)
-	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
+	params := hierclust.TsunamiTraceParams(*ranks)
+	rec := hierclust.NewTraceRecorder(*ranks)
+	if _, err := hierclust.RunTracedTsunami(hierclust.TracedTsunamiOptions{
 		Params: params, Iterations: *iters, Tracer: rec,
 	}); err != nil {
 		fail(err)
@@ -60,25 +56,27 @@ func main() {
 		fmt.Println(m.ASCIIHeatmap(64))
 	}
 
-	var evals []*core.Evaluation
-	mix := reliability.DefaultMix()
-	for _, build := range []func() (*core.Clustering, error){
-		func() (*core.Clustering, error) { return core.Naive(*ranks, *naive) },
-		func() (*core.Clustering, error) { return core.SizeGuided(*ranks, *sg) },
-		func() (*core.Clustering, error) { return core.Distributed(*ranks, *dist) },
-		func() (*core.Clustering, error) { return core.Hierarchical(m, placement, core.HierOptions{}) },
+	var evals []*hierclust.Evaluation
+	mix := hierclust.DefaultMix()
+	for _, build := range []func() (*hierclust.Clustering, error){
+		func() (*hierclust.Clustering, error) { return hierclust.Naive(*ranks, *naive) },
+		func() (*hierclust.Clustering, error) { return hierclust.SizeGuided(*ranks, *sg) },
+		func() (*hierclust.Clustering, error) { return hierclust.Distributed(*ranks, *dist) },
+		func() (*hierclust.Clustering, error) {
+			return hierclust.Hierarchical(m, placement, hierclust.HierOptions{})
+		},
 	} {
 		c, err := build()
 		if err != nil {
 			fail(err)
 		}
-		e, err := core.Evaluate(c, m, placement, mix)
+		e, err := hierclust.Evaluate(c, m, placement, mix)
 		if err != nil {
 			fail(err)
 		}
 		evals = append(evals, e)
 	}
-	fmt.Print(core.CompareTable(evals, core.DefaultBaseline()))
+	fmt.Print(hierclust.CompareTable(evals, hierclust.DefaultBaseline()))
 }
 
 func fail(err error) {

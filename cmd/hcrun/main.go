@@ -1,4 +1,5 @@
-// Command hcrun regenerates the paper's tables and figures.
+// Command hcrun regenerates the paper's tables and figures. It is a thin
+// client of pkg/hierclust's experiment surface.
 //
 // Usage:
 //
@@ -22,11 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
-	"hierclust/internal/harness"
-	"hierclust/internal/trace"
-	"hierclust/internal/tsunami"
+	"hierclust/pkg/hierclust"
 )
 
 func main() {
@@ -48,34 +46,34 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range harness.All() {
+		for _, e := range hierclust.Experiments() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 
-	cfg := harness.Config{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick, Timings: *timings, MaxRanks: *maxRanks}
+	cfg := hierclust.ExperimentConfig{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick, Timings: *timings, MaxRanks: *maxRanks}
 
-	var exps []harness.Experiment
+	var exps []hierclust.Experiment
 	if *exp == "all" {
-		exps = harness.All()
+		exps = hierclust.Experiments()
 	} else {
-		e, err := harness.ByID(*exp)
+		e, err := hierclust.ExperimentByID(*exp)
 		if err != nil {
 			fail(err)
 		}
-		exps = []harness.Experiment{e}
+		exps = []hierclust.Experiment{e}
 	}
 
 	nworkers := 1
 	if *parallel || *workers > 0 { // a nonzero -workers implies -parallel
 		nworkers = *workers
 		if nworkers <= 0 {
-			nworkers = harness.DefaultWorkers()
+			nworkers = hierclust.DefaultExperimentWorkers()
 		}
 	}
 
-	emit := func(r harness.RunResult) {
+	emit := func(r hierclust.ExperimentResult) {
 		if r.Err != nil {
 			fail(fmt.Errorf("%s: %w", r.Experiment.ID, r.Err))
 		}
@@ -85,7 +83,7 @@ func main() {
 			fmt.Println(r.Table.ASCII())
 		}
 		if *out != "" {
-			if err := writeArtifacts(*out, r.Table, cfg, r.Experiment.ID); err != nil {
+			if err := hierclust.WriteExperimentArtifacts(*out, r.Table, cfg, r.Experiment.ID); err != nil {
 				fail(err)
 			}
 		}
@@ -96,13 +94,13 @@ func main() {
 	// and pooled results must print in experiment order).
 	if nworkers <= 1 && !*jsonFlag {
 		for _, e := range exps {
-			emit(harness.RunOne(cfg, e))
+			emit(hierclust.RunExperiment(cfg, e))
 		}
 		return
 	}
-	results := harness.Run(cfg, exps, nworkers)
+	results := hierclust.RunExperiments(cfg, exps, nworkers)
 	if *jsonFlag {
-		doc, err := harness.ResultsJSON(results)
+		doc, err := hierclust.ExperimentResultsJSON(results)
 		if err != nil {
 			fail(err)
 		}
@@ -115,7 +113,7 @@ func main() {
 				continue
 			}
 			if *out != "" {
-				if err := writeArtifacts(*out, r.Table, cfg, r.Experiment.ID); err != nil {
+				if err := hierclust.WriteExperimentArtifacts(*out, r.Table, cfg, r.Experiment.ID); err != nil {
 					fail(err)
 				}
 			}
@@ -128,59 +126,6 @@ func main() {
 	for _, r := range results {
 		emit(r)
 	}
-}
-
-// writeArtifacts stores the table CSV and, for the heatmap experiments, the
-// full-resolution communication matrix as PGM and CSV.
-func writeArtifacts(dir string, table *harness.Table, cfg harness.Config, id string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(dir, id+".csv"), []byte(table.CSV()), 0o644); err != nil {
-		return err
-	}
-	if id != "fig5a" && id != "fig5b" {
-		return nil
-	}
-	// Re-trace at the configured scale to dump the raw matrix.
-	cfgFull := cfg
-	if cfgFull.Ranks == 0 {
-		if cfgFull.Quick {
-			cfgFull.Ranks, cfgFull.ProcsPerNode, cfgFull.Iterations = 256, 8, 20
-		} else {
-			cfgFull.Ranks, cfgFull.ProcsPerNode, cfgFull.Iterations = 1024, 16, 100
-		}
-	}
-	nodes := cfgFull.Ranks / cfgFull.ProcsPerNode
-	rec := trace.NewRecorder(cfgFull.Ranks + nodes)
-	p := tsunami.DefaultParams(cfgFull.Ranks)
-	p.NX, p.NY = 64, 2*cfgFull.Ranks
-	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
-		Params:          p,
-		Iterations:      cfgFull.Iterations,
-		ProcsPerNode:    cfgFull.ProcsPerNode,
-		EncoderRanks:    true,
-		CheckpointEvery: cfgFull.Iterations / 4,
-		CheckpointBytes: 64 << 10,
-		Tracer:          rec,
-	}); err != nil {
-		return err
-	}
-	m := rec.Matrix()
-	if id == "fig5b" {
-		zoomN := 4 * (cfgFull.ProcsPerNode + 1)
-		if zoomN > m.N {
-			zoomN = m.N
-		}
-		var err error
-		if m, err = m.Submatrix(0, zoomN); err != nil {
-			return err
-		}
-	}
-	if err := os.WriteFile(filepath.Join(dir, id+"_matrix.csv"), []byte(m.CSV()), 0o644); err != nil {
-		return err
-	}
-	return os.WriteFile(filepath.Join(dir, id+".pgm"), []byte(m.PGM()), 0o644)
 }
 
 func fail(err error) {

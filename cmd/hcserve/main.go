@@ -1,0 +1,79 @@
+// Command hcserve serves clustering-scenario evaluations over HTTP: POST a
+// scenario JSON document, get the four-dimension evaluation of every
+// strategy in it. Hot scenarios are answered from an LRU cache.
+//
+// Usage:
+//
+//	hcserve                          # listen on :8080
+//	hcserve -addr :9090 -cache 512   # custom port and cache size
+//	hcserve -workers 4               # bound per-request parallelism
+//
+// Try it:
+//
+//	curl -s localhost:8080/v1/scenarios | head
+//	curl -s -X POST localhost:8080/v1/evaluate \
+//	     -d '{"name":"demo","machine":{"nodes":32},
+//	          "placement":{"ranks":256,"procs_per_node":8},
+//	          "trace":{"source":"synthetic"},
+//	          "strategies":[{"kind":"hierarchical"}]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hierclust/pkg/hierclust"
+	"hierclust/pkg/hierclust/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		cache   = flag.Int("cache", serve.DefaultCacheSize, "scenario-result LRU capacity (0 = default, negative disables)")
+		workers = flag.Int("workers", 0, "per-request evaluation workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	handler := serve.New(serve.Options{
+		Pipeline:  hierclust.NewPipeline(hierclust.WithWorkers(*workers)),
+		CacheSize: *cache,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("hcserve: listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case <-ctx.Done():
+		log.Printf("hcserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hcserve:", err)
+	os.Exit(1)
+}

@@ -15,12 +15,7 @@ import (
 	"os"
 	"strings"
 
-	"hierclust/internal/checkpoint"
-	"hierclust/internal/core"
-	"hierclust/internal/hybrid"
-	"hierclust/internal/topology"
-	"hierclust/internal/trace"
-	"hierclust/internal/tsunami"
+	"hierclust/pkg/hierclust"
 )
 
 func main() {
@@ -36,18 +31,18 @@ func main() {
 	)
 	flag.Parse()
 
-	params := tsunami.DefaultParams(*ranks)
+	params := hierclust.DefaultTsunamiParams(*ranks)
 	params.NX = *nx
 	params.NY = *ranks * max(2, 64/max(1, *ranks/8))
 	if params.NY%*ranks != 0 {
 		params.NY = 2 * *ranks
 	}
-	params.Source = tsunami.Source{
+	params.Source = hierclust.TsunamiSource{
 		CX: float64(params.NX) / 2, CY: float64(params.NY) / 2,
 		Amplitude: 2, Sigma: float64(params.NY) / 16,
 	}
 
-	app, err := tsunami.NewFTApp(params)
+	app, err := hierclust.NewTsunamiApp(params)
 	if err != nil {
 		fail(err)
 	}
@@ -63,42 +58,44 @@ func main() {
 			fail(fmt.Errorf("ranks %d not divisible by ppn %d", *ranks, *ppn))
 		}
 		nodes := *ranks / *ppn
-		mach, err := topology.Tsubame2().Subset(nodes)
+		mach, err := hierclust.Tsubame2().Subset(nodes)
 		if err != nil {
 			fail(err)
 		}
-		placement, err := topology.Block(mach, *ranks, *ppn)
+		placement, err := hierclust.Block(mach, *ranks, *ppn)
 		if err != nil {
 			fail(err)
 		}
-		// Hierarchical clustering from a short synthetic trace.
-		m := trace.NewMatrix(*ranks)
-		for r := 0; r+1 < *ranks; r++ {
-			_ = m.Add(r, r+1, 1000)
-			_ = m.Add(r+1, r, 1000)
+		// Hierarchical clustering from a synthetic nearest-neighbor trace
+		// (one exchange round mirrors the solver's ghost-row pattern).
+		m, err := hierclust.SyntheticTrace(*ranks, hierclust.SyntheticOptions{
+			Pattern: hierclust.Stencil1D, Iterations: 1, BytesPerMsg: 1000,
+		})
+		if err != nil {
+			fail(err)
 		}
 		minNodes := 4
 		if nodes < 4 {
 			minNodes = nodes
 		}
-		cl, err := core.Hierarchical(m, placement, core.HierOptions{
+		cl, err := hierclust.Hierarchical(m, placement, hierclust.HierOptions{
 			MinNodesPerL1: minNodes, SubgroupNodes: minNodes,
 		})
 		if err != nil {
 			fail(err)
 		}
-		runner, err := hybrid.NewRunner(hybrid.Config{
+		runner, err := hierclust.NewHybridRunner(hierclust.HybridConfig{
 			Placement:       placement,
 			Clusters:        cl.L1,
 			Groups:          cl.Groups,
 			CheckpointEvery: *ckptEvery,
-			Level:           checkpoint.L3Encoded,
+			Level:           hierclust.L3Encoded,
 		}, app)
 		if err != nil {
 			fail(err)
 		}
-		rep, err := runner.Run(*iters, map[int][]topology.NodeID{
-			*failAt: {topology.NodeID(*failNode)},
+		rep, err := runner.Run(*iters, map[int][]hierclust.NodeID{
+			*failAt: {hierclust.NodeID(*failNode)},
 		})
 		if err != nil {
 			fail(err)
@@ -111,7 +108,7 @@ func main() {
 	}
 }
 
-func report(app *tsunami.FTApp, params tsunami.Params, mass0, energy0 float64, rep *hybrid.Report) {
+func report(app *hierclust.TsunamiApp, params hierclust.TsunamiParams, mass0, energy0 float64, rep *hierclust.HybridReport) {
 	mass1, energy1 := app.TotalMass(), app.TotalEnergy()
 	fmt.Printf("grid %dx%d, %d ranks\n", params.NX, params.NY, params.Ranks)
 	fmt.Printf("mass:   %14.6g -> %14.6g (drift %.2g)\n", mass0, mass1, math.Abs(mass1-mass0)/math.Abs(mass0))
@@ -131,7 +128,7 @@ func report(app *tsunami.FTApp, params tsunami.Params, mass0, energy0 float64, r
 
 // renderField draws the global η field as ASCII, one character per cell
 // block.
-func renderField(app *tsunami.FTApp, params tsunami.Params) string {
+func renderField(app *hierclust.TsunamiApp, params hierclust.TsunamiParams) string {
 	shades := []byte(" .:-=+*#%@")
 	rows := params.NY / params.Ranks
 	var peak float64

@@ -1,7 +1,8 @@
 // clustering_explore: the cluster-size trade-off study of the paper's §III
 // (Figures 3a/3b) plus the brain-network measures that motivated the
 // hierarchical design (§IV-A): modularity and degree distribution of the
-// traced communication graph.
+// traced communication graph. Uses the lower-level building blocks of
+// pkg/hierclust directly, below the scenario API.
 //
 // Run with: go run ./examples/clustering_explore
 package main
@@ -10,30 +11,23 @@ import (
 	"fmt"
 	"log"
 
-	"hierclust/internal/core"
-	"hierclust/internal/erasure"
-	"hierclust/internal/reliability"
-	"hierclust/internal/topology"
-	"hierclust/internal/trace"
-	"hierclust/internal/tsunami"
+	"hierclust/pkg/hierclust"
 )
 
 func main() {
 	const ranks, ppn = 256, 8
-	machine, err := topology.Tsubame2().Subset(ranks / ppn)
+	machine, err := hierclust.Tsubame2().Subset(ranks / ppn)
 	if err != nil {
 		log.Fatal(err)
 	}
-	placement, err := topology.Block(machine, ranks, ppn)
+	placement, err := hierclust.Block(machine, ranks, ppn)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	params := tsunami.DefaultParams(ranks)
-	params.NX, params.NY = 64, 2*ranks
-	rec := trace.NewRecorder(ranks)
-	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
-		Params: params, Iterations: 30, Tracer: rec,
+	rec := hierclust.NewTraceRecorder(ranks)
+	if _, err := hierclust.RunTracedTsunami(hierclust.TracedTsunamiOptions{
+		Params: hierclust.TsunamiTraceParams(ranks), Iterations: 30, Tracer: rec,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +38,7 @@ func main() {
 	fmt.Println("cluster size sweep (naive consecutive-rank clusters):")
 	fmt.Printf("%8s %10s %12s %14s\n", "size", "logged %", "restart %", "encode s/GB")
 	for size := 2; size <= 64; size *= 2 {
-		c, err := core.Naive(ranks, size)
+		c, err := hierclust.Naive(ranks, size)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,22 +46,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		restart, err := core.RecoveryFraction(c, placement)
+		restart, err := hierclust.RecoveryFraction(c, placement)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%8d %10.2f %12.2f %14.1f\n",
-			size, logged*100, restart*100, erasure.ModelEncodeSeconds(size, 1e9))
+			size, logged*100, restart*100, hierclust.ModelEncodeSeconds(size, 1e9))
 	}
 
 	// The brain-network view (§IV-A): the hierarchical L1 partition should
 	// score high modularity — "functional segregation" — on the node graph.
-	nodeMatrix, err := m.NodeMatrix(placement)
+	g, err := m.NodeGraph(placement)
 	if err != nil {
 		log.Fatal(err)
 	}
-	g := nodeMatrix.ToGraph()
-	hier, err := core.Hierarchical(m, placement, core.HierOptions{})
+	hier, err := hierclust.Hierarchical(m, placement, hierclust.HierOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,14 +83,9 @@ func main() {
 	st := g.DegreeDistribution()
 	fmt.Printf("node-graph degree distribution: min %d, mean %.2f, max %d\n", st.Min, st.Mean, st.Max)
 	fmt.Println("\nhierarchical verdict:")
-	hierEval := mustEval(hier, m, placement)
-	fmt.Println(" ", hierEval)
-}
-
-func mustEval(c *core.Clustering, m *trace.Matrix, p *topology.Placement) *core.Evaluation {
-	e, err := core.Evaluate(c, m, p, reliability.DefaultMix())
+	hierEval, err := hierclust.Evaluate(hier, m, placement, hierclust.DefaultMix())
 	if err != nil {
 		log.Fatal(err)
 	}
-	return e
+	fmt.Println(" ", hierEval)
 }

@@ -14,48 +14,45 @@ import (
 	"log"
 	"math/rand"
 
-	"hierclust/internal/checkpoint"
-	"hierclust/internal/erasure"
-	"hierclust/internal/storage"
-	"hierclust/internal/topology"
+	"hierclust/pkg/hierclust"
 )
 
 func main() {
 	const nodes, ppn = 4, 4
-	machine, err := topology.Tsubame2().Subset(nodes)
+	machine, err := hierclust.Tsubame2().Subset(nodes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	placement, err := topology.Block(machine, nodes*ppn, ppn)
+	placement, err := hierclust.Block(machine, nodes*ppn, ppn)
 	if err != nil {
 		log.Fatal(err)
 	}
-	store := storage.NewCluster(machine)
+	store := hierclust.NewClusterStore(machine)
 
 	// Transversal encoding groups: the i-th rank of each node, exactly the
 	// paper's L2 construction. Each group spans all four nodes.
-	var groups [][]topology.Rank
+	var groups [][]hierclust.Rank
 	for i := 0; i < ppn; i++ {
-		var g []topology.Rank
+		var g []hierclust.Rank
 		for n := 0; n < nodes; n++ {
-			g = append(g, topology.Rank(n*ppn+i))
+			g = append(g, hierclust.Rank(n*ppn+i))
 		}
 		groups = append(groups, g)
 	}
-	mgr, err := checkpoint.New(store, placement, groups)
+	mgr, err := hierclust.NewCheckpointManager(store, placement, groups)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Checkpoint 2 MiB of state per rank at L3.
 	rng := rand.New(rand.NewSource(42))
-	data := map[topology.Rank][]byte{}
+	data := map[hierclust.Rank][]byte{}
 	for r := 0; r < nodes*ppn; r++ {
 		blob := make([]byte, 2<<20)
 		rng.Read(blob)
-		data[topology.Rank(r)] = blob
+		data[hierclust.Rank(r)] = blob
 	}
-	res, err := mgr.Checkpoint(1, checkpoint.L3Encoded, data)
+	res, err := mgr.Checkpoint(1, hierclust.L3Encoded, data)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,10 +61,10 @@ func main() {
 	fmt.Printf("  measured RS encode (slowest group): %v\n", res.EncodeWallTime)
 	fmt.Printf("  modeled encode at this checkpoint size: %v\n", res.EncodeModelTime)
 	fmt.Printf("  modeled encode at paper scale (1 GB/proc, k=4): %.1fs\n",
-		erasure.ModelEncodeSeconds(nodes, 1e9))
+		hierclust.ModelEncodeSeconds(nodes, 1e9))
 
 	// Two of four nodes die: every group loses exactly half its shards.
-	for _, n := range []topology.NodeID{1, 2} {
+	for _, n := range []hierclust.NodeID{1, 2} {
 		if err := store.FailNode(n); err != nil {
 			log.Fatal(err)
 		}
@@ -78,15 +75,15 @@ func main() {
 	fmt.Println("nodes 1 and 2 failed and were replaced (local checkpoints lost)")
 
 	// Restore everything.
-	var lost []topology.Rank
+	var lost []hierclust.Rank
 	for r := 0; r < nodes*ppn; r++ {
-		lost = append(lost, topology.Rank(r))
+		lost = append(lost, hierclust.Rank(r))
 	}
 	restored, err := mgr.Restore(1, lost)
 	if err != nil {
 		log.Fatal(err)
 	}
-	byLevel := map[checkpoint.Level]int{}
+	byLevel := map[hierclust.CheckpointLevel]int{}
 	for _, re := range restored {
 		byLevel[re.Level]++
 		if !bytes.Equal(re.Data, data[re.Rank]) {
@@ -101,7 +98,7 @@ func main() {
 	// A third node failure exceeds the half-group tolerance.
 	_ = store.FailNode(0)
 	_ = store.RepairNode(0)
-	if _, err := mgr.Restore(1, lost); checkpoint.Unrecoverable(err) {
+	if _, err := mgr.Restore(1, lost); hierclust.CheckpointUnrecoverable(err) {
 		fmt.Println("third node loss: unrecoverable, as the RS(k,k) tolerance predicts")
 	} else {
 		log.Fatalf("expected unrecoverable failure, got %v", err)

@@ -1,79 +1,59 @@
-// Quickstart: build the paper's four clustering strategies for a traced
-// application and score them on the four-dimensional optimization space
-// (message logging, recovery cost, encoding time, reliability).
+// Quickstart: evaluate the paper's four clustering strategies on a traced
+// application through the declarative scenario API — the same document you
+// could POST to hcserve's /v1/evaluate.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"hierclust/internal/core"
-	"hierclust/internal/reliability"
-	"hierclust/internal/topology"
-	"hierclust/internal/trace"
-	"hierclust/internal/tsunami"
+	"hierclust/pkg/hierclust"
 )
 
 func main() {
-	// 1. A machine: 32 nodes of the TSUBAME2 model, 8 ranks per node,
-	//    consecutive ranks placed on the same node (topology-aware).
-	const ranks, ppn = 256, 8
-	machine, err := topology.Tsubame2().Subset(ranks / ppn)
+	// 1. A scenario is data: a machine, a placement, a trace source, and
+	//    the strategies to compare. This one is shipped with the package;
+	//    build your own Scenario literal (or decode JSON) the same way.
+	scenario, err := hierclust.BuiltinScenario("quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}
-	placement, err := topology.Block(machine, ranks, ppn)
+	doc, err := hierclust.EncodeScenario(scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("scenario document (POST this to hcserve /v1/evaluate):\n%s\n", doc)
 
-	// 2. Trace a real application on the message-passing runtime: the
-	//    tsunami stencil exchanges boundary rows with ranks ±1.
-	params := tsunami.DefaultParams(ranks)
-	params.NX, params.NY = 64, 2*ranks
-	recorder := trace.NewRecorder(ranks)
-	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
-		Params:     params,
-		Iterations: 25,
-		Tracer:     recorder,
-	}); err != nil {
+	// 2. The pipeline traces the tsunami stencil on the simulated MPI
+	//    runtime, builds every strategy's clustering, and scores all four
+	//    dimensions. Results are deterministic at any worker count.
+	result, err := hierclust.NewPipeline().Run(context.Background(), scenario)
+	if err != nil {
 		log.Fatal(err)
 	}
-	matrix := recorder.Matrix()
-	fmt.Printf("traced %d messages, %d bytes\n\n", matrix.TotalMsgs(), matrix.TotalBytes())
+	fmt.Printf("traced %d messages, %d bytes across %d ranks on %d nodes\n\n",
+		result.TotalMsgs, result.TotalBytes, result.Ranks, result.Nodes)
 
-	// 3. Build the four clusterings of the paper.
-	naive, err := core.Naive(ranks, 32)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sizeGuided, err := core.SizeGuided(ranks, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	distributed, err := core.Distributed(ranks, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	hierarchical, err := core.Hierarchical(matrix, placement, core.HierOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 4. Evaluate all four on the paper's dimensions and print Table II.
-	var evals []*core.Evaluation
-	for _, c := range []*core.Clustering{naive, sizeGuided, distributed, hierarchical} {
-		e, err := core.Evaluate(c, matrix, placement, reliability.DefaultMix())
-		if err != nil {
-			log.Fatal(err)
+	// 3. Print a Table-II style comparison.
+	fmt.Printf("%-20s %9s %10s %12s %10s %s\n",
+		"clustering", "logged %", "restart %", "encode s/GB", "P(cat)", "baseline")
+	for _, ev := range result.Evaluations {
+		verdict := "ok"
+		if !ev.WithinBaseline {
+			verdict = "FAIL"
 		}
-		evals = append(evals, e)
+		fmt.Printf("%-20s %9.1f %10.2f %12.1f %10.2g %s\n",
+			ev.Strategy, ev.LoggedFraction*100, ev.RecoveryFraction*100,
+			ev.EncodeSecondsPerGB, ev.CatastropheProb, verdict)
 	}
-	fmt.Print(core.CompareTable(evals, core.DefaultBaseline()))
 
-	fmt.Println("\nhierarchical L1 clusters:", hierarchical.NumClusters(),
-		"| L2 encoding groups:", len(hierarchical.Groups),
-		"| max group size:", hierarchical.MaxGroupSize())
+	// 4. The hierarchical strategy's shape: L1 containment clusters for
+	//    the hybrid protocol, L2 encoding groups for erasure coding.
+	hier := result.Evaluations[len(result.Evaluations)-1]
+	fmt.Println("\nhierarchical L1 clusters:", hier.L1Clusters,
+		"| L2 encoding groups:", hier.Groups,
+		"| max group size:", hier.MaxGroupSize)
 }

@@ -13,12 +13,7 @@ import (
 	"fmt"
 	"log"
 
-	"hierclust/internal/checkpoint"
-	"hierclust/internal/core"
-	"hierclust/internal/hybrid"
-	"hierclust/internal/topology"
-	"hierclust/internal/trace"
-	"hierclust/internal/tsunami"
+	"hierclust/pkg/hierclust"
 )
 
 func main() {
@@ -30,27 +25,27 @@ func main() {
 		failNode   = 3
 	)
 
-	machine, err := topology.Tsubame2().Subset(ranks / ppn)
+	machine, err := hierclust.Tsubame2().Subset(ranks / ppn)
 	if err != nil {
 		log.Fatal(err)
 	}
-	placement, err := topology.Block(machine, ranks, ppn)
+	placement, err := hierclust.Block(machine, ranks, ppn)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	params := tsunami.DefaultParams(ranks)
+	params := hierclust.DefaultTsunamiParams(ranks)
 	params.NX, params.NY = 96, 2*ranks
-	params.Source = tsunami.Source{CX: 48, CY: float64(ranks), Amplitude: 2, Sigma: 10}
+	params.Source = hierclust.TsunamiSource{CX: 48, CY: float64(ranks), Amplitude: 2, Sigma: 10}
 
 	// Hierarchical clustering from a short communication trace.
-	rec := trace.NewRecorder(ranks)
-	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
+	rec := hierclust.NewTraceRecorder(ranks)
+	if _, err := hierclust.RunTracedTsunami(hierclust.TracedTsunamiOptions{
 		Params: params, Iterations: 5, Tracer: rec,
 	}); err != nil {
 		log.Fatal(err)
 	}
-	clustering, err := core.Hierarchical(rec.Matrix(), placement, core.HierOptions{})
+	clustering, err := hierclust.Hierarchical(rec.Matrix(), placement, hierclust.HierOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,22 +53,22 @@ func main() {
 		clustering.NumClusters(), len(clustering.Groups), clustering.MaxGroupSize())
 
 	// The protected run with an injected node failure.
-	app, err := tsunami.NewFTApp(params)
+	app, err := hierclust.NewTsunamiApp(params)
 	if err != nil {
 		log.Fatal(err)
 	}
-	runner, err := hybrid.NewRunner(hybrid.Config{
+	runner, err := hierclust.NewHybridRunner(hierclust.HybridConfig{
 		Placement:       placement,
 		Clusters:        clustering.L1,
 		Groups:          clustering.Groups,
 		CheckpointEvery: ckptEvery,
-		Level:           checkpoint.L3Encoded,
+		Level:           hierclust.L3Encoded,
 	}, app)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := runner.Run(iterations, map[int][]topology.NodeID{
-		failIter: {topology.NodeID(failNode)},
+	report, err := runner.Run(iterations, map[int][]hierclust.NodeID{
+		failIter: {hierclust.NodeID(failNode)},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,7 +88,7 @@ func main() {
 	}
 
 	// Verify against a failure-free reference.
-	ref, err := tsunami.NewFTApp(params)
+	ref, err := hierclust.NewTsunamiApp(params)
 	if err != nil {
 		log.Fatal(err)
 	}

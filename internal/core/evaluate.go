@@ -50,9 +50,21 @@ func DefaultBaseline() Baseline {
 	}
 }
 
+// EvalOptions tunes Evaluate's reliability-model execution without changing
+// its numbers: results are bit-identical at any worker count.
+type EvalOptions struct {
+	// Workers bounds the reliability model's worker pool (0 = GOMAXPROCS).
+	Workers int
+}
+
 // Evaluate scores a clustering against a traced communication matrix
 // (dense or sparse), a placement, and a failure mix.
 func Evaluate(c *Clustering, m trace.Comm, p *topology.Placement, mix reliability.Mix) (*Evaluation, error) {
+	return EvaluateOpts(c, m, p, mix, EvalOptions{})
+}
+
+// EvaluateOpts is Evaluate with execution options.
+func EvaluateOpts(c *Clustering, m trace.Comm, p *topology.Placement, mix reliability.Mix, opts EvalOptions) (*Evaluation, error) {
 	if err := c.Validate(p.NumRanks()); err != nil {
 		return nil, err
 	}
@@ -71,7 +83,7 @@ func Evaluate(c *Clustering, m trace.Comm, p *topology.Placement, mix reliabilit
 	for _, g := range c.Groups {
 		groups = append(groups, reliability.GroupFromRanks(p, g))
 	}
-	mdl := &reliability.Model{Nodes: len(p.UsedNodes()), Mix: mix}
+	mdl := &reliability.Model{Nodes: len(p.UsedNodes()), Mix: mix, Workers: opts.Workers}
 	pcat, err := mdl.CatastropheProb(groups)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+
+	"hierclust/internal/trace"
+	"hierclust/internal/tsunami"
+)
+
+// WriteArtifacts stores the table CSV in dir and, for the heatmap
+// experiments (fig5a/fig5b), re-traces at the configured scale to dump the
+// full-resolution communication matrix as PGM and CSV — the inputs for
+// external plotting of the paper's Figures 5a/5b.
+func WriteArtifacts(dir string, table *Table, cfg Config, id string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+".csv"), []byte(table.CSV()), 0o644); err != nil {
+		return err
+	}
+	if id != "fig5a" && id != "fig5b" {
+		return nil
+	}
+	// Re-trace at the configured scale to dump the raw matrix.
+	cfgFull := cfg
+	if cfgFull.Ranks == 0 {
+		if cfgFull.Quick {
+			cfgFull.Ranks, cfgFull.ProcsPerNode, cfgFull.Iterations = 256, 8, 20
+		} else {
+			cfgFull.Ranks, cfgFull.ProcsPerNode, cfgFull.Iterations = 1024, 16, 100
+		}
+	}
+	nodes := cfgFull.Ranks / cfgFull.ProcsPerNode
+	rec := trace.NewRecorder(cfgFull.Ranks + nodes)
+	p := tsunami.DefaultParams(cfgFull.Ranks)
+	p.NX, p.NY = 64, 2*cfgFull.Ranks
+	if _, err := tsunami.RunTraced(tsunami.TracedOptions{
+		Params:          p,
+		Iterations:      cfgFull.Iterations,
+		ProcsPerNode:    cfgFull.ProcsPerNode,
+		EncoderRanks:    true,
+		CheckpointEvery: cfgFull.Iterations / 4,
+		CheckpointBytes: 64 << 10,
+		Tracer:          rec,
+	}); err != nil {
+		return err
+	}
+	m := rec.Matrix()
+	if id == "fig5b" {
+		zoomN := 4 * (cfgFull.ProcsPerNode + 1)
+		if zoomN > m.N {
+			zoomN = m.N
+		}
+		var err error
+		if m, err = m.Submatrix(0, zoomN); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+"_matrix.csv"), []byte(m.CSV()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".pgm"), []byte(m.PGM()), 0o644)
+}

@@ -127,19 +127,10 @@ type rig struct {
 	placement *topology.Placement
 }
 
-// tsunamiParams picks a grid matching the rank count: thin slabs keep the
-// work proportional to the communication we are tracing. Full-scale runs
-// use a 256-wide sea so ghost rows dominate the trace the way the paper's
-// real domain does; quick runs shrink to 64 columns.
+// tsunamiParams picks the tracing grid; the choice lives in the tsunami
+// package (TraceParams) so the public pipeline traces identically.
 func tsunamiParams(ranks int) tsunami.Params {
-	p := tsunami.DefaultParams(ranks)
-	p.NX = 64
-	if ranks >= 512 {
-		p.NX = 256
-	}
-	p.NY = 2 * ranks
-	p.Source = tsunami.Source{CX: float64(p.NX) / 2, CY: float64(p.NY) / 2, Amplitude: 2, Sigma: float64(ranks) / 8}
-	return p
+	return tsunami.TraceParams(ranks)
 }
 
 func tracedRig(cfg Config) (*rig, error) {

@@ -13,6 +13,7 @@ type Placement struct {
 	machine *Machine
 	node    []NodeID // node[r] = node hosting rank r
 	ranks   [][]Rank // ranks[n] = ranks hosted on node n, ascending
+	used    []NodeID // nodes hosting at least one rank, ascending (cached)
 }
 
 // NewPlacement builds a placement from an explicit rank→node assignment.
@@ -36,7 +37,20 @@ func NewPlacement(m *Machine, nodeOf []NodeID) (*Placement, error) {
 	for n := range p.ranks {
 		sort.Slice(p.ranks[n], func(i, j int) bool { return p.ranks[n][i] < p.ranks[n][j] })
 	}
+	p.refreshUsed()
 	return p, nil
+}
+
+// refreshUsed recomputes the cached used-node list. Placements are immutable
+// after NewPlacement today; any future mutating method must call this so
+// UsedNodes stays O(1) per call instead of O(total nodes).
+func (p *Placement) refreshUsed() {
+	p.used = p.used[:0]
+	for n, rs := range p.ranks {
+		if len(rs) > 0 {
+			p.used = append(p.used, NodeID(n))
+		}
+	}
 }
 
 // Block places ranks in consecutive blocks of procsPerNode per node:
@@ -86,16 +100,11 @@ func (p *Placement) NodeOf(r Rank) NodeID { return p.node[r] }
 // must not modify the returned slice.
 func (p *Placement) RanksOn(n NodeID) []Rank { return p.ranks[n] }
 
-// UsedNodes returns the nodes that host at least one rank, ascending.
-func (p *Placement) UsedNodes() []NodeID {
-	var used []NodeID
-	for n, rs := range p.ranks {
-		if len(rs) > 0 {
-			used = append(used, NodeID(n))
-		}
-	}
-	return used
-}
+// UsedNodes returns the nodes that host at least one rank, ascending. The
+// list is computed once at construction — reliability-model setup calls this
+// per evaluation, and a scan of all nodes per call is O(total nodes) at
+// exascale node counts. The caller must not modify the returned slice.
+func (p *Placement) UsedNodes() []NodeID { return p.used }
 
 // MaxProcsPerNode returns the largest number of ranks on any node.
 func (p *Placement) MaxProcsPerNode() int {

@@ -263,3 +263,27 @@ func TestPlacementPartitionProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestUsedNodesCached pins the construction-time cache: repeated calls
+// return the same ascending list (and the same backing array — no per-call
+// scan of every node).
+func TestUsedNodesCached(t *testing.T) {
+	m := &Machine{Name: "t", Nodes: 1024}
+	p, err := RoundRobin(m, 48, 16) // nodes 0..15 used, 16..1023 empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := p.UsedNodes()
+	if len(used) != 16 {
+		t.Fatalf("UsedNodes = %v, want 16 nodes", used)
+	}
+	for i, n := range used {
+		if n != NodeID(i) {
+			t.Fatalf("UsedNodes[%d] = %d, want %d (ascending)", i, n, i)
+		}
+	}
+	again := p.UsedNodes()
+	if &again[0] != &used[0] {
+		t.Error("UsedNodes rebuilt its slice; expected the construction-time cache")
+	}
+}

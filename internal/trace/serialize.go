@@ -20,6 +20,55 @@ const (
 	traceVersion = 1
 )
 
+// DefaultMaxRanks is the rank-count plausibility bound applied by ReadMatrix
+// and ReadCSR when the caller passes no ReadOptions. A corrupt or hostile
+// header claiming more ranks than this is rejected before any allocation.
+const DefaultMaxRanks = 1 << 22
+
+// ReadOptions tunes trace deserialization. The zero value reproduces the
+// historical behavior (DefaultMaxRanks).
+type ReadOptions struct {
+	// MaxRanks bounds the rank count a trace header may claim; 0 means
+	// DefaultMaxRanks. Raise it to read traces from machines beyond 2^22
+	// ranks; the reader allocates O(MaxRanks) for CSR and O(MaxRanks²)
+	// for dense matrices, so the bound is the caller's allocation budget.
+	MaxRanks int
+}
+
+func (o *ReadOptions) maxRanks() int {
+	if o == nil || o.MaxRanks <= 0 {
+		return DefaultMaxRanks
+	}
+	return o.MaxRanks
+}
+
+// RankCountError reports a trace header whose rank count falls outside the
+// configured plausibility bound. Callers distinguishing "corrupt file" from
+// "bound too low for this machine" can errors.As for it and inspect Max.
+type RankCountError struct {
+	// Ranks is the rank count the header claimed.
+	Ranks int
+	// Max is the bound in effect (ReadOptions.MaxRanks or DefaultMaxRanks).
+	Max int
+}
+
+func (e *RankCountError) Error() string {
+	return fmt.Sprintf("trace: header claims %d ranks, outside plausibility bound %d (raise ReadOptions.MaxRanks for larger machines)", e.Ranks, e.Max)
+}
+
+// checkRanks applies the plausibility bound from opts (first entry wins;
+// both readers accept at most one).
+func checkRanks(n int, opts []ReadOptions) error {
+	max := DefaultMaxRanks
+	if len(opts) > 0 {
+		max = opts[0].maxRanks()
+	}
+	if n < 0 || n > max {
+		return &RankCountError{Ranks: n, Max: max}
+	}
+	return nil
+}
+
 // WriteTo serializes the matrix in sparse binary form.
 func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
@@ -62,8 +111,9 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// ReadMatrix deserializes a matrix written by WriteTo.
-func ReadMatrix(r io.Reader) (*Matrix, error) {
+// ReadMatrix deserializes a matrix written by WriteTo. An optional
+// ReadOptions raises the rank-count plausibility bound for large machines.
+func ReadMatrix(r io.Reader, opts ...ReadOptions) (*Matrix, error) {
 	br := bufio.NewReader(r)
 	hdr := make([]byte, 16)
 	if _, err := io.ReadFull(br, hdr); err != nil {
@@ -77,8 +127,8 @@ func ReadMatrix(r io.Reader) (*Matrix, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[8:]))
 	nnz := int(binary.LittleEndian.Uint32(hdr[12:]))
-	if n < 0 || n > 1<<22 {
-		return nil, fmt.Errorf("trace: implausible rank count %d", n)
+	if err := checkRanks(n, opts); err != nil {
+		return nil, err
 	}
 	m := NewMatrix(n)
 	rec := make([]byte, 24)
@@ -132,8 +182,8 @@ func (c *CSR) WriteTo(w io.Writer) (int64, error) {
 
 // ReadCSR deserializes a matrix written by either WriteTo into sparse form,
 // never materializing the dense n×n array — the right reader for large-
-// machine traces.
-func ReadCSR(r io.Reader) (*CSR, error) {
+// machine traces. An optional ReadOptions raises the rank-count bound.
+func ReadCSR(r io.Reader, opts ...ReadOptions) (*CSR, error) {
 	br := bufio.NewReader(r)
 	hdr := make([]byte, 16)
 	if _, err := io.ReadFull(br, hdr); err != nil {
@@ -147,8 +197,8 @@ func ReadCSR(r io.Reader) (*CSR, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[8:]))
 	nnz := int(binary.LittleEndian.Uint32(hdr[12:]))
-	if n < 0 || n > 1<<22 {
-		return nil, fmt.Errorf("trace: implausible rank count %d", n)
+	if err := checkRanks(n, opts); err != nil {
+		return nil, err
 	}
 	b := NewSparseBuilder(n)
 	rec := make([]byte, 24)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -118,5 +119,58 @@ func TestSerializeRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestReadOptionsMaxRanks covers the configurable plausibility bound: the
+// default rejects headers past 2^22 ranks with a typed error, and a raised
+// bound admits them.
+func TestReadOptionsMaxRanks(t *testing.T) {
+	// An empty trace claiming n ranks: header only, nnz = 0.
+	header := func(n uint32) []byte {
+		b := []byte("HCTR\x01\x00\x00\x00")
+		b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		return append(b, 0, 0, 0, 0)
+	}
+
+	over := uint32(DefaultMaxRanks + 1)
+	for name, read := range map[string]func([]byte, ...ReadOptions) error{
+		"ReadMatrix": func(b []byte, opts ...ReadOptions) error {
+			_, err := ReadMatrix(bytes.NewReader(b), opts...)
+			return err
+		},
+		"ReadCSR": func(b []byte, opts ...ReadOptions) error {
+			_, err := ReadCSR(bytes.NewReader(b), opts...)
+			return err
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			err := read(header(over))
+			if err == nil {
+				t.Fatal("default bound admitted 2^22+1 ranks")
+			}
+			var rce *RankCountError
+			if !errors.As(err, &rce) {
+				t.Fatalf("error is %T, want *RankCountError: %v", err, err)
+			}
+			if rce.Ranks != int(over) || rce.Max != DefaultMaxRanks {
+				t.Fatalf("RankCountError = %+v, want Ranks=%d Max=%d", rce, over, DefaultMaxRanks)
+			}
+			// The same bound, explicitly configured lower.
+			err = read(header(1024), ReadOptions{MaxRanks: 512})
+			if !errors.As(err, &rce) || rce.Max != 512 {
+				t.Fatalf("custom bound not applied: %v", err)
+			}
+		})
+	}
+
+	// ReadCSR allocates O(n), so a raised bound is actually usable at
+	// 2^22+1 ranks (dense ReadMatrix would need ~140 TB for this header).
+	got, err := ReadCSR(bytes.NewReader(header(over)), ReadOptions{MaxRanks: 1 << 23})
+	if err != nil {
+		t.Fatalf("raised bound still rejected: %v", err)
+	}
+	if got.Ranks() != int(over) {
+		t.Fatalf("Ranks = %d, want %d", got.Ranks(), over)
 	}
 }

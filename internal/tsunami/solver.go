@@ -76,6 +76,23 @@ func DefaultParams(ranks int) Params {
 	return p
 }
 
+// TraceParams picks the tracing grid used by the paper-reproduction rigs:
+// thin slabs keep the solver work proportional to the communication being
+// traced. Full-scale runs (≥512 ranks) use a 256-wide sea so ghost rows
+// dominate the trace the way the paper's real domain does; smaller runs
+// shrink to 64 columns. Both the experiment harness and the public pipeline
+// trace through this, so their matrices are identical at equal scales.
+func TraceParams(ranks int) Params {
+	p := DefaultParams(ranks)
+	p.NX = 64
+	if ranks >= 512 {
+		p.NX = 256
+	}
+	p.NY = 2 * ranks
+	p.Source = Source{CX: float64(p.NX) / 2, CY: float64(p.NY) / 2, Amplitude: 2, Sigma: float64(ranks) / 8}
+	return p
+}
+
 // Validate reports configuration errors.
 func (p *Params) Validate() error {
 	if p.NX < 3 || p.NY < 3 {

@@ -1,0 +1,46 @@
+package hierclust_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hierclust/pkg/hierclust"
+)
+
+// ExamplePipeline evaluates the paper's four strategies on a generated
+// 2-D stencil trace — no traced application run needed — and reports which
+// ones satisfy the paper's baseline requirements. The same scenario value,
+// encoded with EncodeScenario, can be POSTed to hcserve's /v1/evaluate.
+func ExamplePipeline() {
+	scenario := &hierclust.Scenario{
+		Name:      "example",
+		Machine:   hierclust.MachineSpec{Model: "tsubame2", Nodes: 64},
+		Placement: hierclust.PlacementSpec{Policy: "block", Ranks: 1024, ProcsPerNode: 16},
+		Trace:     hierclust.TraceSpec{Source: "synthetic", Pattern: "stencil2d"},
+		Strategies: []hierclust.StrategySpec{
+			{Kind: "naive", Size: 32},
+			{Kind: "size-guided", Size: 8},
+			{Kind: "distributed", Size: 16},
+			{Kind: "hierarchical"},
+		},
+	}
+
+	pipeline := hierclust.NewPipeline(hierclust.WithWorkers(4))
+	result, err := pipeline.Run(context.Background(), scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range result.Evaluations {
+		verdict := "within baseline"
+		if !ev.WithinBaseline {
+			verdict = "FAILS baseline"
+		}
+		fmt.Printf("%s: %s\n", ev.Strategy, verdict)
+	}
+	// Output:
+	// naive-32: FAILS baseline
+	// size-guided-8: FAILS baseline
+	// distributed-16: FAILS baseline
+	// hierarchical: within baseline
+}

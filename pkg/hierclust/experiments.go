@@ -1,0 +1,54 @@
+package hierclust
+
+import (
+	"hierclust/internal/harness"
+)
+
+// The experiment layer re-exports the paper-reproduction harness: every
+// table and figure of the paper's evaluation section as a named experiment.
+// cmd/hcrun is a thin client of this surface; library users who want the
+// scenario abstraction instead should use Pipeline with BuiltinScenario.
+type (
+	// ExperimentConfig scales the experiments (the zero value is the
+	// paper's full configuration; Quick shrinks to laptop scale).
+	ExperimentConfig = harness.Config
+	// Experiment pairs an identifier with its table generator.
+	Experiment = harness.Experiment
+	// ExperimentTable is a rendered experiment result (ASCII and CSV).
+	ExperimentTable = harness.Table
+	// ExperimentResult is one experiment's outcome under the pooled
+	// runner.
+	ExperimentResult = harness.RunResult
+)
+
+// Experiments returns every experiment in paper order: table1, fig3a–fig5c,
+// table2, plus the protocol, ablation, and scaling extensions.
+func Experiments() []Experiment { return harness.All() }
+
+// ExperimentByID returns the experiment with the given id.
+func ExperimentByID(id string) (Experiment, error) { return harness.ByID(id) }
+
+// RunExperiment executes and times a single experiment.
+func RunExperiment(cfg ExperimentConfig, e Experiment) ExperimentResult {
+	return harness.RunOne(cfg, e)
+}
+
+// RunExperiments executes experiments on a pool of workers and returns
+// results in input order, byte-identical at any worker count.
+func RunExperiments(cfg ExperimentConfig, exps []Experiment, workers int) []ExperimentResult {
+	return harness.Run(cfg, exps, workers)
+}
+
+// DefaultExperimentWorkers is the pool size used when a caller passes 0.
+func DefaultExperimentWorkers() int { return harness.DefaultWorkers() }
+
+// ExperimentResultsJSON renders results as an indented JSON array.
+func ExperimentResultsJSON(results []ExperimentResult) ([]byte, error) {
+	return harness.ResultsJSON(results)
+}
+
+// WriteExperimentArtifacts stores an experiment's CSV (and, for the heatmap
+// experiments, the full-resolution matrix as PGM/CSV) under dir.
+func WriteExperimentArtifacts(dir string, table *ExperimentTable, cfg ExperimentConfig, id string) error {
+	return harness.WriteArtifacts(dir, table, cfg, id)
+}

@@ -1,0 +1,103 @@
+package hierclust
+
+import (
+	"hierclust/internal/checkpoint"
+	"hierclust/internal/erasure"
+	"hierclust/internal/hybrid"
+	"hierclust/internal/storage"
+	"hierclust/internal/tsunami"
+)
+
+// The execution layer: the substrates a clustering decision drives at run
+// time — multi-level checkpointing, the hybrid rollback-recovery protocol,
+// and the traced stencil application used throughout the paper.
+type (
+	// CheckpointLevel identifies a protection level (L1 local SSD …
+	// L4 parallel file system).
+	CheckpointLevel = checkpoint.Level
+	// CheckpointManager orchestrates multi-level checkpoints.
+	CheckpointManager = checkpoint.Manager
+	// CheckpointResult reports the simulated and measured cost of one
+	// checkpoint operation.
+	CheckpointResult = checkpoint.Result
+	// RestoredCheckpoint is one rank's recovered state and its source
+	// level.
+	RestoredCheckpoint = checkpoint.Restored
+	// ClusterStore simulates the machine's storage hierarchy (node-local
+	// SSDs plus the parallel file system) with failure injection.
+	ClusterStore = storage.Cluster
+	// HybridApp is the send-deterministic iterative application contract
+	// the hybrid protocol drives.
+	HybridApp = hybrid.App
+	// HybridMessage is one application message within an iteration.
+	HybridMessage = hybrid.Message
+	// HybridConfig assembles a protocol instance from a placement and a
+	// clustering decision.
+	HybridConfig = hybrid.Config
+	// HybridRunner executes a HybridApp under the hybrid protocol.
+	HybridRunner = hybrid.Runner
+	// HybridReport summarizes a protected run.
+	HybridReport = hybrid.Report
+	// FailureEvent describes one handled failure.
+	FailureEvent = hybrid.FailureEvent
+	// GroupEncoder erasure-codes one encoding group's shards.
+	GroupEncoder = erasure.GroupEncoder
+	// TsunamiParams configures the shallow-water stencil application.
+	TsunamiParams = tsunami.Params
+	// TsunamiSource is the initial Gaussian displacement.
+	TsunamiSource = tsunami.Source
+	// TsunamiApp is the stencil application wired for the hybrid
+	// protocol (snapshot/restore per rank).
+	TsunamiApp = tsunami.FTApp
+	// TracedTsunamiOptions configures a traced run on the simulated MPI
+	// runtime.
+	TracedTsunamiOptions = tsunami.TracedOptions
+)
+
+// Checkpoint protection levels, cheapest first.
+const (
+	L1Local   = checkpoint.L1Local
+	L2Partner = checkpoint.L2Partner
+	L3Encoded = checkpoint.L3Encoded
+	L3XOR     = checkpoint.L3XOR
+	L4PFS     = checkpoint.L4PFS
+)
+
+// NewClusterStore builds the simulated storage hierarchy for a machine.
+func NewClusterStore(m *Machine) *ClusterStore { return storage.NewCluster(m) }
+
+// NewCheckpointManager creates a multi-level checkpoint manager over the
+// given encoding groups (the L2 clusters of a hierarchical clustering).
+func NewCheckpointManager(store *ClusterStore, p *Placement, groups [][]Rank) (*CheckpointManager, error) {
+	return checkpoint.New(store, p, groups)
+}
+
+// CheckpointUnrecoverable reports whether err means no surviving level
+// could restore a rank — the catastrophic failure of the reliability
+// dimension.
+func CheckpointUnrecoverable(err error) bool { return checkpoint.Unrecoverable(err) }
+
+// NewHybridRunner validates the configuration and builds a protocol runner.
+func NewHybridRunner(cfg HybridConfig, app HybridApp) (*HybridRunner, error) {
+	return hybrid.NewRunner(cfg, app)
+}
+
+// NewGroupEncoder builds a Reed–Solomon RS(k,m) group codec.
+func NewGroupEncoder(k, m, chunkSize, workers int) (*GroupEncoder, error) {
+	return erasure.NewGroupEncoder(k, m, chunkSize, workers)
+}
+
+// DefaultTsunamiParams returns a stable mid-size simulation configuration.
+func DefaultTsunamiParams(ranks int) TsunamiParams { return tsunami.DefaultParams(ranks) }
+
+// TsunamiTraceParams returns the tracing grid the reproduction rigs use —
+// thin slabs whose ghost exchange dominates the trace like the paper's
+// real domain.
+func TsunamiTraceParams(ranks int) TsunamiParams { return tsunami.TraceParams(ranks) }
+
+// NewTsunamiApp builds the stencil application for a protected run.
+func NewTsunamiApp(p TsunamiParams) (*TsunamiApp, error) { return tsunami.NewFTApp(p) }
+
+// RunTracedTsunami executes the stencil on the simulated MPI runtime,
+// feeding every message through the options' Tracer.
+func RunTracedTsunami(o TracedTsunamiOptions) ([]float64, error) { return tsunami.RunTraced(o) }

@@ -1,0 +1,34 @@
+// Package hierclust is the public, composable API of the hierarchical-
+// clustering fault-tolerance study (Bautista-Gomez et al., CLUSTER 2012):
+// clustering strategies for coupling fast erasure-coded checkpointing with
+// failure containment, evaluated on the paper's four-dimensional
+// optimization space — message-logging overhead, recovery cost, encoding
+// time, and reliability.
+//
+// The package exposes three composable layers:
+//
+//   - Strategy: a clustering strategy behind a named registry. The paper's
+//     four strategies (naive, size-guided, distributed, hierarchical) are
+//     built in; third-party strategies register with RegisterStrategy and
+//     then participate in scenarios like any built-in.
+//
+//   - Scenario: a declarative description of one evaluation — machine
+//     model, placement policy, trace source (traced application, synthetic
+//     stencil, or serialized trace file), strategy set, failure mix, and
+//     baseline — with a stable JSON encoding, so experiments are data, not
+//     code. EncodeScenario/DecodeScenario round-trip byte-identically and
+//     reject unknown fields.
+//
+//   - Pipeline: the runner that drives a Scenario through the sparse,
+//     parallel trace→cluster→evaluate engine, with functional options and
+//     context cancellation. Results are deterministic at any worker count.
+//
+// The cmd/hcserve binary wraps a Pipeline in an HTTP service
+// (POST /v1/evaluate) with an LRU scenario-result cache; cmd/hcrun drives
+// the paper's table and figure reproductions through the same package.
+//
+// Lower-level building blocks — machines and placements, communication
+// matrices, the multi-level checkpoint store, and the hybrid
+// rollback-recovery protocol — are re-exported here so applications never
+// import this repository's internal packages.
+package hierclust

@@ -1,0 +1,267 @@
+package hierclust
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"hierclust/internal/core"
+	"hierclust/internal/trace"
+	"hierclust/internal/tsunami"
+)
+
+// Pipeline runs scenarios through the trace→cluster→evaluate engine. The
+// zero value is not usable; construct with NewPipeline. A Pipeline is safe
+// for concurrent Run calls — hcserve shares one across requests.
+type Pipeline struct {
+	workers int
+}
+
+// PipelineOption customizes a Pipeline.
+type PipelineOption func(*Pipeline)
+
+// WithWorkers bounds the worker pool used for concurrent strategy
+// evaluation and for the reliability model's sharded enumeration/sampling.
+// 0 (the default) means GOMAXPROCS. Results are bit-identical at any
+// worker count.
+func WithWorkers(n int) PipelineOption {
+	return func(p *Pipeline) { p.workers = n }
+}
+
+// NewPipeline builds a pipeline with the given options.
+func NewPipeline(opts ...PipelineOption) *Pipeline {
+	p := &Pipeline{}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Result is the outcome of running one scenario: the shared rig summary
+// plus one evaluation per strategy, in scenario order. The JSON encoding is
+// stable and is what hcserve returns from POST /v1/evaluate.
+type Result struct {
+	// Scenario echoes the scenario name.
+	Scenario string `json:"scenario"`
+	// Machine names the resolved machine model.
+	Machine string `json:"machine"`
+	// Ranks and Nodes describe the resolved placement.
+	Ranks int `json:"ranks"`
+	Nodes int `json:"nodes"`
+	// TotalBytes and TotalMsgs summarize the trace.
+	TotalBytes int64 `json:"total_bytes"`
+	TotalMsgs  int64 `json:"total_msgs"`
+	// Baseline is the envelope the evaluations were judged against.
+	Baseline BaselineSpec `json:"baseline"`
+	// Evaluations scores each strategy, in scenario order.
+	Evaluations []StrategyResult `json:"evaluations"`
+}
+
+// StrategyResult is one strategy's clustering shape and four-dimension
+// score.
+type StrategyResult struct {
+	// Strategy is the instantiated strategy name (e.g. "naive-32").
+	Strategy string `json:"strategy"`
+	// Kind is the registry kind that produced it.
+	Kind string `json:"kind"`
+	// L1Clusters, Groups and MaxGroupSize describe the clustering.
+	L1Clusters   int `json:"l1_clusters"`
+	Groups       int `json:"groups"`
+	MaxGroupSize int `json:"max_group_size"`
+	// The four dimensions of the paper's optimization space.
+	LoggedFraction     float64 `json:"logged_fraction"`
+	RecoveryFraction   float64 `json:"recovery_fraction"`
+	EncodeSecondsPerGB float64 `json:"encode_seconds_per_gb"`
+	CatastropheProb    float64 `json:"catastrophe_prob"`
+	// WithinBaseline reports whether all four dimensions meet the
+	// envelope; Violations lists the failing ones.
+	WithinBaseline bool     `json:"within_baseline"`
+	Violations     []string `json:"violations,omitempty"`
+}
+
+// Run evaluates a scenario. The context cancels between stages and between
+// strategy evaluations; a canceled run returns ctx.Err(). Strategies
+// evaluate concurrently up to the pipeline's worker bound, and results are
+// returned in scenario order regardless of completion order.
+func (pl *Pipeline) Run(ctx context.Context, sc *Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	mach, err := sc.machine()
+	if err != nil {
+		return nil, err
+	}
+	placement, err := sc.placement(mach)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	comm, err := pl.buildTrace(sc, placement)
+	if err != nil {
+		return nil, err
+	}
+	if comm.Ranks() != placement.NumRanks() {
+		return nil, fmt.Errorf("hierclust: scenario %q: trace covers %d ranks, placement %d",
+			sc.Name, comm.Ranks(), placement.NumRanks())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	mix := sc.Mix.Mix()
+	baseline := sc.Baseline.Baseline()
+	res := &Result{
+		Scenario:    sc.Name,
+		Machine:     mach.Name,
+		Ranks:       placement.NumRanks(),
+		Nodes:       len(placement.UsedNodes()),
+		TotalBytes:  comm.TotalBytes(),
+		TotalMsgs:   comm.TotalMsgs(),
+		Baseline:    baselineSpec(baseline),
+		Evaluations: make([]StrategyResult, len(sc.Strategies)),
+	}
+
+	budget := pl.workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	workers := budget
+	if workers > len(sc.Strategies) {
+		workers = len(sc.Strategies)
+	}
+	// Every strategy evaluation is independent; the pool preserves input
+	// order in the results slice. The worker budget splits across the
+	// concurrent strategies, and the remainder of the budget goes to each
+	// evaluation's reliability model (whose results are worker-invariant),
+	// so a wide machine is not serialized on the slowest strategy.
+	evalWorkers := budget / workers
+	if evalWorkers < 1 {
+		evalWorkers = 1
+	}
+	jobs := make(chan int)
+	errs := make([]error, len(sc.Strategies))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = pl.evalStrategy(sc.Strategies[i], comm, placement, mix, baseline, evalWorkers, &res.Evaluations[i])
+			}
+		}()
+	}
+	cancelled := false
+	for i := range sc.Strategies {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if cancelled || ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("hierclust: scenario %q: strategy %q: %w", sc.Name, sc.Strategies[i].Kind, err)
+		}
+	}
+	return res, nil
+}
+
+// evalStrategy builds and scores one strategy into out.
+func (pl *Pipeline) evalStrategy(spec StrategySpec, comm Comm, placement *Placement, mix Mix, baseline Baseline, workers int, out *StrategyResult) error {
+	st, err := NewStrategy(spec)
+	if err != nil {
+		return err
+	}
+	c, err := st.Build(comm, placement)
+	if err != nil {
+		return err
+	}
+	e, err := core.EvaluateOpts(c, comm, placement, mix, core.EvalOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	ok, violations := e.Meets(baseline)
+	*out = StrategyResult{
+		Strategy:           c.Name,
+		Kind:               spec.Kind,
+		L1Clusters:         c.NumClusters(),
+		Groups:             len(c.Groups),
+		MaxGroupSize:       c.MaxGroupSize(),
+		LoggedFraction:     e.LoggedFraction,
+		RecoveryFraction:   e.RecoveryFraction,
+		EncodeSecondsPerGB: e.EncodeSecondsPerGB,
+		CatastropheProb:    e.CatastropheProb,
+		WithinBaseline:     ok,
+		Violations:         violations,
+	}
+	return nil
+}
+
+// buildTrace resolves the scenario's trace source into a communication
+// matrix: a real traced run, a generated stencil, or a serialized file.
+func (pl *Pipeline) buildTrace(sc *Scenario, placement *Placement) (Comm, error) {
+	ranks := placement.NumRanks()
+	switch sc.Trace.Source {
+	case "tsunami":
+		iters := sc.Trace.Iterations
+		if iters <= 0 {
+			iters = 20
+		}
+		rec := trace.NewRecorder(ranks)
+		if _, err := tsunami.RunTraced(tsunami.TracedOptions{
+			Params:     tsunami.TraceParams(ranks),
+			Iterations: iters,
+			Tracer:     rec,
+		}); err != nil {
+			return nil, err
+		}
+		return rec.Matrix(), nil
+	case "synthetic":
+		opts := trace.SyntheticOptions{
+			Iterations:  sc.Trace.Iterations,
+			BytesPerMsg: sc.Trace.BytesPerMsg,
+			Width:       sc.Trace.Width,
+		}
+		if sc.Trace.Pattern == "stencil2d" {
+			opts.Pattern = trace.Stencil2D
+			if opts.Width == 0 {
+				// Grid width = placement density, so horizontal ghost
+				// exchange stays intra-node under block placement.
+				opts.Width = sc.Placement.ProcsPerNode
+			}
+		}
+		return trace.Synthetic(ranks, opts)
+	case "file":
+		f, err := os.Open(sc.Trace.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var ropts []trace.ReadOptions
+		if sc.Trace.MaxRanks > 0 {
+			ropts = append(ropts, trace.ReadOptions{MaxRanks: sc.Trace.MaxRanks})
+		}
+		return trace.ReadCSR(f, ropts...)
+	}
+	return nil, fmt.Errorf("hierclust: unknown trace source %q", sc.Trace.Source)
+}
+
+// baselineSpec converts the evaluator's Baseline back to its declarative
+// form for the result document.
+func baselineSpec(b Baseline) BaselineSpec {
+	return BaselineSpec{
+		MaxLoggedFraction:   b.MaxLoggedFraction,
+		MaxRecoveryFraction: b.MaxRecoveryFraction,
+		MaxEncodeSecPerGB:   b.MaxEncodeSecPerGB,
+		MaxCatastropheProb:  b.MaxCatastropheProb,
+	}
+}

@@ -1,0 +1,201 @@
+package hierclust
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hierclust/internal/core"
+	"hierclust/internal/reliability"
+	"hierclust/internal/topology"
+	"hierclust/internal/trace"
+)
+
+// syntheticScenario is the shared small test scenario: 256 ranks on 32
+// nodes, generated 2-D stencil, all four built-in strategies.
+func syntheticScenario() *Scenario {
+	return &Scenario{
+		Name:      "test-synthetic",
+		Machine:   MachineSpec{Nodes: 32},
+		Placement: PlacementSpec{Ranks: 256, ProcsPerNode: 8},
+		Trace:     TraceSpec{Source: "synthetic", Pattern: "stencil2d"},
+		Strategies: []StrategySpec{
+			{Kind: "naive", Size: 32},
+			{Kind: "size-guided", Size: 8},
+			{Kind: "distributed", Size: 16},
+			{Kind: "hierarchical"},
+		},
+	}
+}
+
+// TestPipelineMatchesCore pins the pipeline to the engine underneath it:
+// every number in the result must equal a direct core.Evaluate of the same
+// strategy on the same rig.
+func TestPipelineMatchesCore(t *testing.T) {
+	sc := syntheticScenario()
+	res, err := NewPipeline().Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 256 || res.Nodes != 32 {
+		t.Fatalf("rig = %d ranks / %d nodes, want 256/32", res.Ranks, res.Nodes)
+	}
+
+	// Rebuild the rig by hand.
+	mach, err := topology.Tsubame2().Subset(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement, err := topology.Block(mach, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := trace.Synthetic(256, trace.SyntheticOptions{Pattern: trace.Stencil2D, Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := []func() (*Clustering, error){
+		func() (*Clustering, error) { return core.Naive(256, 32) },
+		func() (*Clustering, error) { return core.SizeGuided(256, 8) },
+		func() (*Clustering, error) { return core.Distributed(256, 16) },
+		func() (*Clustering, error) { return core.Hierarchical(m, placement, core.HierOptions{}) },
+	}
+	for i, build := range builds {
+		c, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Evaluate(c, m, placement, reliability.DefaultMix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Evaluations[i]
+		if got.Strategy != want.Name {
+			t.Errorf("evaluation %d: strategy %q, want %q", i, got.Strategy, want.Name)
+		}
+		if got.LoggedFraction != want.LoggedFraction ||
+			got.RecoveryFraction != want.RecoveryFraction ||
+			got.EncodeSecondsPerGB != want.EncodeSecondsPerGB ||
+			got.CatastropheProb != want.CatastropheProb {
+			t.Errorf("evaluation %q diverges from core.Evaluate:\ngot  %+v\nwant %+v", got.Strategy, got, want)
+		}
+	}
+}
+
+// TestPipelineWorkerInvariance: results are bit-identical at any worker
+// count (the reliability model's determinism contract, carried through).
+func TestPipelineWorkerInvariance(t *testing.T) {
+	sc := syntheticScenario()
+	base, err := NewPipeline(WithWorkers(1)).Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		res, err := NewPipeline(WithWorkers(w)).Run(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("results differ between 1 and %d workers", w)
+		}
+	}
+}
+
+// TestPipelineFileSource: a serialized trace evaluates identically to the
+// in-memory matrix it was written from.
+func TestPipelineFileSource(t *testing.T) {
+	m, err := trace.Synthetic(256, trace.SyntheticOptions{Pattern: trace.Stencil2D, Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.hctr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mem := syntheticScenario()
+	fromFile := syntheticScenario()
+	fromFile.Name = "test-file"
+	fromFile.Trace = TraceSpec{Source: "file", Path: path}
+
+	want, err := NewPipeline().Run(context.Background(), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewPipeline().Run(context.Background(), fromFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Evaluations, want.Evaluations) {
+		t.Fatalf("file-sourced evaluations diverge from in-memory:\ngot  %+v\nwant %+v", got.Evaluations, want.Evaluations)
+	}
+}
+
+// TestPipelineTsunamiMatchesTracedRun: the "tsunami" source traces through
+// the same rig the experiment harness uses.
+func TestPipelineTsunamiMatchesTracedRun(t *testing.T) {
+	sc := &Scenario{
+		Name:       "test-tsunami",
+		Machine:    MachineSpec{Nodes: 8},
+		Placement:  PlacementSpec{Ranks: 64, ProcsPerNode: 8},
+		Trace:      TraceSpec{Source: "tsunami", Iterations: 5},
+		Strategies: []StrategySpec{{Kind: "naive", Size: 8}},
+	}
+	res, err := NewPipeline().Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes == 0 || res.TotalMsgs == 0 {
+		t.Fatalf("traced run produced an empty matrix: %+v", res)
+	}
+	// Same trace by hand.
+	rec := NewTraceRecorder(64)
+	if _, err := RunTracedTsunami(TracedTsunamiOptions{
+		Params: TsunamiTraceParams(64), Iterations: 5, Tracer: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Matrix().TotalBytes() != res.TotalBytes {
+		t.Fatalf("pipeline traced %d bytes, direct run %d", res.TotalBytes, rec.Matrix().TotalBytes())
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewPipeline().Run(ctx, syntheticScenario()); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestPipelineRejectsMismatchedTrace(t *testing.T) {
+	m, err := trace.Synthetic(128, trace.SyntheticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "small.hctr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := syntheticScenario() // 256 ranks
+	sc.Trace = TraceSpec{Source: "file", Path: path}
+	if _, err := NewPipeline().Run(context.Background(), sc); err == nil {
+		t.Fatal("a 128-rank trace evaluated against a 256-rank placement")
+	}
+}

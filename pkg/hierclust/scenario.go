@@ -1,0 +1,290 @@
+package hierclust
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"hierclust/internal/reliability"
+	"hierclust/internal/topology"
+)
+
+// Scenario declaratively describes one evaluation: a machine, a placement
+// of application ranks onto it, a trace source, the strategies to compare,
+// and optionally a failure mix and baseline (both defaulting to the paper's
+// calibration). Scenarios encode to stable JSON — EncodeScenario →
+// DecodeScenario → EncodeScenario is byte-identical — so experiments are
+// data: they can be stored, diffed, POSTed to hcserve, and cached by value.
+type Scenario struct {
+	// Name labels the scenario in results.
+	Name string `json:"name"`
+	// Machine selects and sizes the machine model.
+	Machine MachineSpec `json:"machine"`
+	// Placement maps ranks onto the machine.
+	Placement PlacementSpec `json:"placement"`
+	// Trace selects the communication-matrix source.
+	Trace TraceSpec `json:"trace"`
+	// Strategies lists the clustering strategies to evaluate, in output
+	// order.
+	Strategies []StrategySpec `json:"strategies"`
+	// Mix overrides the failure-type distribution; nil uses the paper's
+	// calibrated DefaultMix.
+	Mix *MixSpec `json:"mix,omitempty"`
+	// Baseline overrides the requirement envelope; nil uses the paper's
+	// DefaultBaseline.
+	Baseline *BaselineSpec `json:"baseline,omitempty"`
+}
+
+// MachineSpec selects a machine model. Model "tsubame2" (the default) uses
+// the paper's Table I constants; Nodes restricts it to a job allocation.
+type MachineSpec struct {
+	// Model names the base machine: "" or "tsubame2". When Nodes exceeds
+	// the model's node count the machine is grown, mirroring the scaling
+	// experiments' synthetic rigs.
+	Model string `json:"model,omitempty"`
+	// Nodes is the allocation size; 0 uses the full machine.
+	Nodes int `json:"nodes,omitempty"`
+}
+
+// PlacementSpec maps ranks onto the machine's nodes.
+type PlacementSpec struct {
+	// Policy is "block" (default: consecutive ranks share a node, the
+	// paper's topology-aware placement) or "round-robin".
+	Policy string `json:"policy,omitempty"`
+	// Ranks is the application process count.
+	Ranks int `json:"ranks"`
+	// ProcsPerNode is the ranks-per-node density for block placement and
+	// the used-node divisor for round-robin.
+	ProcsPerNode int `json:"procs_per_node"`
+}
+
+// TraceSpec selects the communication-matrix source.
+type TraceSpec struct {
+	// Source is "tsunami" (trace the stencil application on the simulated
+	// MPI runtime), "synthetic" (generate a stencil trace directly in
+	// sparse form — the only source that scales past ~4k ranks), or
+	// "file" (read a serialized HCTR trace).
+	Source string `json:"source"`
+	// Iterations is the traced or generated exchange-round count
+	// (tsunami default 20, synthetic default 100).
+	Iterations int `json:"iterations,omitempty"`
+	// Pattern is the synthetic structure: "stencil1d" (default) or
+	// "stencil2d".
+	Pattern string `json:"pattern,omitempty"`
+	// Width is the stencil2d grid width; 0 derives it from the placement
+	// density so horizontal exchange stays intra-node, like the scaling
+	// experiment's rigs.
+	Width int `json:"width,omitempty"`
+	// BytesPerMsg overrides the synthetic per-message payload.
+	BytesPerMsg int64 `json:"bytes_per_msg,omitempty"`
+	// Path locates the serialized trace for source "file".
+	Path string `json:"path,omitempty"`
+	// MaxRanks raises the file reader's rank-count plausibility bound
+	// beyond the 2^22 default.
+	MaxRanks int `json:"max_ranks,omitempty"`
+}
+
+// MixSpec is the declarative (JSON) form of the reliability failure mix.
+type MixSpec struct {
+	Transient       float64   `json:"transient"`
+	NodeLoss        []float64 `json:"node_loss"`
+	PairCorrelation float64   `json:"pair_correlation,omitempty"`
+}
+
+// Mix converts the spec to the model's Mix (normalized).
+func (s *MixSpec) Mix() Mix {
+	if s == nil {
+		return reliability.DefaultMix()
+	}
+	m := Mix{Transient: s.Transient, NodeLoss: append([]float64(nil), s.NodeLoss...), PairCorrelation: s.PairCorrelation}
+	m.Normalize()
+	return m
+}
+
+// BaselineSpec is the declarative (JSON) form of the requirement envelope.
+type BaselineSpec struct {
+	MaxLoggedFraction   float64 `json:"max_logged_fraction"`
+	MaxRecoveryFraction float64 `json:"max_recovery_fraction"`
+	MaxEncodeSecPerGB   float64 `json:"max_encode_sec_per_gb"`
+	MaxCatastropheProb  float64 `json:"max_catastrophe_prob"`
+}
+
+// Baseline converts the spec to the evaluator's Baseline.
+func (s *BaselineSpec) Baseline() Baseline {
+	if s == nil {
+		return DefaultBaseline()
+	}
+	return Baseline{
+		MaxLoggedFraction:   s.MaxLoggedFraction,
+		MaxRecoveryFraction: s.MaxRecoveryFraction,
+		MaxEncodeSecPerGB:   s.MaxEncodeSecPerGB,
+		MaxCatastropheProb:  s.MaxCatastropheProb,
+	}
+}
+
+// Validate checks everything that can be checked without building the
+// machine: names, source kinds, strategy kinds, and arithmetic constraints.
+func (s *Scenario) Validate() error {
+	if s == nil {
+		return fmt.Errorf("hierclust: nil scenario")
+	}
+	if s.Name == "" {
+		return fmt.Errorf("hierclust: scenario needs a name")
+	}
+	switch s.Machine.Model {
+	case "", "tsubame2":
+	default:
+		return fmt.Errorf("hierclust: scenario %q: unknown machine model %q", s.Name, s.Machine.Model)
+	}
+	if s.Machine.Nodes < 0 {
+		return fmt.Errorf("hierclust: scenario %q: negative node count %d", s.Name, s.Machine.Nodes)
+	}
+	switch s.Placement.Policy {
+	case "", "block", "round-robin":
+	default:
+		return fmt.Errorf("hierclust: scenario %q: unknown placement policy %q", s.Name, s.Placement.Policy)
+	}
+	if s.Placement.Ranks <= 0 {
+		return fmt.Errorf("hierclust: scenario %q: placement needs a positive rank count", s.Name)
+	}
+	if s.Placement.ProcsPerNode <= 0 {
+		return fmt.Errorf("hierclust: scenario %q: placement needs positive procs_per_node", s.Name)
+	}
+	// Fields that don't apply to the chosen source are rejected, not
+	// ignored: a user who sets them believes they tuned the trace, and the
+	// dead fields would also split the result cache on meaningless keys.
+	switch s.Trace.Source {
+	case "tsunami":
+		if err := s.rejectTraceFields("tsunami", "pattern", s.Trace.Pattern != "",
+			"width", s.Trace.Width != 0, "bytes_per_msg", s.Trace.BytesPerMsg != 0,
+			"path", s.Trace.Path != "", "max_ranks", s.Trace.MaxRanks != 0); err != nil {
+			return err
+		}
+	case "synthetic":
+		if err := s.rejectTraceFields("synthetic",
+			"path", s.Trace.Path != "", "max_ranks", s.Trace.MaxRanks != 0); err != nil {
+			return err
+		}
+		if s.Trace.Pattern != "stencil2d" && s.Trace.Width != 0 {
+			return fmt.Errorf("hierclust: scenario %q: trace field width applies only to pattern \"stencil2d\"", s.Name)
+		}
+	case "file":
+		if s.Trace.Path == "" {
+			return fmt.Errorf("hierclust: scenario %q: trace source \"file\" needs a path", s.Name)
+		}
+		if err := s.rejectTraceFields("file", "iterations", s.Trace.Iterations != 0,
+			"pattern", s.Trace.Pattern != "", "width", s.Trace.Width != 0,
+			"bytes_per_msg", s.Trace.BytesPerMsg != 0); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("hierclust: scenario %q: unknown trace source %q (want tsunami, synthetic, or file)", s.Name, s.Trace.Source)
+	}
+	switch s.Trace.Pattern {
+	case "", "stencil1d", "stencil2d":
+	default:
+		return fmt.Errorf("hierclust: scenario %q: unknown synthetic pattern %q", s.Name, s.Trace.Pattern)
+	}
+	if len(s.Strategies) == 0 {
+		return fmt.Errorf("hierclust: scenario %q: needs at least one strategy", s.Name)
+	}
+	for i, spec := range s.Strategies {
+		if _, err := NewStrategy(spec); err != nil {
+			return fmt.Errorf("hierclust: scenario %q: strategy %d: %w", s.Name, i, err)
+		}
+	}
+	if s.Mix != nil {
+		m := s.Mix.Mix()
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("hierclust: scenario %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// rejectTraceFields errors on the first (name, set) pair whose field is set
+// but meaningless for the given trace source.
+func (s *Scenario) rejectTraceFields(source string, pairs ...interface{}) error {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if pairs[i+1].(bool) {
+			return fmt.Errorf("hierclust: scenario %q: trace field %s does not apply to source %q",
+				s.Name, pairs[i].(string), source)
+		}
+	}
+	return nil
+}
+
+// machine builds the machine model: the named base, subset or grown to the
+// requested allocation.
+func (s *Scenario) machine() (*Machine, error) {
+	mach := topology.Tsubame2()
+	nodes := s.Machine.Nodes
+	if nodes == 0 || nodes == mach.Nodes {
+		return mach, nil
+	}
+	if nodes < mach.Nodes {
+		return mach.Subset(nodes)
+	}
+	grown := *mach
+	grown.Nodes = nodes
+	grown.Name = fmt.Sprintf("%s-scaled[%d]", mach.Name, nodes)
+	return &grown, nil
+}
+
+// placement builds the rank→node mapping.
+func (s *Scenario) placement(mach *Machine) (*Placement, error) {
+	switch s.Placement.Policy {
+	case "", "block":
+		return topology.Block(mach, s.Placement.Ranks, s.Placement.ProcsPerNode)
+	case "round-robin":
+		used := (s.Placement.Ranks + s.Placement.ProcsPerNode - 1) / s.Placement.ProcsPerNode
+		return topology.RoundRobin(mach, s.Placement.Ranks, used)
+	}
+	return nil, fmt.Errorf("hierclust: unknown placement policy %q", s.Placement.Policy)
+}
+
+// EncodeScenario renders the scenario as indented JSON with a stable field
+// order. Encoding the result of DecodeScenario reproduces the input byte
+// for byte.
+func EncodeScenario(s *Scenario) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeScenario parses scenario JSON, rejecting unknown fields — a typo'd
+// option must fail loudly, not silently evaluate the default.
+func DecodeScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("hierclust: decoding scenario: %w", err)
+	}
+	// A second document in the same payload is almost certainly a mistake.
+	if dec.More() {
+		return nil, fmt.Errorf("hierclust: trailing data after scenario JSON")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// CacheKey returns the canonical compact encoding used to key scenario
+// result caches: two scenarios with equal keys evaluate identically.
+func (s *Scenario) CacheKey() (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,160 @@
+package hierclust
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScenarioRoundTrip pins the JSON stability contract: encode → decode →
+// encode is byte-identical for every built-in scenario and for a scenario
+// exercising every optional field.
+func TestScenarioRoundTrip(t *testing.T) {
+	scenarios := BuiltinScenarios()
+	scenarios = append(scenarios, &Scenario{
+		Name:      "kitchen-sink",
+		Machine:   MachineSpec{Model: "tsubame2", Nodes: 8192},
+		Placement: PlacementSpec{Policy: "round-robin", Ranks: 1024, ProcsPerNode: 16},
+		Trace: TraceSpec{
+			Source: "synthetic", Pattern: "stencil2d", Width: 32,
+			Iterations: 50, BytesPerMsg: 4096,
+		},
+		Strategies: []StrategySpec{
+			{Kind: "naive", Size: 16},
+			{Kind: "hierarchical", Hier: &HierSpec{
+				MinNodesPerL1: 8, TargetNodesPerL1: 8, MaxNodesPerL1: 64,
+				SubgroupNodes: 4, AlignPowerPairs: true,
+			}},
+		},
+		Mix:      &MixSpec{Transient: 0.05, NodeLoss: []float64{0.9, 0.05}, PairCorrelation: 0.5},
+		Baseline: &BaselineSpec{MaxLoggedFraction: 0.3, MaxRecoveryFraction: 0.3, MaxEncodeSecPerGB: 120, MaxCatastropheProb: 1e-2},
+	})
+	for _, sc := range scenarios {
+		t.Run(sc.Name, func(t *testing.T) {
+			enc1, err := EncodeScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := DecodeScenario(enc1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc2, err := EncodeScenario(dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("encode→decode→encode not byte-stable:\nfirst:\n%s\nsecond:\n%s", enc1, enc2)
+			}
+			key1, err := sc.CacheKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+			key2, err := dec.CacheKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if key1 != key2 {
+				t.Fatalf("cache keys diverge across a round trip:\n%s\n%s", key1, key2)
+			}
+		})
+	}
+}
+
+// TestDecodeScenarioRejectsUnknownFields: a typo'd option must fail loudly
+// instead of silently evaluating the default.
+func TestDecodeScenarioRejectsUnknownFields(t *testing.T) {
+	doc := `{
+		"name": "typo",
+		"machine": {"nodes": 32},
+		"placement": {"ranks": 256, "procs_per_node": 8},
+		"trace": {"source": "synthetic", "iterattions": 50},
+		"strategies": [{"kind": "hierarchical"}]
+	}`
+	if _, err := DecodeScenario([]byte(doc)); err == nil {
+		t.Fatal("decoded a scenario with an unknown field")
+	} else if !strings.Contains(err.Error(), "iterattions") {
+		t.Fatalf("error does not name the unknown field: %v", err)
+	}
+}
+
+func TestDecodeScenarioRejectsTrailingData(t *testing.T) {
+	sc := BuiltinScenarios()[0]
+	doc, err := EncodeScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeScenario(append(doc, []byte("{}")...)); err == nil {
+		t.Fatal("accepted trailing data after the scenario document")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	valid := func() *Scenario {
+		return &Scenario{
+			Name:       "v",
+			Machine:    MachineSpec{Nodes: 32},
+			Placement:  PlacementSpec{Ranks: 256, ProcsPerNode: 8},
+			Trace:      TraceSpec{Source: "synthetic"},
+			Strategies: []StrategySpec{{Kind: "hierarchical"}},
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"empty name", func(s *Scenario) { s.Name = "" }},
+		{"bad machine model", func(s *Scenario) { s.Machine.Model = "summit" }},
+		{"bad placement policy", func(s *Scenario) { s.Placement.Policy = "scatter" }},
+		{"zero ranks", func(s *Scenario) { s.Placement.Ranks = 0 }},
+		{"zero ppn", func(s *Scenario) { s.Placement.ProcsPerNode = 0 }},
+		{"bad trace source", func(s *Scenario) { s.Trace.Source = "pcap" }},
+		{"file without path", func(s *Scenario) { s.Trace.Source = "file" }},
+		{"bad pattern", func(s *Scenario) { s.Trace.Pattern = "torus" }},
+		{"no strategies", func(s *Scenario) { s.Strategies = nil }},
+		{"tsunami with synthetic fields", func(s *Scenario) {
+			s.Trace = TraceSpec{Source: "tsunami", Pattern: "stencil2d", BytesPerMsg: 4096}
+		}},
+		{"synthetic with file fields", func(s *Scenario) {
+			s.Trace = TraceSpec{Source: "synthetic", Path: "/tmp/t.hctr"}
+		}},
+		{"file with synthetic fields", func(s *Scenario) {
+			s.Trace = TraceSpec{Source: "file", Path: "/tmp/t.hctr", Iterations: 10}
+		}},
+		{"width without stencil2d", func(s *Scenario) {
+			s.Trace = TraceSpec{Source: "synthetic", Width: 32}
+		}},
+		{"unknown strategy kind", func(s *Scenario) { s.Strategies = []StrategySpec{{Kind: "magic"}} }},
+		{"negative mix", func(s *Scenario) { s.Mix = &MixSpec{Transient: -1} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			tc.mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("scenario with %s validated", tc.name)
+			}
+		})
+	}
+}
+
+func TestBuiltinScenarioLookup(t *testing.T) {
+	sc, err := BuiltinScenario("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Placement.Ranks != 256 {
+		t.Fatalf("quickstart ranks = %d, want 256", sc.Placement.Ranks)
+	}
+	if _, err := BuiltinScenario("nope"); err == nil {
+		t.Fatal("unknown builtin did not error")
+	}
+	for _, sc := range BuiltinScenarios() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", sc.Name, err)
+		}
+	}
+}

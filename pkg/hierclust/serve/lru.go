@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU map from scenario cache key to rendered
+// result bytes. hcserve's workload is many clients re-POSTing the same
+// scenario documents (dashboards, CI gates), so a small cache absorbs the
+// expensive trace→cluster→evaluate work for the hot set.
+type lruCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recently used
+	byKK map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRU returns a cache holding up to capacity entries; capacity <= 0
+// disables caching (every Get misses).
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), byKK: map[string]*list.Element{}}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKK[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// when over capacity. Values are stored as-is; callers must not mutate
+// them afterwards.
+func (c *lruCache) Put(key string, val []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKK[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.byKK[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKK, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the live entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

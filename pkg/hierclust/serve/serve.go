@@ -1,0 +1,174 @@
+// Package serve exposes the hierclust scenario pipeline as an HTTP
+// service — the evaluation backend behind cmd/hcserve.
+//
+// Endpoints:
+//
+//	POST /v1/evaluate   scenario JSON in → evaluation JSON out
+//	GET  /v1/scenarios  list the built-in scenarios (full documents)
+//	GET  /healthz       liveness probe
+//
+// Responses to /v1/evaluate are cached in an LRU keyed by the scenario's
+// canonical encoding, so hot scenarios (dashboards, CI gates re-POSTing the
+// same document) cost one pipeline run. The X-Hierclust-Cache response
+// header reports "hit" or "miss".
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"hierclust/pkg/hierclust"
+)
+
+// Options configures the handler.
+type Options struct {
+	// Pipeline runs the scenarios; nil builds a default pipeline.
+	Pipeline *hierclust.Pipeline
+	// CacheSize bounds the scenario-result LRU (entries); 0 picks
+	// DefaultCacheSize and negative disables caching.
+	CacheSize int
+	// MaxBodyBytes bounds accepted request bodies; 0 picks 1 MiB.
+	MaxBodyBytes int64
+}
+
+// DefaultCacheSize is the scenario-result LRU capacity when Options leaves
+// CacheSize zero.
+const DefaultCacheSize = 128
+
+// Server is the HTTP evaluation service. It is an http.Handler; mount it
+// directly or under a prefix.
+type Server struct {
+	mux      *http.ServeMux
+	pipeline *hierclust.Pipeline
+	cache    *lruCache
+	maxBody  int64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New builds the service.
+func New(opts Options) *Server {
+	pl := opts.Pipeline
+	if pl == nil {
+		pl = hierclust.NewPipeline()
+	}
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	s := &Server{
+		mux:      http.NewServeMux(),
+		pipeline: pl,
+		cache:    newLRU(size),
+		maxBody:  maxBody,
+	}
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CacheStats returns the lifetime hit/miss counters and current size.
+func (s *Server) CacheStats() (hits, misses int64, size int) {
+	return s.hits.Load(), s.misses.Load(), s.cache.Len()
+}
+
+// errorDoc is the JSON error envelope.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorDoc{Error: err.Error()})
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		status := http.StatusBadRequest // e.g. client disconnected mid-upload
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	sc, err := hierclust.DecodeScenario(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Trace files are a local-filesystem feature; accepting paths over
+	// HTTP would let any client read arbitrary server files.
+	if sc.Trace.Source == "file" {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("hierclust: trace source \"file\" is not accepted over HTTP; inline a synthetic or tsunami source"))
+		return
+	}
+	key, err := sc.CacheKey()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if doc, ok := s.cache.Get(key); ok {
+		s.hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Hierclust-Cache", "hit")
+		_, _ = w.Write(doc)
+		return
+	}
+	s.misses.Add(1)
+	res, err := s.pipeline.Run(r.Context(), sc)
+	if err != nil {
+		// A cancelled client is not a server error; everything else from
+		// the pipeline is a scenario problem (the inputs were already
+		// validated, so machine-building failures are bad parameters).
+		if r.Context().Err() != nil {
+			s.writeError(w, 499, r.Context().Err()) // client closed request
+			return
+		}
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	doc = append(doc, '\n')
+	s.cache.Put(key, doc)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Hierclust-Cache", "miss")
+	_, _ = w.Write(doc)
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	doc, err := json.MarshalIndent(hierclust.BuiltinScenarios(), "", "  ")
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(doc, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.CacheStats()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"cache_entries\":%d,\"cache_hits\":%d,\"cache_misses\":%d}\n",
+		size, hits, misses)
+}

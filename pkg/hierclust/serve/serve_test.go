@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hierclust/pkg/hierclust"
+)
+
+const testScenario = `{
+	"name": "serve-test",
+	"machine": {"nodes": 16},
+	"placement": {"ranks": 64, "procs_per_node": 4},
+	"trace": {"source": "synthetic", "iterations": 10},
+	"strategies": [{"kind": "naive", "size": 8}, {"kind": "hierarchical"}]
+}`
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Options{CacheSize: 4})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestEvaluateEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(testScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Hierclust-Cache"); got != "miss" {
+		t.Fatalf("first request cache header = %q, want miss", got)
+	}
+	var res hierclust.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "serve-test" || len(res.Evaluations) != 2 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if res.Evaluations[0].Strategy != "naive-8" {
+		t.Fatalf("first evaluation = %q, want naive-8", res.Evaluations[0].Strategy)
+	}
+
+	// Identical scenario → cache hit with identical bytes.
+	resp2, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(testScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if got := resp2.Header.Get("X-Hierclust-Cache"); got != "hit" {
+		t.Fatalf("second request cache header = %q, want hit", got)
+	}
+	hits, misses, size := s.CacheStats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("cache stats = %d hits / %d misses / %d entries, want 1/1/1", hits, misses, size)
+	}
+}
+
+func TestEvaluateRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", "{nope", http.StatusBadRequest},
+		{"unknown field", `{"name":"x","machne":{}}`, http.StatusBadRequest},
+		{"no strategies", `{"name":"x","machine":{"nodes":4},"placement":{"ranks":16,"procs_per_node":4},"trace":{"source":"synthetic"},"strategies":[]}`, http.StatusBadRequest},
+		{"file source over HTTP", `{"name":"x","machine":{"nodes":4},"placement":{"ranks":16,"procs_per_node":4},"trace":{"source":"file","path":"/etc/passwd"},"strategies":[{"kind":"hierarchical"}]}`, http.StatusBadRequest},
+		// Validates but cannot build: 1024 ranks at 4/node exceed 4 nodes.
+		{"unbuildable placement", `{"name":"x","machine":{"model":"tsubame2"},"placement":{"ranks":99999,"procs_per_node":4},"trace":{"source":"synthetic"},"strategies":[{"kind":"hierarchical"}]}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Fatalf("error body missing: %v (%v)", e, err)
+			}
+		})
+	}
+}
+
+func TestScenariosAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var scenarios []hierclust.Scenario
+	if err := json.NewDecoder(resp.Body).Decode(&scenarios); err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) == 0 {
+		t.Fatal("no built-in scenarios listed")
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", hresp.StatusCode)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz body: %v (%v)", h, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("3")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite refresh")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// Capacity 0 disables caching entirely.
+	off := newLRU(0)
+	off.Put("a", []byte("1"))
+	if _, ok := off.Get("a"); ok {
+		t.Fatal("disabled cache returned a value")
+	}
+}

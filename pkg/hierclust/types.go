@@ -1,0 +1,179 @@
+package hierclust
+
+import (
+	"io"
+
+	"hierclust/internal/core"
+	"hierclust/internal/erasure"
+	"hierclust/internal/graph"
+	"hierclust/internal/reliability"
+	"hierclust/internal/topology"
+	"hierclust/internal/trace"
+)
+
+// The machine/placement layer: the physical structure of an HPC system and
+// the mapping of application ranks onto it.
+type (
+	// Machine describes the fault-relevant physical structure of a
+	// cluster: nodes, power-supply pairs, racks, storage bandwidths.
+	Machine = topology.Machine
+	// Placement maps application ranks to compute nodes.
+	Placement = topology.Placement
+	// Rank identifies an application process (MPI-style rank).
+	Rank = topology.Rank
+	// NodeID identifies a compute node within a Machine.
+	NodeID = topology.NodeID
+)
+
+// The trace layer: who sent how many bytes to whom.
+type (
+	// Comm is the read-side view of a communication matrix, implemented
+	// by both the dense Matrix and the sparse CSR.
+	Comm = trace.Comm
+	// Matrix is a dense communication matrix (natural for heatmaps and
+	// submatrix zooms at traced scales).
+	Matrix = trace.Matrix
+	// CSR is a frozen sparse communication matrix (the representation
+	// that scales the pipeline to 100k+ ranks).
+	CSR = trace.CSR
+	// TraceRecorder accumulates a Matrix from a message-passing run.
+	TraceRecorder = trace.Recorder
+	// SyntheticOptions tunes generated stencil traces.
+	SyntheticOptions = trace.SyntheticOptions
+	// SyntheticPattern selects the generated communication structure.
+	SyntheticPattern = trace.SyntheticPattern
+	// TraceReadOptions tunes trace deserialization (rank-count bound).
+	TraceReadOptions = trace.ReadOptions
+	// Graph is the undirected weighted communication graph consumed by
+	// the partitioner and the brain-network measures (modularity, degree
+	// distribution).
+	Graph = graph.Graph
+)
+
+// Synthetic trace patterns.
+const (
+	// Stencil1D is a 1-D slab decomposition: rank r exchanges with r±1.
+	Stencil1D = trace.Stencil1D
+	// Stencil2D is a 2-D block decomposition on a Width-wide grid.
+	Stencil2D = trace.Stencil2D
+)
+
+// The clustering/evaluation layer: the paper's contribution.
+type (
+	// Clustering is a complete clustering decision: L1 containment
+	// clusters plus L2 erasure-encoding groups.
+	Clustering = core.Clustering
+	// HierOptions tunes the hierarchical two-level construction.
+	HierOptions = core.HierOptions
+	// Evaluation scores a clustering on the paper's four dimensions.
+	Evaluation = core.Evaluation
+	// Baseline is the paper's requirement envelope (§III).
+	Baseline = core.Baseline
+	// Mix is the failure-type distribution of the reliability model.
+	Mix = reliability.Mix
+)
+
+// NewMachine is not needed: Machine is a plain struct; compose it directly
+// or start from Tsubame2.
+
+// Tsubame2 returns the paper's TSUBAME2 machine model (Table I constants).
+func Tsubame2() *Machine { return topology.Tsubame2() }
+
+// NewPlacement builds a placement from an explicit rank→node assignment.
+func NewPlacement(m *Machine, nodeOf []NodeID) (*Placement, error) {
+	return topology.NewPlacement(m, nodeOf)
+}
+
+// Block places ranks in consecutive blocks of procsPerNode per node — the
+// topology-aware placement of the paper's runs.
+func Block(m *Machine, nranks, procsPerNode int) (*Placement, error) {
+	return topology.Block(m, nranks, procsPerNode)
+}
+
+// RoundRobin places consecutive ranks on consecutive nodes, wrapping.
+func RoundRobin(m *Machine, nranks, usedNodes int) (*Placement, error) {
+	return topology.RoundRobin(m, nranks, usedNodes)
+}
+
+// NewMatrix returns an all-zero dense n×n communication matrix; fill it
+// with Matrix.Add to describe a custom application's traffic.
+func NewMatrix(n int) *Matrix { return trace.NewMatrix(n) }
+
+// NewTraceRecorder returns a concurrency-safe recorder for n ranks,
+// pluggable as the Tracer of a traced application run.
+func NewTraceRecorder(n int) *TraceRecorder { return trace.NewRecorder(n) }
+
+// SyntheticTrace generates a deterministic stencil communication matrix for
+// n ranks directly in sparse form — O(n) memory, no message-passing run.
+func SyntheticTrace(n int, opts SyntheticOptions) (*CSR, error) {
+	return trace.Synthetic(n, opts)
+}
+
+// ReadTrace deserializes a trace written by Matrix.WriteTo or CSR.WriteTo
+// into sparse form without materializing a dense matrix. An optional
+// TraceReadOptions raises the rank-count plausibility bound beyond the
+// 2^22 default.
+func ReadTrace(r io.Reader, opts ...TraceReadOptions) (*CSR, error) {
+	return trace.ReadCSR(r, opts...)
+}
+
+// ReadTraceMatrix deserializes a trace into dense form (for heatmaps and
+// zooms at traced scales).
+func ReadTraceMatrix(r io.Reader, opts ...TraceReadOptions) (*Matrix, error) {
+	return trace.ReadMatrix(r, opts...)
+}
+
+// Naive builds the paper's naive clustering: consecutive-rank clusters at
+// the logging/recovery sweet spot, reused as encoding groups.
+func Naive(nranks, size int) (*Clustering, error) { return core.Naive(nranks, size) }
+
+// SizeGuided builds consecutive-rank clusters at the encoding sweet spot.
+func SizeGuided(nranks, size int) (*Clustering, error) { return core.SizeGuided(nranks, size) }
+
+// Distributed builds striped clusters whose members all live on different
+// nodes under block placement.
+func Distributed(nranks, size int) (*Clustering, error) { return core.Distributed(nranks, size) }
+
+// Hierarchical builds the paper's two-level clustering from a communication
+// matrix: graph-partitioned L1 containment clusters over the node graph,
+// transversal L2 encoding groups inside each.
+func Hierarchical(m Comm, p *Placement, opts HierOptions) (*Clustering, error) {
+	return core.Hierarchical(m, p, opts)
+}
+
+// DefaultMix returns the calibrated failure mix of the paper reproduction.
+func DefaultMix() Mix { return reliability.DefaultMix() }
+
+// DefaultBaseline returns the paper's §III requirement envelope.
+func DefaultBaseline() Baseline { return core.DefaultBaseline() }
+
+// Evaluate scores a clustering against a communication matrix, a placement,
+// and a failure mix on all four dimensions.
+func Evaluate(c *Clustering, m Comm, p *Placement, mix Mix) (*Evaluation, error) {
+	return core.Evaluate(c, m, p, mix)
+}
+
+// RecoveryFraction computes the expected fraction of ranks restarted after
+// a uniformly random single-node failure.
+func RecoveryFraction(c *Clustering, p *Placement) (float64, error) {
+	return core.RecoveryFraction(c, p)
+}
+
+// RecoveryFractionProcess computes the expected restart fraction after a
+// uniformly random single-process failure.
+func RecoveryFractionProcess(c *Clustering) (float64, error) {
+	return core.RecoveryFractionProcess(c)
+}
+
+// ModelEncodeSeconds returns the modeled Reed–Solomon encode time for one
+// group member's bytes at the given group size (the paper-calibrated
+// linear-in-k law).
+func ModelEncodeSeconds(groupSize int, bytes int64) float64 {
+	return erasure.ModelEncodeSeconds(groupSize, bytes)
+}
+
+// CompareTable renders evaluations as an aligned Table-II style comparison.
+func CompareTable(evals []*Evaluation, b Baseline) string { return core.CompareTable(evals, b) }
+
+// DimensionNames labels the four evaluation axes in Figure 5c order.
+func DimensionNames() [4]string { return core.DimensionNames() }

@@ -1,0 +1,48 @@
+#!/bin/sh
+# hcserve_smoke.sh — build hcserve, start it, POST the quickstart scenario,
+# and assert a 200 response carrying non-empty evaluations. Used by CI and
+# runnable locally: sh scripts/hcserve_smoke.sh
+set -eu
+
+ADDR="${HCSERVE_ADDR:-127.0.0.1:18080}"
+BIN="$(mktemp -d)/hcserve"
+go build -o "$BIN" ./cmd/hcserve
+
+"$BIN" -addr "$ADDR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener (up to ~10s).
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "hcserve_smoke: server never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# The quickstart scenario comes from the server's own built-in list, so the
+# smoke exercises /v1/scenarios and /v1/evaluate together.
+SCENARIO="$(curl -sf "http://$ADDR/v1/scenarios" | jq '.[] | select(.name == "quickstart")')"
+if [ -z "$SCENARIO" ]; then
+    echo "hcserve_smoke: quickstart scenario missing from /v1/scenarios" >&2
+    exit 1
+fi
+
+STATUS="$(printf '%s' "$SCENARIO" | curl -s -o /tmp/hcserve_smoke_response.json \
+    -w '%{http_code}' -X POST -d @- "http://$ADDR/v1/evaluate")"
+if [ "$STATUS" != "200" ]; then
+    echo "hcserve_smoke: POST /v1/evaluate returned $STATUS" >&2
+    cat /tmp/hcserve_smoke_response.json >&2
+    exit 1
+fi
+COUNT="$(jq '.evaluations | length' /tmp/hcserve_smoke_response.json)"
+if [ "$COUNT" -lt 1 ]; then
+    echo "hcserve_smoke: empty evaluations" >&2
+    cat /tmp/hcserve_smoke_response.json >&2
+    exit 1
+fi
+echo "hcserve_smoke: ok ($COUNT evaluations)"
+jq -r '.evaluations[] | "  \(.strategy): within_baseline=\(.within_baseline)"' /tmp/hcserve_smoke_response.json
