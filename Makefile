@@ -27,13 +27,14 @@ bench:
 	sh scripts/bench.sh
 
 # bench-smoke is the quick CI benchmark: one iteration of the guarded hot
-# paths, compared against the latest committed snapshot (RSEncode kernels
-# gate at a noise-tolerant 300%; Fig* deltas print for inspection).
+# paths, compared against the latest committed snapshot (the steady-state
+# RSEncode kernels and the large-scale partition/evaluation pipelines gate
+# at a noise-tolerant 300%; Fig* deltas print for inspection).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'RSEncode|Fig' -benchmem -benchtime 1x . > smoke.txt
+	$(GO) test -run '^$$' -bench 'RSEncode|Fig|Partition100k|Scaling256k' -benchmem -benchtime 1x . > smoke.txt
 	$(GO) run ./cmd/benchjson < smoke.txt > smoke.json
 	baseline=$$(ls BENCH_*.json | sort | tail -1); \
-		$(GO) run ./cmd/benchjson -compare -threshold 300 -filter RSEncode $$baseline smoke.json; \
+		$(GO) run ./cmd/benchjson -compare -threshold 300 -filter 'RSEncode|Partition100k|Scaling256k' $$baseline smoke.json; \
 		rc=$$?; rm -f smoke.txt smoke.json; exit $$rc
 
 # serve-smoke boots hcserve and round-trips the quickstart scenario

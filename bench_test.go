@@ -203,6 +203,34 @@ func BenchmarkScaling64k(b *testing.B) {
 	}
 }
 
+// BenchmarkScaling256k measures the full sparse evaluation pipeline at
+// 262,144 ranks on 16,384 nodes — four times the node count of the 64k
+// benchmark, the regime the multilevel partitioner and the flat-span
+// placement exist for. Synthetic 2-D stencil trace (CSR), hierarchical
+// clustering through the multilevel node partitioner, and the complete
+// four-dimension evaluation.
+func BenchmarkScaling256k(b *testing.B) {
+	const ranks, ppn = 262144, 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, placement, err := harness.SyntheticRig(ranks, ppn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hier, err := core.Hierarchical(m, placement, core.HierOptions{Multilevel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := core.Evaluate(hier, m, placement, reliability.DefaultMix())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok, viol := e.Meets(core.DefaultBaseline()); !ok {
+			b.Fatalf("256k-rank evaluation outside baseline: %v", viol)
+		}
+	}
+}
+
 // BenchmarkRSReconstruct measures decode after losing half the group.
 func BenchmarkRSReconstruct(b *testing.B) {
 	const shard = 1 << 20
@@ -261,6 +289,40 @@ func BenchmarkPartition(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := graph.Partition(g, graph.PartitionOptions{MinSize: 4, TargetSize: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartition100k measures the multilevel partitioner on a
+// 131,072-node 2-D stencil graph — the node-graph shape of a 2M-rank
+// machine at 16 ranks per node — against the single-level greedy growth on
+// the same graph. MinSize/TargetSize 4 is the paper's L1 configuration.
+func BenchmarkPartition100k(b *testing.B) {
+	const n, width = 131072, 256
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if i+1 < n && (i+1)%width != 0 {
+			_ = g.AddEdge(i, i+1, 1000)
+		}
+		if i+width < n {
+			_ = g.AddEdge(i, i+width, 800)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		opts graph.PartitionOptions
+	}{
+		{"multilevel", graph.PartitionOptions{MinSize: 4, TargetSize: 4, Multilevel: true}},
+		{"single-level", graph.PartitionOptions{MinSize: 4, TargetSize: 4}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.Partition(g, tc.opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,6 +9,8 @@
 //	hcrun -exp all -quick -json    # machine-readable results
 //	hcrun -exp fig5a -out results  # also write PGM/CSV artifacts
 //	hcrun -exp scaling -maxranks 65536  # synthetic-trace scaling to 64k ranks
+//	hcrun -exp scaling -maxranks 262144 -multilevel  # 256k ranks / 16k nodes,
+//	                               # multilevel node partitioner
 //	hcrun -list                    # list experiment ids
 //
 // -parallel runs the experiments on a GOMAXPROCS-wide worker pool
@@ -29,19 +31,20 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id or 'all'")
-		quick    = flag.Bool("quick", false, "shrink to laptop scale")
-		maxRanks = flag.Int("maxranks", 0, "extend the scaling experiment with synthetic traces up to this rank count (doubling from 4096)")
-		ranks    = flag.Int("ranks", 0, "override application rank count")
-		ppn      = flag.Int("ppn", 0, "override processes per node")
-		iters    = flag.Int("iters", 0, "override traced iterations")
-		out      = flag.String("out", "", "directory for CSV/PGM artifacts")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		csvFlag  = flag.Bool("csv", false, "print CSV instead of ASCII tables")
-		jsonFlag = flag.Bool("json", false, "print one JSON document of all results")
-		parallel = flag.Bool("parallel", false, "run experiments concurrently on a worker pool")
-		workers  = flag.Int("workers", 0, "worker pool size (implies -parallel; 0 with -parallel = GOMAXPROCS)")
-		timings  = flag.Bool("timings", false, "include wall-clock measurement columns (non-deterministic)")
+		exp        = flag.String("exp", "all", "experiment id or 'all'")
+		quick      = flag.Bool("quick", false, "shrink to laptop scale")
+		maxRanks   = flag.Int("maxranks", 0, "extend the scaling experiment with synthetic traces up to this rank count (doubling from 4096)")
+		multilevel = flag.Bool("multilevel", false, "partition node graphs with the multilevel (coarsen/uncoarsen) partitioner in the scaling experiment")
+		ranks      = flag.Int("ranks", 0, "override application rank count")
+		ppn        = flag.Int("ppn", 0, "override processes per node")
+		iters      = flag.Int("iters", 0, "override traced iterations")
+		out        = flag.String("out", "", "directory for CSV/PGM artifacts")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		csvFlag    = flag.Bool("csv", false, "print CSV instead of ASCII tables")
+		jsonFlag   = flag.Bool("json", false, "print one JSON document of all results")
+		parallel   = flag.Bool("parallel", false, "run experiments concurrently on a worker pool")
+		workers    = flag.Int("workers", 0, "worker pool size (implies -parallel; 0 with -parallel = GOMAXPROCS)")
+		timings    = flag.Bool("timings", false, "include wall-clock measurement columns (non-deterministic)")
 	)
 	flag.Parse()
 
@@ -52,7 +55,7 @@ func main() {
 		return
 	}
 
-	cfg := hierclust.ExperimentConfig{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick, Timings: *timings, MaxRanks: *maxRanks}
+	cfg := hierclust.ExperimentConfig{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick, Timings: *timings, MaxRanks: *maxRanks, Multilevel: *multilevel}
 
 	var exps []hierclust.Experiment
 	if *exp == "all" {

@@ -176,6 +176,19 @@ type HierOptions struct {
 	// instead of the node graph; it has no effect on machines without
 	// power pairing.
 	AlignPowerPairs bool
+	// Multilevel enables the graph package's coarsen/partition/uncoarsen
+	// partitioner — the scalable path for 10k+-node machines. Off (the
+	// default) reproduces the single-level greedy partitioner exactly.
+	Multilevel bool
+	// CoarsenThreshold is the vertex count where multilevel coarsening
+	// stops (0 = the partitioner default).
+	CoarsenThreshold int
+	// MatchingRounds bounds each coarsening level's heavy-edge matching
+	// rounds (0 = the partitioner default).
+	MatchingRounds int
+	// PartitionWorkers bounds the multilevel partitioner's worker pool
+	// (0 = GOMAXPROCS). The clustering never depends on it.
+	PartitionWorkers int
 }
 
 func (o *HierOptions) normalize() {
@@ -246,7 +259,7 @@ func Hierarchical(m trace.Comm, p *topology.Placement, opts HierOptions) (*Clust
 			// One group per local process index present on every node.
 			width := 0
 			for _, n := range sub {
-				if w := len(p.RanksOn(n)); width == 0 || w < width {
+				if w := p.CountOn(n); width == 0 || w < width {
 					width = w
 				}
 			}
@@ -260,7 +273,7 @@ func Hierarchical(m trace.Comm, p *topology.Placement, opts HierOptions) (*Clust
 			// Leftover ranks on nodes with more processes than the
 			// sub-group minimum join a trailing group per node level.
 			for _, n := range sub {
-				for i := width; i < len(p.RanksOn(n)); i++ {
+				for i := width; i < p.CountOn(n); i++ {
 					// Attach to the group of level i%width to keep the
 					// distribution property.
 					gidx := len(c.Groups) - width + i%width
@@ -276,12 +289,19 @@ func Hierarchical(m trace.Comm, p *topology.Placement, opts HierOptions) (*Clust
 // or — with AlignPowerPairs — over its power-pair quotient, so that both
 // nodes of each pair always share an L1 cluster.
 func partitionNodes(nodeGraph *graph.Graph, used []topology.NodeID, p *topology.Placement, opts HierOptions) ([]int, error) {
+	partOpts := func(minSize, targetSize, maxSize int) graph.PartitionOptions {
+		return graph.PartitionOptions{
+			MinSize:          minSize,
+			TargetSize:       targetSize,
+			MaxSize:          maxSize,
+			Multilevel:       opts.Multilevel,
+			CoarsenThreshold: opts.CoarsenThreshold,
+			MatchingRounds:   opts.MatchingRounds,
+			Workers:          opts.PartitionWorkers,
+		}
+	}
 	if !opts.AlignPowerPairs || !p.Machine().PowerPairs {
-		return graph.Partition(nodeGraph, graph.PartitionOptions{
-			MinSize:    opts.MinNodesPerL1,
-			TargetSize: opts.TargetNodesPerL1,
-			MaxSize:    opts.MaxNodesPerL1,
-		})
+		return graph.Partition(nodeGraph, partOpts(opts.MinNodesPerL1, opts.TargetNodesPerL1, opts.MaxNodesPerL1))
 	}
 	// Quotient the node graph by power pair (node/2) and partition pairs.
 	pairIDs := map[topology.NodeID]int{}
@@ -307,11 +327,8 @@ func partitionNodes(nodeGraph *graph.Graph, used []topology.NodeID, p *topology.
 		}
 		return (v + 1) / 2
 	}
-	pairPart, err := graph.Partition(pairGraph, graph.PartitionOptions{
-		MinSize:    halve(opts.MinNodesPerL1),
-		TargetSize: halve(opts.TargetNodesPerL1),
-		MaxSize:    opts.MaxNodesPerL1 / 2,
-	})
+	pairPart, err := graph.Partition(pairGraph, partOpts(
+		halve(opts.MinNodesPerL1), halve(opts.TargetNodesPerL1), opts.MaxNodesPerL1/2))
 	if err != nil {
 		return nil, err
 	}

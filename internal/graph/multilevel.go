@@ -1,0 +1,510 @@
+package graph
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The multilevel pipeline: heavy-edge-matching coarsening, greedy partition
+// of the coarsest graph, and projection back up with the incremental-gain
+// refinement run at every level. This is the standard answer of large-graph
+// practice (METIS-family partitioners) to the two weaknesses of single-level
+// greedy growth: the growth loop is inherently serial, and its local view
+// misses community structure that only appears after contraction. Matching
+// caps merged vertex weight at TargetSize, so coarse vertices are embryonic
+// clusters; the coarsest greedy growth then works on a graph a few hundred
+// vertices wide regardless of the input size.
+//
+// Everything is deterministic by construction: matching proposals are pure
+// functions of the frozen CSR and the previous round's state, written to
+// per-vertex slots, so the assignment is bit-identical at any worker count.
+
+// mlLevel is one rung of the coarsening ladder.
+type mlLevel struct {
+	g *Graph
+	// vw[v] = number of original (finest-level) vertices inside v; nil at
+	// the finest level (unit weights).
+	vw []int
+	// cmap[v] = vertex of the next-coarser level's graph containing v; nil
+	// on the coarsest level.
+	cmap []int
+}
+
+// multilevelPartition runs the coarsen/partition/uncoarsen pipeline. The
+// caller has normalized opts, ensured g is frozen, and checked
+// n > CoarsenThreshold.
+func multilevelPartition(g *Graph, opts PartitionOptions) ([]int, error) {
+	levels := []*mlLevel{{g: g}}
+	for {
+		cur := levels[len(levels)-1]
+		if cur.g.N() <= opts.CoarsenThreshold {
+			break
+		}
+		match, matched := heavyEdgeMatching(cur.g, cur.vw, opts)
+		// Stop when matching stalls — nothing matched, or the graph would
+		// shrink by less than 10% (each matched pair removes one vertex):
+		// a further level costs full matching + contraction + refinement
+		// passes for almost no reduction.
+		if matched == 0 || matched/2 < cur.g.N()/10 {
+			break
+		}
+		coarse, cmap, cvw, err := contract(cur.g, cur.vw, match, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		cur.cmap = cmap
+		levels = append(levels, &mlLevel{g: coarse, vw: cvw})
+	}
+
+	coarsest := levels[len(levels)-1]
+	part := singleLevel(coarsest.g, opts, coarsest.vw)
+
+	// Project back up, refining at every level: the coarse assignment seeds
+	// each finer level, and boundary moves that only make sense at finer
+	// granularity are recovered by the same incremental-gain refinement the
+	// single-level path runs. Intermediate levels get a trimmed pass budget
+	// — their mistakes are still correctable below, and the finest level
+	// keeps the caller's full budget for the moves that actually count.
+	for li := len(levels) - 2; li >= 0; li-- {
+		l := levels[li]
+		fine := make([]int, l.g.N())
+		for v := range fine {
+			fine[v] = part[l.cmap[v]]
+		}
+		part = fine
+		sizes := weightedSizes(part, l.vw)
+		lvlOpts := opts
+		if li > 0 && lvlOpts.RefinePasses > 2 {
+			lvlOpts.RefinePasses = 2
+		}
+		refine(l.g, part, sizes, lvlOpts, l.vw)
+	}
+	return compact(part), nil
+}
+
+// mergeSmallWeighted is mergeSmall for the weighted (multilevel) path:
+// same policy — fold every under-MinSize cluster into the neighbor it
+// communicates with most, respecting MaxSize when possible, MinSize being
+// the hard constraint — but indexed. Cluster members live in linked lists
+// and merged ids resolve through a union-find, so each merge touches only
+// the small cluster's own edges instead of rescanning the whole graph;
+// weighted growth can leave thousands of matching-leftover clusters where
+// the unit path leaves at most one.
+func mergeSmallWeighted(g *Graph, part []int, sizes []int, opts PartitionOptions) ([]int, []int) {
+	n := g.N()
+	k := len(sizes)
+	head := make([]int32, k)
+	tail := make([]int32, k)
+	for i := range head {
+		head[i], tail[i] = -1, -1
+	}
+	next := make([]int32, n)
+	for v := n - 1; v >= 0; v-- { // prepend descending → lists ascend
+		id := part[v]
+		next[v] = head[id]
+		head[id] = int32(v)
+		if tail[id] == -1 {
+			tail[id] = int32(v)
+		}
+	}
+	parent := make([]int32, k)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(id int32) int32 {
+		for parent[id] != id {
+			parent[id] = parent[parent[id]] // path halving
+			id = parent[id]
+		}
+		return id
+	}
+	active := 0
+	var queue []int32
+	for id := 0; id < k; id++ {
+		if sizes[id] > 0 {
+			active++
+			if sizes[id] < opts.MinSize {
+				queue = append(queue, int32(id))
+			}
+		}
+	}
+	conn := map[int32]float64{}
+	for qi := 0; qi < len(queue); qi++ {
+		small := find(queue[qi])
+		if sizes[small] == 0 || sizes[small] >= opts.MinSize {
+			continue // already merged away or grown past the bound
+		}
+		if active <= 1 {
+			break // nothing to merge with
+		}
+		clear(conn)
+		for v := head[small]; v != -1; v = next[v] {
+			cols, ws := g.row(int(v))
+			for i, c := range cols {
+				if root := find(int32(part[c])); root != small {
+					conn[root] += ws[i]
+				}
+			}
+		}
+		target := int32(-1)
+		bestW := -1.0
+		for id, w := range conn {
+			fits := opts.MaxSize == 0 || sizes[id]+sizes[small] <= opts.MaxSize
+			if fits && (w > bestW || (w == bestW && (target == -1 || id < target))) {
+				target, bestW = id, w
+			}
+		}
+		if target == -1 { // no fitting neighbor: relax MaxSize, then fall
+			for id, w := range conn { // back to smallest cluster overall
+				if w > bestW || (w == bestW && (target == -1 || id < target)) {
+					target, bestW = id, w
+				}
+			}
+		}
+		if target == -1 {
+			for id := 0; id < k; id++ {
+				root := int32(id)
+				if parent[root] != root || root == small || sizes[root] == 0 {
+					continue
+				}
+				if target == -1 || sizes[root] < sizes[target] {
+					target = root
+				}
+			}
+		}
+		if target == -1 {
+			break
+		}
+		// Union: target survives; concat the member lists.
+		parent[small] = target
+		sizes[target] += sizes[small]
+		sizes[small] = 0
+		if head[target] == -1 {
+			head[target], tail[target] = head[small], tail[small]
+		} else {
+			next[tail[target]] = head[small]
+			tail[target] = tail[small]
+		}
+		active--
+		if sizes[target] < opts.MinSize {
+			queue = append(queue, target)
+		}
+	}
+	for v := range part {
+		part[v] = int(find(int32(part[v])))
+	}
+	return part, sizes
+}
+
+// weightedSizes sums vertex weights per part id.
+func weightedSizes(part []int, vw []int) []int {
+	sizes := make([]int, NumParts(part))
+	for v, p := range part {
+		sizes[p] += vweight(vw, v)
+	}
+	return sizes
+}
+
+// matchCoin deterministically splits vertices into proposers (true) and
+// acceptors (false) per round, by a splitmix-style hash. A naive symmetric
+// handshake ("everyone proposes to their heaviest neighbor") deadlocks on
+// uniform-weight graphs — every stencil vertex proposes to the same-side
+// neighbor and almost nothing is mutual — while the coin breaks the
+// symmetry with no randomness at run time: the role of (vertex, round) is a
+// pure function, identical on every machine and worker count.
+func matchCoin(v int, round int) bool {
+	x := uint64(v)*0x9e3779b97f4a7c15 + uint64(round+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x&1 == 1
+}
+
+// heavyEdgeMatching computes a matching preferring heavy edges via
+// deterministic proposer/acceptor rounds: each round the coin splits the
+// unmatched vertices, proposers pick their heaviest unmatched acceptor
+// neighbor within the TargetSize weight cap, acceptors take their heaviest
+// incoming proposal, and agreeing pairs bind. Every phase writes only
+// per-vertex slots from read-only state, so the matching — and hence the
+// partition — never depends on the worker count. match[v] is the partner
+// vertex, or -1 when v stays single; matched counts the non-single vertices
+// so the caller can detect a stall before contracting.
+func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions) (match []int32, matched int) {
+	n := g.N()
+	match = make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	cand := make([]int32, n)   // proposer → chosen acceptor
+	accept := make([]int32, n) // acceptor → chosen proposer
+	maxW := opts.TargetSize
+	for round := 0; round < opts.MatchingRounds; round++ {
+		// Phase 1: proposers pick their heaviest eligible acceptor.
+		// Ascending columns make the first strictly heavier neighbor the
+		// smallest-indexed one, so ties break low without an explicit
+		// comparison.
+		parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				cand[u] = -1
+				if match[u] != -1 || !matchCoin(u, round) {
+					continue
+				}
+				wu := vweight(vw, u)
+				cols, ws := g.row(u)
+				best, bestW := int32(-1), -1.0
+				for i, c := range cols {
+					v := int(c)
+					if v == u || match[v] != -1 || matchCoin(v, round) {
+						continue
+					}
+					if wu+vweight(vw, v) > maxW {
+						continue
+					}
+					if ws[i] > bestW {
+						best, bestW = c, ws[i]
+					}
+				}
+				cand[u] = best
+			}
+		})
+		// Phase 2: acceptors take their heaviest incoming proposal (cand
+		// of a non-proposer is -1, so the scan is self-filtering).
+		parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				accept[v] = -1
+				if match[v] != -1 || matchCoin(v, round) {
+					continue
+				}
+				cols, ws := g.row(v)
+				best, bestW := int32(-1), -1.0
+				for i, c := range cols {
+					if int(c) != v && cand[c] == int32(v) && ws[i] > bestW {
+						best, bestW = c, ws[i]
+					}
+				}
+				accept[v] = best
+			}
+		})
+		// Phase 3: bind agreeing pairs; each vertex writes only its own
+		// match slot. An accepted proposer always binds symmetrically:
+		// accept[v] = u implies cand[u] = v.
+		var progressed atomic.Bool
+		parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
+			any := false
+			for u := lo; u < hi; u++ {
+				if match[u] != -1 {
+					continue
+				}
+				if matchCoin(u, round) {
+					if v := cand[u]; v >= 0 && accept[v] == int32(u) {
+						match[u] = v
+						any = true
+					}
+				} else if p := accept[u]; p >= 0 {
+					match[u] = p
+					any = true
+				}
+			}
+			if any {
+				progressed.Store(true)
+			}
+		})
+		if !progressed.Load() {
+			break
+		}
+	}
+	for _, m := range match {
+		if m != -1 {
+			matched++
+		}
+	}
+	return match, matched
+}
+
+// contract collapses matched pairs into single vertices, returning the
+// coarse graph, the fine→coarse vertex map, and the coarse vertex weights
+// (original-vertex counts). Intra-pair edges become self-loops — they can
+// never be cut, but they keep coarse strengths comparable for seed ordering,
+// mirroring Quotient. The coarse CSR is assembled directly (capacity rows
+// filled in parallel, then compacted) — staging through AddEdge re-sorted
+// the whole edge set per level and dominated the multilevel profile.
+func contract(g *Graph, vw []int, match []int32, workers int) (*Graph, []int, []int, error) {
+	n := g.N()
+	cmap := make([]int, n)
+	nc := 0
+	for u := 0; u < n; u++ {
+		m := int(match[u])
+		if m == -1 || u < m {
+			cmap[u] = nc
+			nc++
+		} else {
+			cmap[u] = cmap[m] // m < u already numbered
+		}
+	}
+	cvw := make([]int, nc)
+	// mem1/mem2 are each coarse vertex's constituents (mem2 -1 when single).
+	mem1 := make([]int32, nc)
+	mem2 := make([]int32, nc)
+	for c := range mem1 {
+		mem1[c], mem2[c] = -1, -1
+	}
+	for u := 0; u < n; u++ { // ascending, so mem1 < mem2
+		c := cmap[u]
+		if mem1[c] == -1 {
+			mem1[c] = int32(u)
+		} else {
+			mem2[c] = int32(u)
+		}
+		cvw[c] += vweight(vw, u)
+	}
+	// Capacity rows: each coarse row holds at most the combined degree of
+	// its constituents. Fill in parallel, coalesce per row, then compact.
+	capPtr := make([]int64, nc+1)
+	for c := 0; c < nc; c++ {
+		d := g.rowptr[mem1[c]+1] - g.rowptr[mem1[c]]
+		if m := mem2[c]; m != -1 {
+			d += g.rowptr[m+1] - g.rowptr[m]
+		}
+		capPtr[c+1] = capPtr[c] + d
+	}
+	col := make([]int32, capPtr[nc])
+	w := make([]float64, capPtr[nc])
+	cnt := make([]int32, nc)
+	parallelVertexRanges(nc, workers, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			base := capPtr[c]
+			k := int64(0)
+			gather := func(u int32) {
+				cols, ws := g.row(int(u))
+				for i, cc := range cols {
+					tc := cmap[cc]
+					// Intra-coarse fine edges appear in both constituent
+					// rows; keep the smaller endpoint's copy so the coarse
+					// self-loop counts each undirected edge once.
+					if tc == c && cc < u {
+						continue
+					}
+					col[base+k], w[base+k] = int32(tc), ws[i]
+					k++
+				}
+			}
+			gather(mem1[c])
+			if mem2[c] != -1 {
+				gather(mem2[c])
+			}
+			span := col[base : base+k]
+			spanW := w[base : base+k]
+			sortPairsStable(span, spanW)
+			// Coalesce duplicates in place; stable sort keeps gather order
+			// within a column, so weight sums are deterministic.
+			write := int64(0)
+			for i := int64(0); i < k; i++ {
+				if write > 0 && span[write-1] == span[i] {
+					spanW[write-1] += spanW[i]
+				} else {
+					span[write], spanW[write] = span[i], spanW[i]
+					write++
+				}
+			}
+			cnt[c] = int32(write)
+		}
+	})
+	rowptr := make([]int64, nc+1)
+	for c := 0; c < nc; c++ {
+		rowptr[c+1] = rowptr[c] + int64(cnt[c])
+	}
+	fcol := make([]int32, rowptr[nc])
+	fw := make([]float64, rowptr[nc])
+	for c := 0; c < nc; c++ {
+		copy(fcol[rowptr[c]:rowptr[c+1]], col[capPtr[c]:capPtr[c]+int64(cnt[c])])
+		copy(fw[rowptr[c]:rowptr[c+1]], w[capPtr[c]:capPtr[c]+int64(cnt[c])])
+	}
+	coarse, err := FromCSR(nc, rowptr, fcol, fw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return coarse, cmap, cvw, nil
+}
+
+// sortPairsStable stably sorts the parallel (col, w) arrays by column:
+// insertion sort for the short rows contraction produces, library stable
+// sort beyond that.
+func sortPairsStable(col []int32, w []float64) {
+	n := len(col)
+	if n <= 48 {
+		for i := 1; i < n; i++ {
+			c, wt := col[i], w[i]
+			j := i - 1
+			for j >= 0 && col[j] > c {
+				col[j+1], w[j+1] = col[j], w[j]
+				j--
+			}
+			col[j+1], w[j+1] = c, wt
+		}
+		return
+	}
+	sort.Stable(&pairSorter{col: col, w: w})
+}
+
+type pairSorter struct {
+	col []int32
+	w   []float64
+}
+
+func (p *pairSorter) Len() int           { return len(p.col) }
+func (p *pairSorter) Less(i, j int) bool { return p.col[i] < p.col[j] }
+func (p *pairSorter) Swap(i, j int) {
+	p.col[i], p.col[j] = p.col[j], p.col[i]
+	p.w[i], p.w[j] = p.w[j], p.w[i]
+}
+
+// mlChunk is the fixed vertex-range chunk size of parallelVertexRanges.
+// Fixed — not derived from the worker count — so chunk boundaries, and
+// anything a caller could accidentally make depend on them, never change
+// with parallelism.
+const mlChunk = 4096
+
+// parallelVertexRanges runs fn over [0,n) in fixed chunks on a small worker
+// pool (workers 0 = GOMAXPROCS). Callers must write only to per-vertex
+// slots derived from read-only inputs, which makes the serial and parallel
+// executions indistinguishable.
+func parallelVertexRanges(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nchunks := (n + mlChunk - 1) / mlChunk
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1) - 1)
+				if c >= nchunks {
+					return
+				}
+				lo := c * mlChunk
+				hi := lo + mlChunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,297 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// stencil2D builds a w-wide 2-D grid with heavy horizontal and lighter
+// vertical edges — the node-graph shape of the synthetic scaling rigs.
+func stencil2D(n, w int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if i+1 < n && (i+1)%w != 0 {
+			_ = g.AddEdge(i, i+1, 1000)
+		}
+		if i+w < n {
+			_ = g.AddEdge(i, i+w, 800)
+		}
+	}
+	return g
+}
+
+// checkAssignment verifies the Partition contract: dense coverage and the
+// MinSize (always) / MaxSize (when set) bounds.
+func checkAssignment(t *testing.T, name string, part []int, n int, opts PartitionOptions) {
+	t.Helper()
+	if len(part) != n {
+		t.Fatalf("%s: assignment covers %d of %d vertices", name, len(part), n)
+	}
+	seen := make([]bool, NumParts(part))
+	for v, p := range part {
+		if p < 0 || p >= len(seen) {
+			t.Fatalf("%s: vertex %d has id %d outside dense range", name, v, p)
+		}
+		seen[p] = true
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("%s: part id %d unused (not dense)", name, id)
+		}
+	}
+	min := opts.MinSize
+	if min <= 0 {
+		min = 1
+	}
+	for id, s := range PartSizes(part) {
+		if s < min {
+			t.Errorf("%s: part %d has size %d < MinSize %d", name, id, s, min)
+		}
+		if opts.MaxSize != 0 && s > opts.MaxSize {
+			t.Errorf("%s: part %d has size %d > MaxSize %d", name, id, s, opts.MaxSize)
+		}
+	}
+}
+
+// The acceptance property of the multilevel path: on every graph the
+// existing partition tests exercise — and on the structured large graphs the
+// scaling rigs produce — the multilevel cut is never worse than the
+// single-level cut, and the same size bounds hold.
+func TestMultilevelCutNoWorseThanSingleLevel(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		opts PartitionOptions
+	}{
+		{"path16", path(16, 1), PartitionOptions{MinSize: 4, TargetSize: 4, MaxSize: 4}},
+		{"ring10", ring(10, 1), PartitionOptions{MinSize: 3}},
+		{"ring4", ring(4, 1), PartitionOptions{MinSize: 4, TargetSize: 4}},
+		{"ring1024", ring(1024, 1000), PartitionOptions{MinSize: 4, TargetSize: 4}},
+		{"stencil4096", stencil2D(4096, 64), PartitionOptions{MinSize: 4, TargetSize: 4}},
+		{"stencil16384", stencil2D(16384, 128), PartitionOptions{MinSize: 4, TargetSize: 4}},
+		{"stencil16384-t16", stencil2D(16384, 128), PartitionOptions{MinSize: 4, TargetSize: 16}},
+	}
+	// The community graph of TestPartitionImprovesOverRandom.
+	rng := rand.New(rand.NewSource(7))
+	const k, groups = 8, 6
+	comm := New(k * groups)
+	for grp := 0; grp < groups; grp++ {
+		base := grp * k
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if rng.Float64() < 0.8 {
+					_ = comm.AddEdge(base+a, base+b, 1+rng.Float64())
+				}
+			}
+		}
+	}
+	for i := 0; i < 40; i++ {
+		u, v := rng.Intn(k*groups), rng.Intn(k*groups)
+		if u/k != v/k {
+			_ = comm.AddEdge(u, v, 0.2)
+		}
+	}
+	cases = append(cases, struct {
+		name string
+		g    *Graph
+		opts PartitionOptions
+	}{"community48", comm, PartitionOptions{MinSize: k, TargetSize: k, MaxSize: k}})
+	// Random graphs at a scale where coarsening engages for real.
+	for seed := int64(1); seed <= 3; seed++ {
+		rg := randomIntGraph(seed, 2048)
+		cases = append(cases, struct {
+			name string
+			g    *Graph
+			opts PartitionOptions
+		}{"random2048", rg, PartitionOptions{MinSize: 4, TargetSize: 4}})
+	}
+
+	for _, tc := range cases {
+		single, err := Partition(tc.g, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: single-level: %v", tc.name, err)
+		}
+		mlOpts := tc.opts
+		mlOpts.Multilevel = true
+		multi, err := Partition(tc.g, mlOpts)
+		if err != nil {
+			t.Fatalf("%s: multilevel: %v", tc.name, err)
+		}
+		checkAssignment(t, tc.name, multi, tc.g.N(), tc.opts)
+		cs, _ := tc.g.CutWeight(single)
+		cm, _ := tc.g.CutWeight(multi)
+		if cm > cs {
+			t.Errorf("%s: multilevel cut %g worse than single-level %g", tc.name, cm, cs)
+		}
+	}
+}
+
+// Below CoarsenThreshold the multilevel flag is inert: the assignment must
+// be identical to single-level, not merely no worse.
+func TestMultilevelIdenticalBelowThreshold(t *testing.T) {
+	g := randomIntGraph(3, 100) // 100 <= default threshold 128
+	single, err := Partition(g, PartitionOptions{MinSize: 4, TargetSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Partition(g, PartitionOptions{MinSize: 4, TargetSize: 4, Multilevel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range single {
+		if single[v] != multi[v] {
+			t.Fatalf("vertex %d: single-level id %d != multilevel id %d (threshold fallback must be exact)",
+				v, single[v], multi[v])
+		}
+	}
+}
+
+// The multilevel assignment must be bit-identical at any worker count and
+// across repeated runs — the partitioner sits inside evaluations whose
+// outputs are compared byte-for-byte.
+func TestMultilevelWorkerInvariance(t *testing.T) {
+	g := stencil2D(8192, 128)
+	var ref []int
+	for _, workers := range []int{1, 2, 3, 8} {
+		part, err := Partition(g, PartitionOptions{
+			MinSize: 4, TargetSize: 4, Multilevel: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = part
+			continue
+		}
+		for v := range ref {
+			if ref[v] != part[v] {
+				t.Fatalf("workers=%d: vertex %d assigned %d, want %d", workers, v, part[v], ref[v])
+			}
+		}
+	}
+	again, err := Partition(g, PartitionOptions{
+		MinSize: 4, TargetSize: 4, Multilevel: true, Workers: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref {
+		if ref[v] != again[v] {
+			t.Fatalf("repeat run diverged at vertex %d", v)
+		}
+	}
+}
+
+// Matching invariants: symmetry, no self-matches, and the TargetSize weight
+// cap (coarse vertices are embryonic clusters and must stay mergeable).
+func TestHeavyEdgeMatchingInvariants(t *testing.T) {
+	g := randomIntGraph(11, 600)
+	g.ensure()
+	opts := PartitionOptions{MinSize: 4, TargetSize: 4}
+	if err := opts.normalize(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	match, matched := heavyEdgeMatching(g, nil, opts)
+	count := 0
+	for u, m := range match {
+		if m == -1 {
+			continue
+		}
+		count++
+		if int(m) == u {
+			t.Fatalf("vertex %d matched to itself", u)
+		}
+		if match[m] != int32(u) {
+			t.Fatalf("matching not symmetric: match[%d]=%d but match[%d]=%d", u, m, m, match[m])
+		}
+		if g.Weight(u, int(m)) == 0 {
+			t.Fatalf("matched pair {%d,%d} shares no edge", u, m)
+		}
+	}
+	if count != matched {
+		t.Fatalf("matched count %d != scan count %d", matched, count)
+	}
+	if matched == 0 {
+		t.Fatal("matching found nothing on a connected graph")
+	}
+	// Contract and confirm weights: every coarse vertex within TargetSize.
+	_, cmap, cvw, err := contract(g, nil, match, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range cvw {
+		if w < 1 || w > opts.TargetSize {
+			t.Fatalf("coarse vertex weight %d outside 1..%d", w, opts.TargetSize)
+		}
+	}
+	total := 0
+	for _, w := range cvw {
+		total += w
+	}
+	if total != g.N() {
+		t.Fatalf("coarse weights sum to %d, want %d", total, g.N())
+	}
+	for v, c := range cmap {
+		if c < 0 || c >= len(cvw) {
+			t.Fatalf("vertex %d mapped to out-of-range coarse vertex %d", v, c)
+		}
+	}
+}
+
+// contract must preserve total edge weight (intra-pair edges become
+// self-loops, never vanish) — the invariant behind cut comparisons across
+// levels.
+func TestContractPreservesTotalWeight(t *testing.T) {
+	g := randomIntGraph(5, 500)
+	g.ensure()
+	opts := PartitionOptions{MinSize: 4, TargetSize: 4}
+	if err := opts.normalize(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	match, _ := heavyEdgeMatching(g, nil, opts)
+	coarse, _, _, err := contract(g, nil, match, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := coarse.TotalWeight(), g.TotalWeight(); got != want {
+		t.Fatalf("coarse total weight %g, want %g", got, want)
+	}
+}
+
+// Property: multilevel keeps the Partition invariants on random graphs even
+// with a tiny CoarsenThreshold forcing real coarsening at small sizes.
+func TestMultilevelInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, minRaw uint8) bool {
+		n := int(nRaw%60) + 16
+		min := int(minRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = g.AddEdge(u, v, float64(rng.Intn(100)+1))
+			}
+		}
+		part, err := Partition(g, PartitionOptions{
+			MinSize: min, TargetSize: min, Multilevel: true, CoarsenThreshold: 8,
+		})
+		if err != nil {
+			return false
+		}
+		if len(part) != n {
+			return false
+		}
+		total := 0
+		for _, s := range PartSizes(part) {
+			if s < min {
+				return false
+			}
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

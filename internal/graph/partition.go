@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // PartitionOptions bounds the clusters produced by Partition.
@@ -23,6 +23,25 @@ type PartitionOptions struct {
 	// RefinePasses bounds the Kernighan–Lin style refinement sweeps;
 	// if 0 a default of 8 is used.
 	RefinePasses int
+
+	// Multilevel enables the coarsen/partition/uncoarsen pipeline:
+	// heavy-edge matching collapses the graph level by level until it has
+	// at most CoarsenThreshold vertices, the coarsest graph is partitioned
+	// with the greedy growth, and the assignment is projected back up with
+	// the incremental-gain refinement run at every level. The matching
+	// rounds parallelize over the frozen CSR; results are identical at any
+	// worker count. Off, or on a graph with at most CoarsenThreshold
+	// vertices, Partition produces exactly the single-level result.
+	Multilevel bool
+	// CoarsenThreshold stops coarsening once the graph has at most this
+	// many vertices; 0 means 128.
+	CoarsenThreshold int
+	// MatchingRounds bounds the handshake rounds of each heavy-edge
+	// matching; 0 means 4.
+	MatchingRounds int
+	// Workers bounds the matching worker pool (0 = GOMAXPROCS). The
+	// assignment never depends on it.
+	Workers int
 }
 
 func (o *PartitionOptions) normalize(n int) error {
@@ -44,7 +63,22 @@ func (o *PartitionOptions) normalize(n int) error {
 	if o.RefinePasses == 0 {
 		o.RefinePasses = 8
 	}
+	if o.CoarsenThreshold <= 0 {
+		o.CoarsenThreshold = 128
+	}
+	if o.MatchingRounds <= 0 {
+		o.MatchingRounds = 4
+	}
 	return nil
+}
+
+// vweight returns the weight of vertex v under vw; nil means unit weights
+// (the single-level path and the finest multilevel level).
+func vweight(vw []int, v int) int {
+	if vw == nil {
+		return 1
+	}
+	return vw[v]
 }
 
 // Partition splits g into clusters of bounded size while minimizing the
@@ -52,7 +86,11 @@ func (o *PartitionOptions) normalize(n int) error {
 // strategy of the paper's reference [24]: greedy region growing seeded at
 // high-traffic vertices, followed by boundary refinement that moves vertices
 // between clusters whenever that lowers the cut without violating the size
-// bounds. It returns part[v] = cluster id, with ids dense in 0..K-1.
+// bounds. With Multilevel set (and a graph above CoarsenThreshold) the
+// growth runs on a heavy-edge-coarsened graph instead and the refinement
+// repeats at every level on the way back up — the same contract, better
+// cuts, and parallel matching on large graphs. It returns part[v] = cluster
+// id, with ids dense in 0..K-1.
 func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 	n := g.N()
 	if err := opts.normalize(n); err != nil {
@@ -62,24 +100,58 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 		return []int{}, nil
 	}
 	g.ensure()
+	if opts.Multilevel && n > opts.CoarsenThreshold {
+		return multilevelPartition(g, opts)
+	}
+	return singleLevel(g, opts, nil), nil
+}
 
+// singleLevel is the growth → merge → refine pipeline on one graph, with
+// cluster sizes measured in vertex weight (vw nil = unit weights, the
+// original single-level behavior; multilevel coarse graphs pass the number
+// of original vertices inside each coarse vertex).
+func singleLevel(g *Graph, opts PartitionOptions, vw []int) []int {
+	part, sizes := grow(g, opts, vw)
+	if vw == nil {
+		part, sizes = mergeSmall(g, part, sizes, opts)
+	} else {
+		// Weighted growth can leave many undersized clusters (matching
+		// leftovers); the indexed merge handles thousands of them without
+		// mergeSmall's per-merge full-graph scans.
+		part, sizes = mergeSmallWeighted(g, part, sizes, opts)
+	}
+	refine(g, part, sizes, opts, vw)
+	return compact(part)
+}
+
+// grow performs greedy region growing seeded at high-strength vertices,
+// returning the raw (non-compacted) assignment and per-id sizes in weight
+// units.
+func grow(g *Graph, opts PartitionOptions, vw []int) ([]int, []int) {
+	n := g.N()
 	part := make([]int, n)
 	for i := range part {
 		part[i] = -1
 	}
 
 	// Seeds in decreasing strength order: heavy communicators first, so the
-	// densest neighborhoods are kept together.
+	// densest neighborhoods are kept together. The index tie-break makes
+	// the order total, so any sort algorithm produces the same seeds; the
+	// generic sort avoids sort.Slice's reflection swaps, which dominated
+	// grow on 100k-vertex graphs.
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		sa, sb := g.strength[order[a]], g.strength[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		sa, sb := g.strength[a], g.strength[b]
 		if sa != sb {
-			return sa > sb
+			if sa > sb {
+				return -1
+			}
+			return 1
 		}
-		return order[a] < order[b]
+		return a - b
 	})
 
 	next := 0
@@ -94,7 +166,13 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 		id := next
 		next++
 		part[seed] = id
-		size := 1
+		size := vweight(vw, seed)
+		if size >= opts.TargetSize {
+			// Already at target (a saturated multilevel coarse vertex):
+			// skip the frontier bookkeeping entirely.
+			sizes = append(sizes, size)
+			continue
+		}
 		// conn[v] = weight connecting unassigned v to the growing cluster.
 		conn := map[int]float64{}
 		seedCols, seedWs := g.row(seed)
@@ -106,11 +184,23 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 		for size < opts.TargetSize {
 			best, bestW := -1, -1.0
 			for v, w := range conn {
+				if opts.MaxSize != 0 && size+vweight(vw, v) > opts.MaxSize {
+					continue // weighted vertex would burst the hard cap
+				}
 				if w > bestW || (w == bestW && (best == -1 || v < best)) {
 					best, bestW = v, w
 				}
 			}
 			if best == -1 {
+				if vw != nil {
+					// Weighted (multilevel) growth: no unassigned neighbor
+					// is available or fits. Pulling a distant vertex here
+					// would fabricate a non-contiguous cluster; stopping
+					// leaves any undersized cluster to mergeSmall, which
+					// folds it into its most-connected — adjacent —
+					// neighbor instead.
+					break
+				}
 				// Disconnected from every unassigned vertex: pull in the
 				// strongest remaining vertex so every cluster reaches the
 				// target (reliability requires the minimum size even for
@@ -128,7 +218,7 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 			}
 			part[best] = id
 			delete(conn, best)
-			size++
+			size += vweight(vw, best)
 			cols, ws := g.row(best)
 			for i, c := range cols {
 				if part[c] == -1 {
@@ -138,14 +228,7 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 		}
 		sizes = append(sizes, size)
 	}
-
-	// Merge undersized clusters (only the last-grown cluster can be small)
-	// into their most-connected neighbor, respecting MaxSize when possible.
-	part, sizes = mergeSmall(g, part, sizes, opts)
-
-	refine(g, part, sizes, opts)
-
-	return compact(part), nil
+	return part, sizes
 }
 
 // mergeSmall folds every cluster below MinSize into the neighboring cluster
@@ -232,36 +315,92 @@ func activeClusters(sizes []int) []int {
 // The per-vertex connection weights (vertex → adjacent cluster → weight) are
 // built once in O(E) and then maintained incrementally: moving v from
 // cluster a to cluster b only touches the cached entries of v's neighbors.
-// The previous implementation rebuilt every vertex's map on every sweep,
-// which dominated partitioning time on large node graphs.
-func refine(g *Graph, part []int, sizes []int, opts PartitionOptions) {
+// The cache lives in flat arrays spanned by the CSR row pointers — a vertex
+// touches at most deg(v) distinct clusters, so its row span always has room
+// — because one map per vertex (the previous layout) cost more to build
+// than the moves it served on 100k-vertex graphs, and the multilevel path
+// rebuilds the cache at every level.
+//
+// Sizes are in weight units: moving v shifts vweight(vw, v), and the size
+// bounds hold in the same units (unit weights reproduce the historical
+// vertex-count behavior exactly).
+func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int) {
 	n := g.N()
-	conn := make([]map[int]float64, n)
+	// connID/connW/connCnt[rowptr[v]:rowptr[v]+connLen[v]] = (cluster,
+	// weight, contributing neighbors) entries of v, unordered; lookups scan
+	// the span. An entry lives exactly while some neighbor contributes to
+	// it, so occupancy never exceeds deg(v) — the span always has room.
+	// With exact weight arithmetic (integer-valued byte counts, every graph
+	// this repository builds) the cached weights equal the historical
+	// per-vertex map cache exactly.
+	nnz := g.rowptr[n]
+	connID := make([]int32, nnz)
+	connW := make([]float64, nnz)
+	connCnt := make([]int32, nnz)
+	connLen := make([]int32, n)
+	find := func(v int, id int) int {
+		lo := g.rowptr[v]
+		span := connID[lo : lo+int64(connLen[v])]
+		for i := range span {
+			if span[i] == int32(id) {
+				return int(lo) + i
+			}
+		}
+		return -1
+	}
+	add := func(v int, id int, w float64) {
+		if i := find(v, id); i >= 0 {
+			connW[i] += w
+			connCnt[i]++
+			return
+		}
+		pos := g.rowptr[v] + int64(connLen[v])
+		connID[pos], connW[pos], connCnt[pos] = int32(id), w, 1
+		connLen[v]++
+	}
+	// sub removes one neighbor's weight from v's cluster-id entry, dropping
+	// the entry with its last contributor.
+	sub := func(v int, id int, w float64) {
+		i := find(v, id)
+		if i < 0 {
+			return
+		}
+		connW[i] -= w
+		connCnt[i]--
+		if connCnt[i] == 0 {
+			last := g.rowptr[v] + int64(connLen[v]) - 1
+			connID[i], connW[i], connCnt[i] = connID[last], connW[last], connCnt[last]
+			connLen[v]--
+		}
+	}
 	for v := 0; v < n; v++ {
-		m := map[int]float64{}
 		cols, ws := g.row(v)
 		for i, c := range cols {
 			if int(c) != v {
-				m[part[c]] += ws[i]
+				add(v, part[c], ws[i])
 			}
 		}
-		conn[v] = m
 	}
 	for pass := 0; pass < opts.RefinePasses; pass++ {
 		moved := false
 		for v := 0; v < n; v++ {
 			from := part[v]
-			if sizes[from] <= opts.MinSize {
+			wv := vweight(vw, v)
+			if sizes[from]-wv < opts.MinSize {
 				continue // removing v would break the reliability bound
 			}
-			cm := conn[v]
-			own := cm[from]
+			var own float64
+			if i := find(v, from); i >= 0 {
+				own = connW[i]
+			}
 			bestTo, bestW := -1, own
-			for id, w := range cm {
+			lo := g.rowptr[v]
+			for i := int64(0); i < int64(connLen[v]); i++ {
+				id, w := int(connID[lo+i]), connW[lo+i]
 				if id == from {
 					continue
 				}
-				if opts.MaxSize != 0 && sizes[id]+1 > opts.MaxSize {
+				if opts.MaxSize != 0 && sizes[id]+wv > opts.MaxSize {
 					continue
 				}
 				if w > bestW || (w == bestW && bestTo != -1 && id < bestTo) {
@@ -270,8 +409,8 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions) {
 			}
 			if bestTo != -1 && bestW > own {
 				part[v] = bestTo
-				sizes[from]--
-				sizes[bestTo]++
+				sizes[from] -= wv
+				sizes[bestTo] += wv
 				moved = true
 				// Incremental update: every neighbor of v sees v's weight
 				// shift from cluster `from` to `bestTo`.
@@ -281,13 +420,8 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions) {
 					if u == v {
 						continue
 					}
-					cu := conn[u]
-					if nw := cu[from] - ws[i]; nw == 0 {
-						delete(cu, from)
-					} else {
-						cu[from] = nw
-					}
-					cu[bestTo] += ws[i]
+					sub(u, from, ws[i])
+					add(u, bestTo, ws[i])
 				}
 			}
 		}
@@ -297,17 +431,28 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions) {
 	}
 }
 
-// compact renumbers cluster ids densely in order of first appearance.
+// compact renumbers cluster ids densely in order of first appearance. Raw
+// ids are bounded by the grown-cluster count (≤ the vertex count), so the
+// remap is a flat table rather than a hash map.
 func compact(part []int) []int {
-	remap := map[int]int{}
-	out := make([]int, len(part))
-	for i, p := range part {
-		id, ok := remap[p]
-		if !ok {
-			id = len(remap)
-			remap[p] = id
+	max := -1
+	for _, p := range part {
+		if p > max {
+			max = p
 		}
-		out[i] = id
+	}
+	remap := make([]int, max+1)
+	for i := range remap {
+		remap[i] = -1
+	}
+	out := make([]int, len(part))
+	next := 0
+	for i, p := range part {
+		if remap[p] == -1 {
+			remap[p] = next
+			next++
+		}
+		out[i] = remap[p]
 	}
 	return out
 }

@@ -11,7 +11,10 @@ import (
 // WriteArtifacts stores the table CSV in dir and, for the heatmap
 // experiments (fig5a/fig5b), re-traces at the configured scale to dump the
 // full-resolution communication matrix as PGM and CSV — the inputs for
-// external plotting of the paper's Figures 5a/5b.
+// external plotting of the paper's Figures 5a/5b. With cfg.MaxRanks set it
+// additionally renders the synthetic-scale heatmap through the sparse
+// downsampler (<id>_synthetic.pgm plus a triplet CSV) — no dense recorder
+// and no simulated MPI run at any rank count.
 func WriteArtifacts(dir string, table *Table, cfg Config, id string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -21,6 +24,11 @@ func WriteArtifacts(dir string, table *Table, cfg Config, id string) error {
 	}
 	if id != "fig5a" && id != "fig5b" {
 		return nil
+	}
+	if cfg.MaxRanks > 0 {
+		if err := writeSyntheticHeatmap(dir, cfg, id); err != nil {
+			return err
+		}
 	}
 	// Re-trace at the configured scale to dump the raw matrix.
 	cfgFull := cfg
@@ -61,4 +69,29 @@ func WriteArtifacts(dir string, table *Table, cfg Config, id string) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, id+".pgm"), []byte(m.PGM()), 0o644)
+}
+
+// writeSyntheticHeatmap renders the synthetic-axis (cfg.MaxRanks) stencil
+// trace as a downsampled PGM and sparse triplet CSV, entirely on the CSR
+// path — the artifact equivalent of the scaling experiment's synthetic
+// rows. fig5b keeps its meaning as the zoom on the first four nodes.
+func writeSyntheticHeatmap(dir string, cfg Config, id string) error {
+	cfg.normalize()
+	m, _, err := SyntheticRig(cfg.MaxRanks, cfg.ProcsPerNode)
+	if err != nil {
+		return err
+	}
+	if id == "fig5b" {
+		zoomN := 4 * cfg.ProcsPerNode
+		if zoomN > m.Ranks() {
+			zoomN = m.Ranks()
+		}
+		if m, err = m.Submatrix(0, zoomN); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+"_synthetic.csv"), []byte(m.CSV()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+"_synthetic.pgm"), []byte(m.PGM(1024)), 0o644)
 }

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -303,5 +305,44 @@ func TestTableFormatting(t *testing.T) {
 	}
 	if !strings.Contains(csv, "1e-07") {
 		t.Errorf("small float formatting wrong:\n%s", csv)
+	}
+}
+
+// TestSyntheticHeatmapArtifacts: with the synthetic axis configured,
+// fig5a/fig5b artifact dumps must include the sparse-downsampled PGM and
+// triplet CSV rendered from the generated CSR — no dense recorder at the
+// synthetic scale.
+func TestSyntheticHeatmapArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	table := &Table{ID: "fig5a", Title: "t", Columns: []string{"a"}}
+	table.AddRow("x")
+	cfg := Config{Quick: true, MaxRanks: 4096}
+	if err := WriteArtifacts(dir, table, cfg, "fig5a"); err != nil {
+		t.Fatal(err)
+	}
+	pgm, err := os.ReadFile(filepath.Join(dir, "fig5a_synthetic.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(pgm), "P2\n1024 1024\n255\n") {
+		t.Fatalf("synthetic PGM header = %q", string(pgm[:24]))
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig5a_synthetic.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "src,dst,bytes,msgs\n") {
+		t.Fatal("synthetic CSV missing triplet header")
+	}
+	// fig5b: the zoom artifact covers the first four nodes' ranks only.
+	if err := WriteArtifacts(dir, table, cfg, "fig5b"); err != nil {
+		t.Fatal(err)
+	}
+	zoom, err := os.ReadFile(filepath.Join(dir, "fig5b_synthetic.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(zoom), "P2\n32 32\n255\n") { // 4 nodes × 8 ranks (quick)
+		t.Fatalf("fig5b synthetic PGM header = %q", string(zoom[:16]))
 	}
 }

@@ -46,7 +46,7 @@ func Scaling(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := scalingRow(t, b, r.matrix, r.placement); err != nil {
+		if err := scalingRow(t, b, r.matrix, r.placement, cfg.Multilevel); err != nil {
 			return nil, err
 		}
 	}
@@ -55,7 +55,7 @@ func Scaling(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := scalingRow(t, b, m, placement); err != nil {
+		if err := scalingRow(t, b, m, placement, cfg.Multilevel); err != nil {
 			return nil, err
 		}
 	}
@@ -65,12 +65,16 @@ func Scaling(cfg Config) (*Table, error) {
 		t.Notes = append(t.Notes,
 			"rows from 4096 ranks up use synthetic 2-D stencil traces on the sparse (CSR) pipeline — no dense matrix, no traced run")
 	}
+	if cfg.Multilevel {
+		t.Notes = append(t.Notes,
+			"hierarchical rows use the multilevel (coarsen/partition/uncoarsen) node partitioner")
+	}
 	return t, nil
 }
 
 // scalingRow evaluates one machine scale and appends its table row.
-func scalingRow(t *Table, b core.Baseline, m trace.Comm, placement *topology.Placement) error {
-	hier, err := core.Hierarchical(m, placement, core.HierOptions{})
+func scalingRow(t *Table, b core.Baseline, m trace.Comm, placement *topology.Placement, multilevel bool) error {
+	hier, err := core.Hierarchical(m, placement, core.HierOptions{Multilevel: multilevel})
 	if err != nil {
 		return err
 	}

@@ -105,3 +105,54 @@ func TestSyntheticRigPipeline(t *testing.T) {
 		t.Errorf("recovery fraction %g outside (0, 0.01]", e.RecoveryFraction)
 	}
 }
+
+// The 262,144-rank / 16,384-node acceptance scenario: the full clustering →
+// reliability pipeline through the multilevel partitioner and the flat-span
+// placement, end to end, with every number — the L1 assignment and all four
+// evaluation dimensions — bit-identical at any worker count.
+func TestSynthetic256kWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("262k-rank pipeline in -short mode")
+	}
+	const ranks = 262144
+	m, placement, err := SyntheticRig(ranks, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(placement.UsedNodes()); got != 16384 {
+		t.Fatalf("rig uses %d nodes, want 16384", got)
+	}
+	type result struct {
+		l1 []int
+		e  *core.Evaluation
+	}
+	run := func(workers int) result {
+		hier, err := core.Hierarchical(m, placement, core.HierOptions{
+			Multilevel: true, PartitionWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.EvaluateOpts(hier, m, placement, reliability.DefaultMix(),
+			core.EvalOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{l1: hier.L1, e: e}
+	}
+	ref := run(1)
+	if ok, viol := ref.e.Meets(core.DefaultBaseline()); !ok {
+		t.Errorf("256k-rank evaluation violates baseline: %v", viol)
+	}
+	for _, workers := range []int{4, 0} { // 0 = GOMAXPROCS
+		got := run(workers)
+		for r := range ref.l1 {
+			if ref.l1[r] != got.l1[r] {
+				t.Fatalf("workers=%d: rank %d in cluster %d, want %d", workers, r, got.l1[r], ref.l1[r])
+			}
+		}
+		if *got.e != *ref.e {
+			t.Fatalf("workers=%d: evaluation %+v differs from serial %+v", workers, got.e, ref.e)
+		}
+	}
+}

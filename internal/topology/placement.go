@@ -9,11 +9,18 @@ import (
 // between the logical process space (ranks) and the physical machine
 // (nodes): clustering strategies need it to know which processes die
 // together and which communications stay inside a node.
+//
+// Per-node rank lists live in one flat backing array with per-node offset
+// spans (CSR-style): 8 bytes of offset per node instead of a 24-byte slice
+// header plus its own allocation. At exascale node counts the old [][]Rank
+// layout was the last dense per-node structure in the pipeline; the spans
+// also build by counting sort in O(ranks + nodes) with no per-node sorting.
 type Placement struct {
-	machine *Machine
-	node    []NodeID // node[r] = node hosting rank r
-	ranks   [][]Rank // ranks[n] = ranks hosted on node n, ascending
-	used    []NodeID // nodes hosting at least one rank, ascending (cached)
+	machine  *Machine
+	node     []NodeID // node[r] = node hosting rank r
+	rankPtr  []int64  // node n's ranks occupy rankData[rankPtr[n]:rankPtr[n+1]]
+	rankData []Rank   // all ranks grouped by node, ascending within a node
+	used     []NodeID // nodes hosting at least one rank, ascending (cached)
 }
 
 // NewPlacement builds a placement from an explicit rank→node assignment.
@@ -23,19 +30,27 @@ func NewPlacement(m *Machine, nodeOf []NodeID) (*Placement, error) {
 		return nil, err
 	}
 	p := &Placement{
-		machine: m,
-		node:    make([]NodeID, len(nodeOf)),
-		ranks:   make([][]Rank, m.Nodes),
+		machine:  m,
+		node:     make([]NodeID, len(nodeOf)),
+		rankPtr:  make([]int64, m.Nodes+1),
+		rankData: make([]Rank, len(nodeOf)),
 	}
 	for r, n := range nodeOf {
 		if n < 0 || int(n) >= m.Nodes {
 			return nil, fmt.Errorf("topology: rank %d placed on node %d; machine has %d nodes", r, n, m.Nodes)
 		}
 		p.node[r] = n
-		p.ranks[n] = append(p.ranks[n], Rank(r))
+		p.rankPtr[n+1]++
 	}
-	for n := range p.ranks {
-		sort.Slice(p.ranks[n], func(i, j int) bool { return p.ranks[n][i] < p.ranks[n][j] })
+	for n := 0; n < m.Nodes; n++ {
+		p.rankPtr[n+1] += p.rankPtr[n]
+	}
+	// Stable counting-sort fill: ranks ascend, so each node's span comes
+	// out ascending with no per-node sort.
+	fill := make([]int64, m.Nodes)
+	for r, n := range nodeOf {
+		p.rankData[p.rankPtr[n]+fill[n]] = Rank(r)
+		fill[n]++
 	}
 	p.refreshUsed()
 	return p, nil
@@ -46,8 +61,8 @@ func NewPlacement(m *Machine, nodeOf []NodeID) (*Placement, error) {
 // UsedNodes stays O(1) per call instead of O(total nodes).
 func (p *Placement) refreshUsed() {
 	p.used = p.used[:0]
-	for n, rs := range p.ranks {
-		if len(rs) > 0 {
+	for n := 0; n+1 < len(p.rankPtr); n++ {
+		if p.rankPtr[n+1] > p.rankPtr[n] {
 			p.used = append(p.used, NodeID(n))
 		}
 	}
@@ -96,9 +111,14 @@ func (p *Placement) NumRanks() int { return len(p.node) }
 // NodeOf returns the node hosting rank r.
 func (p *Placement) NodeOf(r Rank) NodeID { return p.node[r] }
 
-// RanksOn returns the ranks hosted on node n in ascending order. The caller
-// must not modify the returned slice.
-func (p *Placement) RanksOn(n NodeID) []Rank { return p.ranks[n] }
+// RanksOn returns the ranks hosted on node n in ascending order — a view
+// into the flat backing array, allocation-free. The caller must not modify
+// the returned slice.
+func (p *Placement) RanksOn(n NodeID) []Rank { return p.rankData[p.rankPtr[n]:p.rankPtr[n+1]] }
+
+// CountOn returns the number of ranks hosted on node n in O(1), without
+// materializing the span.
+func (p *Placement) CountOn(n NodeID) int { return int(p.rankPtr[n+1] - p.rankPtr[n]) }
 
 // UsedNodes returns the nodes that host at least one rank, ascending. The
 // list is computed once at construction — reliability-model setup calls this
@@ -109,9 +129,9 @@ func (p *Placement) UsedNodes() []NodeID { return p.used }
 // MaxProcsPerNode returns the largest number of ranks on any node.
 func (p *Placement) MaxProcsPerNode() int {
 	max := 0
-	for _, rs := range p.ranks {
-		if len(rs) > max {
-			max = len(rs)
+	for n := 0; n+1 < len(p.rankPtr); n++ {
+		if c := int(p.rankPtr[n+1] - p.rankPtr[n]); c > max {
+			max = c
 		}
 	}
 	return max
@@ -123,12 +143,12 @@ func (p *Placement) SameNode(a, b Rank) bool { return p.node[a] == p.node[b] }
 // LocalIndex returns the position of rank r among the ranks of its node
 // (0-based). With block placement and k procs per node this is r mod k.
 // The hierarchical L2 clustering groups the i-th process of each node.
+// Spans are ascending, so the lookup is a binary search.
 func (p *Placement) LocalIndex(r Rank) int {
-	rs := p.ranks[p.node[r]]
-	for i, rr := range rs {
-		if rr == r {
-			return i
-		}
+	rs := p.RanksOn(p.node[r])
+	i := sort.Search(len(rs), func(i int) bool { return rs[i] >= r })
+	if i < len(rs) && rs[i] == r {
+		return i
 	}
 	return -1 // unreachable for ranks built through NewPlacement
 }

@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -285,5 +287,99 @@ func TestUsedNodesCached(t *testing.T) {
 	again := p.UsedNodes()
 	if &again[0] != &used[0] {
 		t.Error("UsedNodes rebuilt its slice; expected the construction-time cache")
+	}
+}
+
+// referencePlacement is the pre-refactor [][]Rank layout, rebuilt naively:
+// the behavioral oracle for the flat-span Placement.
+type referencePlacement struct {
+	node  []NodeID
+	ranks [][]Rank
+}
+
+func newReferencePlacement(nodes int, nodeOf []NodeID) *referencePlacement {
+	ref := &referencePlacement{node: nodeOf, ranks: make([][]Rank, nodes)}
+	for r, n := range nodeOf {
+		ref.ranks[n] = append(ref.ranks[n], Rank(r))
+	}
+	for n := range ref.ranks {
+		sort.Slice(ref.ranks[n], func(i, j int) bool { return ref.ranks[n][i] < ref.ranks[n][j] })
+	}
+	return ref
+}
+
+// Property: the CSR-span Placement is behaviorally identical to the old
+// per-node slice layout on arbitrary (including non-contiguous and
+// gap-heavy) rank→node assignments.
+func TestPlacementSparseEquivalence(t *testing.T) {
+	f := func(seed int64, nodesRaw, ranksRaw uint8) bool {
+		nodes := int(nodesRaw%48) + 2
+		nranks := int(ranksRaw%96) + 1
+		rng := rand.New(rand.NewSource(seed))
+		nodeOf := make([]NodeID, nranks)
+		for r := range nodeOf {
+			// Bias toward low nodes so some nodes stay empty (gaps).
+			nodeOf[r] = NodeID(rng.Intn(nodes/2 + 1))
+		}
+		m := &Machine{Name: "eq", Nodes: nodes}
+		p, err := NewPlacement(m, nodeOf)
+		if err != nil {
+			return false
+		}
+		ref := newReferencePlacement(nodes, nodeOf)
+		maxProcs := 0
+		var wantUsed []NodeID
+		for n := 0; n < nodes; n++ {
+			got, want := p.RanksOn(NodeID(n)), ref.ranks[n]
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			if p.CountOn(NodeID(n)) != len(want) {
+				return false
+			}
+			if len(want) > maxProcs {
+				maxProcs = len(want)
+			}
+			if len(want) > 0 {
+				wantUsed = append(wantUsed, NodeID(n))
+			}
+		}
+		if p.MaxProcsPerNode() != maxProcs {
+			return false
+		}
+		used := p.UsedNodes()
+		if len(used) != len(wantUsed) {
+			return false
+		}
+		for i := range used {
+			if used[i] != wantUsed[i] {
+				return false
+			}
+		}
+		for r := 0; r < nranks; r++ {
+			if p.NodeOf(Rank(r)) != ref.node[r] {
+				return false
+			}
+			// Reference LocalIndex: linear scan of the node's slice.
+			want := -1
+			for i, rr := range ref.ranks[ref.node[r]] {
+				if rr == Rank(r) {
+					want = i
+					break
+				}
+			}
+			if p.LocalIndex(Rank(r)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
 	}
 }

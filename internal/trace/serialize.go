@@ -5,20 +5,94 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 )
 
 // The on-disk format is a compact sparse binary encoding:
 //
-//	magic "HCTR" | uint32 version | uint32 N | uint32 nnz |
-//	nnz × { uint32 src | uint32 dst | int64 bytes | int64 msgs }
+//	v1: magic "HCTR" | uint32 version=1 | uint32 N | uint32 nnz
+//	v2: magic "HCTR" | uint32 version=2 | uint32 N | uint64 nnz
+//	then nnz × { uint32 src | uint32 dst | int64 bytes | int64 msgs }
 //
 // so a 1088-rank tsunami trace (≈220k messages but only ≈5k distinct pairs)
 // costs ~120 KB instead of the 9.5 MB dense CSV.
+//
+// Writers emit the v2 header only when the pair count overflows uint32
+// (~4.3B distinct pairs — megarank machines), so every trace a v1-only
+// reader could represent stays byte-identical to what it always was; both
+// readers accept both versions.
 
 const (
-	traceMagic   = "HCTR"
-	traceVersion = 1
+	traceMagic    = "HCTR"
+	traceVersion1 = 1
+	traceVersion2 = 2
 )
+
+// traceVersionFor returns the lowest on-disk version whose header can carry
+// the pair count.
+func traceVersionFor(nnz int64) uint32 {
+	if nnz > math.MaxUint32 {
+		return traceVersion2
+	}
+	return traceVersion1
+}
+
+// writeTraceHeader emits the version-appropriate header for n ranks and nnz
+// stored pairs.
+func writeTraceHeader(w io.Writer, n int, nnz int64) (int64, error) {
+	ver := traceVersionFor(nnz)
+	var hdr []byte
+	if ver == traceVersion1 {
+		hdr = make([]byte, 4+4+4+4)
+		binary.LittleEndian.PutUint32(hdr[12:], uint32(nnz))
+	} else {
+		hdr = make([]byte, 4+4+4+8)
+		binary.LittleEndian.PutUint64(hdr[12:], uint64(nnz))
+	}
+	copy(hdr, traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], ver)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(n))
+	written, err := w.Write(hdr)
+	return int64(written), err
+}
+
+// readTraceHeader parses a v1 or v2 header, applying the rank-count
+// plausibility bound from opts.
+func readTraceHeader(r io.Reader, opts []ReadOptions) (n int, nnz int64, err error) {
+	pre := make([]byte, 12)
+	if _, err := io.ReadFull(r, pre); err != nil {
+		return 0, 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(pre[:4]) != traceMagic {
+		return 0, 0, fmt.Errorf("trace: bad magic %q", pre[:4])
+	}
+	ver := binary.LittleEndian.Uint32(pre[4:])
+	n = int(binary.LittleEndian.Uint32(pre[8:]))
+	switch ver {
+	case traceVersion1:
+		var raw [4]byte
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
+			return 0, 0, fmt.Errorf("trace: reading header: %w", err)
+		}
+		nnz = int64(binary.LittleEndian.Uint32(raw[:]))
+	case traceVersion2:
+		var raw [8]byte
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
+			return 0, 0, fmt.Errorf("trace: reading header: %w", err)
+		}
+		u := binary.LittleEndian.Uint64(raw[:])
+		if u > math.MaxInt64 {
+			return 0, 0, fmt.Errorf("trace: header claims %d pairs, beyond any plausible trace", u)
+		}
+		nnz = int64(u)
+	default:
+		return 0, 0, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	if err := checkRanks(n, opts); err != nil {
+		return 0, 0, err
+	}
+	return n, nnz, nil
+}
 
 // DefaultMaxRanks is the rank-count plausibility bound applied by ReadMatrix
 // and ReadCSR when the caller passes no ReadOptions. A corrupt or hostile
@@ -73,7 +147,7 @@ func checkRanks(n int, opts []ReadOptions) error {
 func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
-	nnz := 0
+	nnz := int64(0)
 	for s := 0; s < m.N; s++ {
 		for _, b := range m.Bytes[s] {
 			if b != 0 {
@@ -81,13 +155,8 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	hdr := make([]byte, 4+4+4+4)
-	copy(hdr, traceMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.N))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(nnz))
-	n, err := bw.Write(hdr)
-	written += int64(n)
+	n, err := writeTraceHeader(bw, m.N, nnz)
+	written += n
 	if err != nil {
 		return written, err
 	}
@@ -111,28 +180,18 @@ func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// ReadMatrix deserializes a matrix written by WriteTo. An optional
-// ReadOptions raises the rank-count plausibility bound for large machines.
+// ReadMatrix deserializes a matrix written by WriteTo (either header
+// version). An optional ReadOptions raises the rank-count plausibility
+// bound for large machines.
 func ReadMatrix(r io.Reader, opts ...ReadOptions) (*Matrix, error) {
 	br := bufio.NewReader(r)
-	hdr := make([]byte, 16)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	if string(hdr[:4]) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	n := int(binary.LittleEndian.Uint32(hdr[8:]))
-	nnz := int(binary.LittleEndian.Uint32(hdr[12:]))
-	if err := checkRanks(n, opts); err != nil {
+	n, nnz, err := readTraceHeader(br, opts)
+	if err != nil {
 		return nil, err
 	}
 	m := NewMatrix(n)
 	rec := make([]byte, 24)
-	for i := 0; i < nnz; i++ {
+	for i := int64(0); i < nnz; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("trace: reading record %d/%d: %w", i, nnz, err)
 		}
@@ -153,13 +212,8 @@ func ReadMatrix(r io.Reader, opts ...ReadOptions) (*Matrix, error) {
 func (c *CSR) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
-	hdr := make([]byte, 4+4+4+4)
-	copy(hdr, traceMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(c.n))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(c.NNZ()))
-	n, err := bw.Write(hdr)
-	written += int64(n)
+	n, err := writeTraceHeader(bw, c.n, int64(c.NNZ()))
+	written += n
 	if err != nil {
 		return written, err
 	}
@@ -180,29 +234,19 @@ func (c *CSR) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// ReadCSR deserializes a matrix written by either WriteTo into sparse form,
-// never materializing the dense n×n array — the right reader for large-
-// machine traces. An optional ReadOptions raises the rank-count bound.
+// ReadCSR deserializes a matrix written by either WriteTo (either header
+// version) into sparse form, never materializing the dense n×n array — the
+// right reader for large-machine traces. An optional ReadOptions raises the
+// rank-count bound.
 func ReadCSR(r io.Reader, opts ...ReadOptions) (*CSR, error) {
 	br := bufio.NewReader(r)
-	hdr := make([]byte, 16)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	if string(hdr[:4]) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != traceVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	n := int(binary.LittleEndian.Uint32(hdr[8:]))
-	nnz := int(binary.LittleEndian.Uint32(hdr[12:]))
-	if err := checkRanks(n, opts); err != nil {
+	n, nnz, err := readTraceHeader(br, opts)
+	if err != nil {
 		return nil, err
 	}
 	b := NewSparseBuilder(n)
 	rec := make([]byte, 24)
-	for i := 0; i < nnz; i++ {
+	for i := int64(0); i < nnz; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("trace: reading record %d/%d: %w", i, nnz, err)
 		}

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -172,5 +174,131 @@ func TestReadOptionsMaxRanks(t *testing.T) {
 	}
 	if got.Ranks() != int(over) {
 		t.Fatalf("Ranks = %d, want %d", got.Ranks(), over)
+	}
+}
+
+// TestTraceVersionSelection pins the compatibility contract: writers stay
+// on the v1 header for every pair count a uint32 can carry and switch to v2
+// exactly at overflow.
+func TestTraceVersionSelection(t *testing.T) {
+	cases := []struct {
+		nnz  int64
+		want uint32
+	}{
+		{0, 1}, {1, 1}, {1 << 20, 1},
+		{math.MaxUint32, 1},
+		{math.MaxUint32 + 1, 2},
+		{1 << 40, 2},
+	}
+	for _, tc := range cases {
+		if got := traceVersionFor(tc.nnz); got != tc.want {
+			t.Errorf("traceVersionFor(%d) = %d, want %d", tc.nnz, got, tc.want)
+		}
+	}
+}
+
+// Every trace this repository can materialize has nnz far below uint32, so
+// written files must stay byte-identical to the historical v1 encoding.
+func TestWriteToStaysV1(t *testing.T) {
+	m := stencilMatrix(8, 100)
+	var dense, sparse bytes.Buffer
+	if _, err := m.WriteTo(&dense); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ToCSR().WriteTo(&sparse); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"dense": &dense, "sparse": &sparse} {
+		hdr := buf.Bytes()
+		if len(hdr) < 16 {
+			t.Fatalf("%s: short output", name)
+		}
+		if v := binary.LittleEndian.Uint32(hdr[4:]); v != 1 {
+			t.Errorf("%s writer used version %d for a small trace, want 1", name, v)
+		}
+	}
+}
+
+// writeV2 emits a hand-rolled v2 document with the given records — the
+// shape a megarank writer will produce — so both readers' v2 paths are
+// exercised without materializing 4B pairs.
+func writeV2(n int, recs [][4]int64) []byte {
+	var buf bytes.Buffer
+	hdr := make([]byte, 20)
+	copy(hdr, "HCTR")
+	binary.LittleEndian.PutUint32(hdr[4:], 2)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(n))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(recs)))
+	buf.Write(hdr)
+	rec := make([]byte, 24)
+	for _, r := range recs {
+		binary.LittleEndian.PutUint32(rec[0:], uint32(r[0]))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(r[1]))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(r[2]))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(r[3]))
+		buf.Write(rec)
+	}
+	return buf.Bytes()
+}
+
+// TestReadV2Trace: both readers must accept a v2 header and reproduce the
+// cells exactly.
+func TestReadV2Trace(t *testing.T) {
+	doc := writeV2(6, [][4]int64{
+		{0, 1, 1000, 3},
+		{4, 5, 42, 1},
+		{5, 0, 7, 7},
+	})
+	m, err := ReadMatrix(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadMatrix rejected v2: %v", err)
+	}
+	c, err := ReadCSR(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadCSR rejected v2: %v", err)
+	}
+	for _, want := range [][4]int64{{0, 1, 1000, 3}, {4, 5, 42, 1}, {5, 0, 7, 7}} {
+		if m.Bytes[want[0]][want[1]] != want[2] || m.Msgs[want[0]][want[1]] != want[3] {
+			t.Errorf("dense cell (%d,%d) = %d/%d, want %d/%d",
+				want[0], want[1], m.Bytes[want[0]][want[1]], m.Msgs[want[0]][want[1]], want[2], want[3])
+		}
+		b, ms := c.At(int(want[0]), int(want[1]))
+		if b != want[2] || ms != want[3] {
+			t.Errorf("CSR cell (%d,%d) = %d/%d, want %d/%d", want[0], want[1], b, ms, want[2], want[3])
+		}
+	}
+	// A v2 document round-trips back out as v1 (its nnz fits uint32) and
+	// still carries the same cells — the interchange contract.
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(buf.Bytes()[4:]); v != 1 {
+		t.Errorf("re-written small trace used version %d, want 1", v)
+	}
+	c2, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.TotalBytes() != c.TotalBytes() || c2.TotalMsgs() != c.TotalMsgs() {
+		t.Error("v2→v1 round trip changed totals")
+	}
+}
+
+// Corrupt v2 headers must fail cleanly: truncated nnz field, out-of-range
+// records, implausible pair counts.
+func TestReadV2TraceErrors(t *testing.T) {
+	doc := writeV2(4, [][4]int64{{0, 1, 10, 1}})
+	if _, err := ReadCSR(bytes.NewReader(doc[:14])); err == nil {
+		t.Error("accepted truncated v2 header")
+	}
+	bad := writeV2(4, [][4]int64{{0, 9, 10, 1}}) // dst outside n
+	if _, err := ReadCSR(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted out-of-range v2 record")
+	}
+	huge := writeV2(4, nil)
+	binary.LittleEndian.PutUint64(huge[12:], math.MaxUint64) // nnz > int64
+	if _, err := ReadCSR(bytes.NewReader(huge)); err == nil {
+		t.Error("accepted implausible v2 pair count")
 	}
 }

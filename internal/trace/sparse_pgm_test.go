@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomSparse(seed int64, n, pairs int) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(n)
+	for i := 0; i < pairs; i++ {
+		_ = m.Add(rng.Intn(n), rng.Intn(n), int64(rng.Intn(1_000_000)+1))
+	}
+	return m
+}
+
+// At full resolution (no downsampling) the sparse PGM must be byte-identical
+// to the dense renderer — same axes, same log intensity scale.
+func TestCSRPGMMatchesDenseAtFullResolution(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		m := randomSparse(seed, 40, 120)
+		dense := m.PGM()
+		sparse := m.ToCSR().PGM(40)
+		if dense != sparse {
+			t.Fatalf("seed %d: sparse PGM diverges from dense:\ndense:\n%.200s\nsparse:\n%.200s", seed, dense, sparse)
+		}
+	}
+}
+
+// Downsampling must bound the pixel grid and keep the PGM well-formed, with
+// intensity only where the matrix has traffic.
+func TestCSRPGMDownsample(t *testing.T) {
+	c, err := Synthetic(4096, SyntheticOptions{Pattern: Stencil2D, Width: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgm := c.PGM(64)
+	if !strings.HasPrefix(pgm, "P2\n64 64\n255\n") {
+		t.Fatalf("downsampled header = %q", pgm[:20])
+	}
+	rows := strings.Split(strings.TrimSuffix(pgm, "\n"), "\n")
+	if len(rows) != 3+64 {
+		t.Fatalf("PGM has %d lines, want %d", len(rows), 3+64)
+	}
+	for i, row := range rows[3:] {
+		if cells := strings.Fields(row); len(cells) != 64 {
+			t.Fatalf("PGM row %d has %d cells, want 64", i, len(cells))
+		}
+	}
+	// The stencil diagonal must survive pooling: every pixel row on the
+	// main diagonal has traffic.
+	for r := 0; r < 64; r++ {
+		cells := strings.Fields(rows[3+r])
+		if cells[r] == "0" {
+			t.Fatalf("diagonal pixel (%d,%d) empty; pooling lost the stencil structure", r, r)
+		}
+	}
+}
+
+// The sparse Submatrix must agree with the dense zoom cell for cell.
+func TestCSRSubmatrixMatchesDense(t *testing.T) {
+	m := randomSparse(9, 60, 200)
+	denseZoom, err := m.Submatrix(8, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseZoom, err := m.ToCSR().Submatrix(8, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparseZoom.Ranks() != denseZoom.N {
+		t.Fatalf("zoom ranks = %d, want %d", sparseZoom.Ranks(), denseZoom.N)
+	}
+	for s := 0; s < denseZoom.N; s++ {
+		for d := 0; d < denseZoom.N; d++ {
+			b, ms := sparseZoom.At(s, d)
+			if b != denseZoom.Bytes[s][d] || ms != denseZoom.Msgs[s][d] {
+				t.Fatalf("zoom cell (%d,%d) = %d/%d, want %d/%d", s, d, b, ms, denseZoom.Bytes[s][d], denseZoom.Msgs[s][d])
+			}
+		}
+	}
+	if _, err := m.ToCSR().Submatrix(40, 8); err == nil {
+		t.Error("accepted inverted bounds")
+	}
+	if _, err := m.ToCSR().Submatrix(0, 61); err == nil {
+		t.Error("accepted out-of-range bound")
+	}
+}
+
+// The sparse CSV lists exactly the stored pairs with a header line.
+func TestCSRCSV(t *testing.T) {
+	m := NewMatrix(4)
+	_ = m.Add(0, 1, 100)
+	_ = m.Add(2, 3, 50)
+	_ = m.Add(2, 3, 25)
+	got := m.ToCSR().CSV()
+	want := "src,dst,bytes,msgs\n0,1,100,1\n2,3,75,2\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -20,7 +20,7 @@ func fourStrategies(naive, sizeGuided, distributed int) []StrategySpec {
 // the paper's experiments expressed as data. The slice is freshly built on
 // every call; callers may mutate their copy.
 func BuiltinScenarios() []*Scenario {
-	return []*Scenario{
+	scenarios := []*Scenario{
 		{
 			// The README quickstart: the four strategies on a traced
 			// 256-rank tsunami run, the laptop-scale Table II.
@@ -65,7 +65,24 @@ func BuiltinScenarios() []*Scenario {
 			Trace:      TraceSpec{Source: "synthetic", Pattern: "stencil2d"},
 			Strategies: []StrategySpec{{Kind: "hierarchical"}},
 		},
+		{
+			// The 262,144-rank / 16,384-node scale: the full clustering →
+			// reliability pipeline through the multilevel partitioner and
+			// the sparse placement, still bit-identical at any worker
+			// count.
+			Name:      "synthetic-256k",
+			Machine:   MachineSpec{Model: "tsubame2", Nodes: 16384},
+			Placement: PlacementSpec{Policy: "block", Ranks: 262144, ProcsPerNode: 16},
+			Trace:     TraceSpec{Source: "synthetic", Pattern: "stencil2d"},
+			Strategies: []StrategySpec{
+				{Kind: "hierarchical", Hier: &HierSpec{Multilevel: true}},
+			},
+		},
 	}
+	for _, s := range scenarios {
+		s.Version = ScenarioVersion // stored/served documents self-describe
+	}
+	return scenarios
 }
 
 // BuiltinScenario returns the named built-in scenario.

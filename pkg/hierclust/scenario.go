@@ -9,6 +9,28 @@ import (
 	"hierclust/internal/topology"
 )
 
+// ScenarioVersion is the schema version this package writes and the newest
+// it understands. Documents without a version field are implicit version 1
+// (the schema shipped before the field existed) and decode unchanged;
+// documents claiming a newer version are rejected with a
+// *SchemaVersionError rather than misread.
+const ScenarioVersion = 1
+
+// SchemaVersionError reports a scenario document whose declared schema
+// version this package does not understand. Callers can errors.As for it to
+// distinguish "newer schema" from plain malformed input.
+type SchemaVersionError struct {
+	// Version is the version the document declared.
+	Version int
+	// Supported is the newest version this package decodes.
+	Supported int
+}
+
+func (e *SchemaVersionError) Error() string {
+	return fmt.Sprintf("hierclust: scenario schema version %d not supported (this package understands versions up to %d)",
+		e.Version, e.Supported)
+}
+
 // Scenario declaratively describes one evaluation: a machine, a placement
 // of application ranks onto it, a trace source, the strategies to compare,
 // and optionally a failure mix and baseline (both defaulting to the paper's
@@ -16,6 +38,11 @@ import (
 // DecodeScenario → EncodeScenario is byte-identical — so experiments are
 // data: they can be stored, diffed, POSTed to hcserve, and cached by value.
 type Scenario struct {
+	// Version is the schema version; 0 means ScenarioVersion (documents
+	// predating the field are implicit version 1). EncodeScenario and
+	// CacheKey always write the explicit current version, so stored
+	// documents are self-describing.
+	Version int `json:"version,omitempty"`
 	// Name labels the scenario in results.
 	Name string `json:"name"`
 	// Machine selects and sizes the machine model.
@@ -127,6 +154,9 @@ func (s *BaselineSpec) Baseline() Baseline {
 func (s *Scenario) Validate() error {
 	if s == nil {
 		return fmt.Errorf("hierclust: nil scenario")
+	}
+	if s.Version < 0 || s.Version > ScenarioVersion {
+		return &SchemaVersionError{Version: s.Version, Supported: ScenarioVersion}
 	}
 	if s.Name == "" {
 		return fmt.Errorf("hierclust: scenario needs a name")
@@ -244,13 +274,17 @@ func (s *Scenario) placement(mach *Machine) (*Placement, error) {
 }
 
 // EncodeScenario renders the scenario as indented JSON with a stable field
-// order. Encoding the result of DecodeScenario reproduces the input byte
-// for byte.
+// order and an explicit schema version. Encoding the result of
+// DecodeScenario reproduces the input byte for byte for any document this
+// function produced; a legacy version-less document re-encodes with the
+// explicit "version" field inserted (and is otherwise unchanged).
 func EncodeScenario(s *Scenario) ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	b, err := json.MarshalIndent(s, "", "  ")
+	versioned := *s
+	versioned.Version = ScenarioVersion
+	b, err := json.MarshalIndent(&versioned, "", "  ")
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +292,10 @@ func EncodeScenario(s *Scenario) ([]byte, error) {
 }
 
 // DecodeScenario parses scenario JSON, rejecting unknown fields — a typo'd
-// option must fail loudly, not silently evaluate the default.
+// option must fail loudly, not silently evaluate the default. This is the
+// schema migration point: documents without a version field are implicit
+// version 1 and are upgraded to the explicit current version; documents
+// declaring an unsupported version fail with a *SchemaVersionError.
 func DecodeScenario(data []byte) (*Scenario, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -273,16 +310,21 @@ func DecodeScenario(data []byte) (*Scenario, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	s.Version = ScenarioVersion // implicit v1 documents upgrade on decode
 	return &s, nil
 }
 
 // CacheKey returns the canonical compact encoding used to key scenario
-// result caches: two scenarios with equal keys evaluate identically.
+// result caches: two scenarios with equal keys evaluate identically. The
+// schema version is normalized into the key, so implicit-v1 and explicit-v1
+// forms of the same scenario share a cache entry.
 func (s *Scenario) CacheKey() (string, error) {
 	if err := s.Validate(); err != nil {
 		return "", err
 	}
-	b, err := json.Marshal(s)
+	versioned := *s
+	versioned.Version = ScenarioVersion
+	b, err := json.Marshal(&versioned)
 	if err != nil {
 		return "", err
 	}

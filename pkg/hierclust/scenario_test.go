@@ -2,6 +2,7 @@ package hierclust
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -24,6 +25,7 @@ func TestScenarioRoundTrip(t *testing.T) {
 			{Kind: "hierarchical", Hier: &HierSpec{
 				MinNodesPerL1: 8, TargetNodesPerL1: 8, MaxNodesPerL1: 64,
 				SubgroupNodes: 4, AlignPowerPairs: true,
+				Multilevel: true, CoarsenThreshold: 64, MatchingRounds: 2,
 			}},
 		},
 		Mix:      &MixSpec{Transient: 0.05, NodeLoss: []float64{0.9, 0.05}, PairCorrelation: 0.5},
@@ -156,5 +158,85 @@ func TestBuiltinScenarioLookup(t *testing.T) {
 		if err := sc.Validate(); err != nil {
 			t.Errorf("builtin %q invalid: %v", sc.Name, err)
 		}
+	}
+}
+
+// TestScenarioVersionMigration pins the schema versioning contract:
+// documents without a version field are implicit v1 and upgrade on decode,
+// encoded documents always carry the explicit version, and both forms share
+// one cache key.
+func TestScenarioVersionMigration(t *testing.T) {
+	implicit := `{
+		"name": "legacy",
+		"machine": {"nodes": 32},
+		"placement": {"ranks": 256, "procs_per_node": 8},
+		"trace": {"source": "synthetic"},
+		"strategies": [{"kind": "hierarchical"}]
+	}`
+	dec, err := DecodeScenario([]byte(implicit))
+	if err != nil {
+		t.Fatalf("implicit-v1 document rejected: %v", err)
+	}
+	if dec.Version != ScenarioVersion {
+		t.Fatalf("decoded version = %d, want %d (implicit v1 upgrades)", dec.Version, ScenarioVersion)
+	}
+	enc, err := EncodeScenario(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), "\"version\": 1") {
+		t.Fatalf("encoded scenario lacks explicit version:\n%s", enc)
+	}
+	explicit := strings.Replace(implicit, `"name"`, `"version": 1, "name"`, 1)
+	dec2, err := DecodeScenario([]byte(explicit))
+	if err != nil {
+		t.Fatalf("explicit-v1 document rejected: %v", err)
+	}
+	k1, err := dec.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := dec2.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("implicit and explicit v1 forms key differently:\n%s\n%s", k1, k2)
+	}
+}
+
+// An unknown schema version must fail with the typed error, not decode as
+// whatever this package happens to assume.
+func TestScenarioVersionUnsupported(t *testing.T) {
+	doc := `{
+		"version": 99,
+		"name": "future",
+		"machine": {"nodes": 32},
+		"placement": {"ranks": 256, "procs_per_node": 8},
+		"trace": {"source": "synthetic"},
+		"strategies": [{"kind": "hierarchical"}]
+	}`
+	_, err := DecodeScenario([]byte(doc))
+	if err == nil {
+		t.Fatal("decoded a version-99 scenario")
+	}
+	var ve *SchemaVersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error is %T, want *SchemaVersionError: %v", err, err)
+	}
+	if ve.Version != 99 || ve.Supported != ScenarioVersion {
+		t.Fatalf("SchemaVersionError = %+v, want Version 99 Supported %d", ve, ScenarioVersion)
+	}
+}
+
+// Multilevel tuning knobs without multilevel itself must be rejected — dead
+// fields would split the result cache on meaningless keys.
+func TestHierSpecMultilevelKnobsRequireMultilevel(t *testing.T) {
+	_, err := NewStrategy(StrategySpec{Kind: "hierarchical", Hier: &HierSpec{CoarsenThreshold: 64}})
+	if err == nil {
+		t.Fatal("accepted coarsen_threshold without multilevel")
+	}
+	if _, err := NewStrategy(StrategySpec{Kind: "hierarchical", Hier: &HierSpec{Multilevel: true, CoarsenThreshold: 64, MatchingRounds: 2}}); err != nil {
+		t.Fatalf("rejected valid multilevel spec: %v", err)
 	}
 }

@@ -42,6 +42,12 @@ type HierSpec struct {
 	MaxNodesPerL1    int  `json:"max_nodes_per_l1,omitempty"`
 	SubgroupNodes    int  `json:"subgroup_nodes,omitempty"`
 	AlignPowerPairs  bool `json:"align_power_pairs,omitempty"`
+	// Multilevel selects the coarsen/partition/uncoarsen node partitioner,
+	// the scalable path for 10k+-node machines. The two tuning knobs below
+	// apply only when it is set (0 picks the partitioner defaults).
+	Multilevel       bool `json:"multilevel,omitempty"`
+	CoarsenThreshold int  `json:"coarsen_threshold,omitempty"`
+	MatchingRounds   int  `json:"matching_rounds,omitempty"`
 }
 
 // Options converts the spec to the constructor's option struct.
@@ -55,6 +61,9 @@ func (h *HierSpec) Options() HierOptions {
 		MaxNodesPerL1:    h.MaxNodesPerL1,
 		SubgroupNodes:    h.SubgroupNodes,
 		AlignPowerPairs:  h.AlignPowerPairs,
+		Multilevel:       h.Multilevel,
+		CoarsenThreshold: h.CoarsenThreshold,
+		MatchingRounds:   h.MatchingRounds,
 	}
 }
 
@@ -173,6 +182,12 @@ func init() {
 		if spec.Size != 0 {
 			return nil, fmt.Errorf("hierclust: strategy \"hierarchical\" takes hier options, not size (got %d)", spec.Size)
 		}
+		// Multilevel tuning without multilevel is a mistake, not a no-op:
+		// the user believes they tuned the partitioner, and the dead fields
+		// would split the result cache on meaningless keys.
+		if h := spec.Hier; h != nil && !h.Multilevel && (h.CoarsenThreshold != 0 || h.MatchingRounds != 0) {
+			return nil, fmt.Errorf("hierclust: hier options coarsen_threshold/matching_rounds apply only with multilevel")
+		}
 		return &hierStrategy{name: hierName(spec.Hier), opts: spec.Hier.Options()}, nil
 	})
 }
@@ -200,6 +215,15 @@ func hierName(h *HierSpec) string {
 	}
 	if h.AlignPowerPairs {
 		name += "-pairs"
+	}
+	if h.Multilevel {
+		name += "-ml"
+		if h.CoarsenThreshold != 0 {
+			name += fmt.Sprintf("-ct%d", h.CoarsenThreshold)
+		}
+		if h.MatchingRounds != 0 {
+			name += fmt.Sprintf("-mr%d", h.MatchingRounds)
+		}
 	}
 	return name
 }
