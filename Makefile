@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke serve-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke serve-smoke profile ci
 
 all: build test
 
@@ -31,11 +31,19 @@ bench:
 # RSEncode kernels and the large-scale partition/evaluation pipelines gate
 # at a noise-tolerant 300%; Fig* deltas print for inspection).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'RSEncode|Fig|Partition100k|Scaling256k' -benchmem -benchtime 1x . > smoke.txt
+	$(GO) test -run '^$$' -bench 'RSEncode|Fig|Partition100k|Scaling256k|MultilevelSerial' -benchmem -benchtime 1x . > smoke.txt
 	$(GO) run ./cmd/benchjson < smoke.txt > smoke.json
 	baseline=$$(ls BENCH_*.json | sort | tail -1); \
-		$(GO) run ./cmd/benchjson -compare -threshold 300 -filter 'RSEncode|Partition100k|Scaling256k' $$baseline smoke.json; \
+		$(GO) run ./cmd/benchjson -compare -threshold 300 -filter 'RSEncode|Partition100k|Scaling256k|MultilevelSerial' $$baseline smoke.json; \
 		rc=$$?; rm -f smoke.txt smoke.json; exit $$rc
+
+# profile captures CPU + heap profiles of the scaling pipeline at 256k
+# synthetic ranks through the multilevel partitioner (override the run with
+# PROFILE_ARGS="..."). Inspect with: go tool pprof cpu.prof
+PROFILE_ARGS ?= -exp scaling -maxranks 262144 -multilevel
+profile:
+	$(GO) run ./cmd/hcrun $(PROFILE_ARGS) -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "wrote cpu.prof and mem.prof (go tool pprof cpu.prof)"
 
 # serve-smoke boots hcserve and round-trips the quickstart scenario
 # through POST /v1/evaluate (the CI examples-job check).

@@ -296,11 +296,12 @@ func BenchmarkPartition(b *testing.B) {
 	}
 }
 
-// BenchmarkPartition100k measures the multilevel partitioner on a
-// 131,072-node 2-D stencil graph — the node-graph shape of a 2M-rank
-// machine at 16 ranks per node — against the single-level greedy growth on
-// the same graph. MinSize/TargetSize 4 is the paper's L1 configuration.
-func BenchmarkPartition100k(b *testing.B) {
+// stencil131k builds the 131,072-node 2-D stencil node graph shared by the
+// Partition100k / MultilevelSerial / Multilevel100kWorkers benchmarks — the
+// node-graph shape of a 2M-rank machine at 16 ranks per node. One builder,
+// so the serial-gap numbers always measure the same graph the standing
+// partition benchmark does.
+func stencil131k() *graph.Graph {
 	const n, width = 131072, 256
 	g := graph.New(n)
 	for i := 0; i < n; i++ {
@@ -311,6 +312,15 @@ func BenchmarkPartition100k(b *testing.B) {
 			_ = g.AddEdge(i, i+width, 800)
 		}
 	}
+	return g
+}
+
+// BenchmarkPartition100k measures the multilevel partitioner on a
+// 131,072-node 2-D stencil graph — the node-graph shape of a 2M-rank
+// machine at 16 ranks per node — against the single-level greedy growth on
+// the same graph. MinSize/TargetSize 4 is the paper's L1 configuration.
+func BenchmarkPartition100k(b *testing.B) {
+	g := stencil131k()
 	for _, tc := range []struct {
 		name string
 		opts graph.PartitionOptions
@@ -323,6 +333,55 @@ func BenchmarkPartition100k(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := graph.Partition(g, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultilevelSerial pins the multilevel partitioner's single-core
+// wall clock against the single-level growth on the same 131,072-node
+// stencil (Workers=1 forces every phase — matching, contraction, refinement
+// scans — onto one core regardless of GOMAXPROCS). This is the "serial gap"
+// benchmark: PR 4 shipped multilevel at ~3.5× single-level on one core; the
+// fused coarsening, level arena, flat frontiers, and sweep-skip stamps
+// exist to close that gap without changing an output bit.
+func BenchmarkMultilevelSerial(b *testing.B) {
+	g := stencil131k()
+	for _, tc := range []struct {
+		name string
+		opts graph.PartitionOptions
+	}{
+		{"multilevel", graph.PartitionOptions{MinSize: 4, TargetSize: 4, Multilevel: true, Workers: 1}},
+		{"single-level", graph.PartitionOptions{MinSize: 4, TargetSize: 4, Workers: 1}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.Partition(g, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMultilevel100kWorkers measures the multilevel partitioner's
+// worker scaling on the 131,072-node stencil. The assignment is bit-identical
+// at every worker count (pinned by the partition golden test); only the wall
+// clock may differ. On a single-core host the >1 rows only measure the
+// coordination overhead.
+func BenchmarkMultilevel100kWorkers(b *testing.B) {
+	g := stencil131k()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := graph.PartitionOptions{MinSize: 4, TargetSize: 4, Multilevel: true, Workers: workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.Partition(g, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

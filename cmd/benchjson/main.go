@@ -13,7 +13,10 @@
 // present in both snapshots and exits nonzero when any benchmark matching
 // -filter (default: the RSEncode and Fig benchmarks, the repository's
 // guarded hot paths) slowed down by more than -threshold percent
-// (default 25).
+// (default 25). Benchmarks present in only one snapshot are reported as
+// "new" or "removed" and never fail the run on their own — adding a
+// benchmark must not break the CI gate — though losing every guarded
+// benchmark still does, since that would mean the gate compared nothing.
 package main
 
 import (
@@ -129,8 +132,11 @@ func loadSnapshot(path string) (Snapshot, error) {
 }
 
 // compareSnapshots loads two snapshots, prints the ns/op delta for every
-// benchmark present in both, and returns the process exit code: 1 when a
-// benchmark matching the filter regressed past the threshold, 0 otherwise.
+// benchmark present in both — plus "new"/"removed" rows for names present
+// in only one — and returns the process exit code: 1 when a benchmark
+// matching the filter regressed past the threshold, 0 otherwise. Only
+// benchmarks present in both snapshots can fail the gate; new and removed
+// ones are informational, so growing the suite never breaks CI.
 func compareSnapshots(oldPath, newPath string, thresholdPct float64, filter string) int {
 	re, err := regexp.Compile(filter)
 	if err != nil {
@@ -152,15 +158,27 @@ func compareSnapshots(oldPath, newPath string, thresholdPct float64, filter stri
 		oldBy[normalizeBenchName(b.Name)] = b
 	}
 	names := make([]string, 0, len(newSnap.Benchmarks))
+	var added []string
 	newBy := map[string]Benchmark{}
 	for _, b := range newSnap.Benchmarks {
 		name := normalizeBenchName(b.Name)
+		newBy[name] = b
 		if _, ok := oldBy[name]; ok {
 			names = append(names, name)
-			newBy[name] = b
+		} else {
+			added = append(added, name)
+		}
+	}
+	var removed []string
+	for _, b := range oldSnap.Benchmarks {
+		name := normalizeBenchName(b.Name)
+		if _, ok := newBy[name]; !ok {
+			removed = append(removed, name)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(added)
+	sort.Strings(removed)
 	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: the snapshots share no benchmark names")
 		return 2
@@ -183,17 +201,18 @@ func compareSnapshots(oldPath, newPath string, thresholdPct float64, filter stri
 		}
 		fmt.Printf("%-40s %15.0f %15.0f %+8.1f%% %s\n", name, ob.NsPerOp, nb.NsPerOp, deltaPct, verdict)
 	}
+	for _, name := range added {
+		fmt.Printf("%-40s %15s %15.0f %9s new\n", name, "-", newBy[name].NsPerOp, "")
+	}
+	for _, name := range removed {
+		fmt.Printf("%-40s %15.0f %15s %9s removed\n", name, oldBy[name].NsPerOp, "-", "")
+	}
 	// A gate that compared nothing is a disabled gate, not a passing one:
 	// losing every guarded benchmark (rename, -bench filter drift) must be
 	// loud. Losing a subset only warns, since partial runs are a normal way
 	// to probe.
-	inNew := map[string]bool{}
-	for _, name := range names {
-		inNew[name] = true
-	}
-	for _, b := range oldSnap.Benchmarks {
-		name := normalizeBenchName(b.Name)
-		if re.MatchString(name) && !inNew[name] {
+	for _, name := range removed {
+		if re.MatchString(name) {
 			fmt.Fprintf(os.Stderr, "benchjson: warning: guarded benchmark %s missing from %s\n", name, newPath)
 		}
 	}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name string, benches []Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Snapshot{GoVersion: "test", Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Adding a benchmark to the suite must not break the compare gate: names
+// present only in the new snapshot are reported as "new", never failures,
+// even when they match the guard filter.
+func TestCompareNewBenchmarkDoesNotFail(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", []Benchmark{
+		{Name: "BenchmarkRSEncode/k=8-4", Iterations: 10, NsPerOp: 100},
+	})
+	new := writeSnap(t, dir, "new.json", []Benchmark{
+		{Name: "BenchmarkRSEncode/k=8-4", Iterations: 10, NsPerOp: 101},
+		{Name: "BenchmarkMultilevelSerial/multilevel-4", Iterations: 5, NsPerOp: 500},
+	})
+	if rc := compareSnapshots(old, new, 25, "RSEncode|MultilevelSerial"); rc != 0 {
+		t.Fatalf("compare exited %d, want 0 (new guarded benchmark must not fail the gate)", rc)
+	}
+}
+
+// A removed benchmark is reported but only fails when nothing guarded was
+// compared at all.
+func TestCompareRemovedBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", []Benchmark{
+		{Name: "BenchmarkRSEncode/k=8", Iterations: 10, NsPerOp: 100},
+		{Name: "BenchmarkOld", Iterations: 10, NsPerOp: 50},
+	})
+	new := writeSnap(t, dir, "new.json", []Benchmark{
+		{Name: "BenchmarkRSEncode/k=8", Iterations: 10, NsPerOp: 90},
+	})
+	if rc := compareSnapshots(old, new, 25, "RSEncode"); rc != 0 {
+		t.Fatalf("compare exited %d, want 0 (removed unguarded benchmark is informational)", rc)
+	}
+}
+
+// A real regression of a benchmark present in both snapshots still fails.
+func TestCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", []Benchmark{
+		{Name: "BenchmarkRSEncode/k=8", Iterations: 10, NsPerOp: 100},
+	})
+	new := writeSnap(t, dir, "new.json", []Benchmark{
+		{Name: "BenchmarkRSEncode/k=8", Iterations: 10, NsPerOp: 200},
+	})
+	if rc := compareSnapshots(old, new, 25, "RSEncode"); rc != 1 {
+		t.Fatalf("compare exited %d, want 1 (100%% regression past 25%% threshold)", rc)
+	}
+}
+
+// Losing every guarded benchmark means the gate compared nothing: loud exit.
+func TestCompareAllGuardedGoneFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", []Benchmark{
+		{Name: "BenchmarkRSEncode/k=8", Iterations: 10, NsPerOp: 100},
+		{Name: "BenchmarkOther", Iterations: 10, NsPerOp: 10},
+	})
+	new := writeSnap(t, dir, "new.json", []Benchmark{
+		{Name: "BenchmarkOther", Iterations: 10, NsPerOp: 10},
+	})
+	if rc := compareSnapshots(old, new, 25, "RSEncode"); rc != 2 {
+		t.Fatalf("compare exited %d, want 2 (gate compared nothing)", rc)
+	}
+}
+
+// GOMAXPROCS suffixes must not split identities across machines.
+func TestNormalizeBenchName(t *testing.T) {
+	if got := normalizeBenchName("BenchmarkRSEncode/k=8-16"); got != "BenchmarkRSEncode/k=8" {
+		t.Fatalf("normalize = %q", got)
+	}
+	if got := normalizeBenchName("BenchmarkTable1"); got != "BenchmarkTable1" {
+		t.Fatalf("normalize = %q", got)
+	}
+}

@@ -17,6 +17,13 @@
 // (override with -workers); results still print in experiment order, so
 // the output is byte-identical to a serial run.
 //
+// -cpuprofile/-memprofile write pprof profiles covering the experiment
+// runs (the heap profile is captured after everything finishes), so
+// partition/evaluation profiling needs no ad-hoc harness edits:
+//
+//	hcrun -exp scaling -maxranks 262144 -multilevel -cpuprofile cpu.prof -memprofile mem.prof
+//	go tool pprof cpu.prof
+//
 // Experiments: table1, fig3a, fig3b, fig4a, fig4b, fig4c, fig5a, fig5b,
 // fig5c, table2, protocol, ablation, scaling.
 package main
@@ -25,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hierclust/pkg/hierclust"
 )
@@ -45,6 +54,8 @@ func main() {
 		parallel   = flag.Bool("parallel", false, "run experiments concurrently on a worker pool")
 		workers    = flag.Int("workers", 0, "worker pool size (implies -parallel; 0 with -parallel = GOMAXPROCS)")
 		timings    = flag.Bool("timings", false, "include wall-clock measurement columns (non-deterministic)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after all experiments) to this file")
 	)
 	flag.Parse()
 
@@ -54,6 +65,42 @@ func main() {
 		}
 		return
 	}
+
+	// fail exits through os.Exit, which skips deferred functions — flush
+	// the profiles explicitly on both paths, or an error in the profiled
+	// run (the exact situation worth profiling) would truncate cpu.prof
+	// and never write mem.prof.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		flushProfiles = append(flushProfiles, func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hcrun:", err)
+			}
+		})
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		flushProfiles = append(flushProfiles, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hcrun:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hcrun:", err)
+			}
+		})
+	}
+	defer runFlushProfiles()
 
 	cfg := hierclust.ExperimentConfig{Ranks: *ranks, ProcsPerNode: *ppn, Iterations: *iters, Quick: *quick, Timings: *timings, MaxRanks: *maxRanks, Multilevel: *multilevel}
 
@@ -122,6 +169,7 @@ func main() {
 			}
 		}
 		if failed {
+			runFlushProfiles()
 			os.Exit(1)
 		}
 		return
@@ -131,7 +179,19 @@ func main() {
 	}
 }
 
+// flushProfiles holds the profile finishers; fail runs them before exiting
+// so a failed experiment still leaves valid profiles behind.
+var flushProfiles []func()
+
+func runFlushProfiles() {
+	for _, f := range flushProfiles {
+		f()
+	}
+	flushProfiles = nil
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "hcrun:", err)
+	runFlushProfiles()
 	os.Exit(1)
 }

@@ -186,8 +186,10 @@ type HierOptions struct {
 	// MatchingRounds bounds each coarsening level's heavy-edge matching
 	// rounds (0 = the partitioner default).
 	MatchingRounds int
-	// PartitionWorkers bounds the multilevel partitioner's worker pool
-	// (0 = GOMAXPROCS). The clustering never depends on it.
+	// PartitionWorkers bounds the partitioner's worker pool — the
+	// multilevel matching/contraction phases and the refinement's
+	// speculative gain scans (0 = GOMAXPROCS). The clustering never
+	// depends on it.
 	PartitionWorkers int
 }
 

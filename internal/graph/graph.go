@@ -50,6 +50,12 @@ type Graph struct {
 	strength []float64
 	total    float64
 	nedges   int
+	// agg records whether finishFreeze has computed the cached aggregates.
+	// Graphs built by newFrozenCSR defer it: intermediate multilevel
+	// coarse graphs never ask for strengths or totals, and the coarsest
+	// one asks exactly once (via ensureAggregates, single-goroutine use
+	// only — see newFrozenCSR).
+	agg bool
 }
 
 // New returns an empty graph on n vertices.
@@ -93,6 +99,30 @@ func FromCSR(n int, rowptr []int64, col []int32, w []float64) (*Graph, error) {
 	return g, nil
 }
 
+// newFrozenCSR is FromCSR for rows that are sorted, in-range, and symmetric
+// by construction (the multilevel contraction): it skips the validation
+// scan, which costs a full pass over every entry per coarsening level, and
+// defers the aggregate pass (strengths, totals) until something asks —
+// intermediate coarse levels never do. Strengths are then computed into the
+// caller's buffer so a level adds no hidden allocation. The caller must
+// guarantee the CSR invariants FromCSR checks, and, unlike FromCSR graphs,
+// must not share the graph across goroutines before the first aggregate
+// read (the lazy fill is unsynchronized).
+func newFrozenCSR(n int, rowptr []int64, col []int32, w []float64, strength []float64) *Graph {
+	g := &Graph{n: n, rowptr: rowptr, col: col, w: w, strength: strength[:n]}
+	g.frozen.Store(true)
+	return g
+}
+
+// ensureAggregates freezes the graph and fills the cached aggregates if a
+// newFrozenCSR constructor deferred them.
+func (g *Graph) ensureAggregates() {
+	g.ensure()
+	if !g.agg {
+		g.finishFreeze()
+	}
+}
+
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
@@ -131,6 +161,7 @@ func (g *Graph) thawLocked() {
 	}
 	g.rowptr, g.col, g.w, g.strength = nil, nil, nil, nil
 	g.total, g.nedges = 0, 0
+	g.agg = false
 	g.frozen.Store(false)
 }
 
@@ -229,7 +260,10 @@ func (g *Graph) freezeLocked() {
 // finishFreeze computes the cached aggregates (strength, total weight,
 // edge count) from the frozen CSR arrays.
 func (g *Graph) finishFreeze() {
-	g.strength = make([]float64, g.n)
+	g.agg = true
+	if g.strength == nil {
+		g.strength = make([]float64, g.n)
+	}
 	g.total = 0
 	g.nedges = 0
 	for u := 0; u < g.n; u++ {
@@ -303,21 +337,21 @@ func (g *Graph) Strength(u int) float64 {
 	if u < 0 || u >= g.n {
 		return 0
 	}
-	g.ensure()
+	g.ensureAggregates()
 	return g.strength[u]
 }
 
 // TotalWeight returns the sum of all edge weights (each undirected edge
 // counted once; self-loops counted once).
 func (g *Graph) TotalWeight() float64 {
-	g.ensure()
+	g.ensureAggregates()
 	return g.total
 }
 
 // EdgeCount returns the number of distinct undirected edges, self-loops
 // included.
 func (g *Graph) EdgeCount() int {
-	g.ensure()
+	g.ensureAggregates()
 	return g.nedges
 }
 

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -20,6 +21,9 @@ import (
 // Everything is deterministic by construction: matching proposals are pure
 // functions of the frozen CSR and the previous round's state, written to
 // per-vertex slots, so the assignment is bit-identical at any worker count.
+// All scratch state lives in a per-Partition arena (arena.go) sized once at
+// the finest level; a level allocates only the four arrays that must outlive
+// it for projection (cmap, vertex weights, and the coarse CSR itself).
 
 // mlLevel is one rung of the coarsening ladder.
 type mlLevel struct {
@@ -29,20 +33,21 @@ type mlLevel struct {
 	vw []int
 	// cmap[v] = vertex of the next-coarser level's graph containing v; nil
 	// on the coarsest level.
-	cmap []int
+	cmap []int32
 }
 
 // multilevelPartition runs the coarsen/partition/uncoarsen pipeline. The
 // caller has normalized opts, ensured g is frozen, and checked
 // n > CoarsenThreshold.
-func multilevelPartition(g *Graph, opts PartitionOptions) ([]int, error) {
-	levels := []*mlLevel{{g: g}}
+func multilevelPartition(g *Graph, opts PartitionOptions, ar *partArena) ([]int, error) {
+	levels := make([]*mlLevel, 1, 24)
+	levels[0] = &mlLevel{g: g}
 	for {
 		cur := levels[len(levels)-1]
 		if cur.g.N() <= opts.CoarsenThreshold {
 			break
 		}
-		match, matched := heavyEdgeMatching(cur.g, cur.vw, opts)
+		match, matched := heavyEdgeMatching(cur.g, cur.vw, opts, ar)
 		// Stop when matching stalls — nothing matched, or the graph would
 		// shrink by less than 10% (each matched pair removes one vertex):
 		// a further level costs full matching + contraction + refinement
@@ -50,7 +55,7 @@ func multilevelPartition(g *Graph, opts PartitionOptions) ([]int, error) {
 		if matched == 0 || matched/2 < cur.g.N()/10 {
 			break
 		}
-		coarse, cmap, cvw, err := contract(cur.g, cur.vw, match, opts.Workers)
+		coarse, cmap, cvw, err := contract(cur.g, cur.vw, match, matched, opts.Workers, ar)
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +64,7 @@ func multilevelPartition(g *Graph, opts PartitionOptions) ([]int, error) {
 	}
 
 	coarsest := levels[len(levels)-1]
-	part := singleLevel(coarsest.g, opts, coarsest.vw)
+	part := singleLevel(coarsest.g, opts, coarsest.vw, ar)
 
 	// Project back up, refining at every level: the coarse assignment seeds
 	// each finer level, and boundary moves that only make sense at finer
@@ -67,19 +72,25 @@ func multilevelPartition(g *Graph, opts PartitionOptions) ([]int, error) {
 	// single-level path runs. Intermediate levels get a trimmed pass budget
 	// — their mistakes are still correctable below, and the finest level
 	// keeps the caller's full budget for the moves that actually count.
+	// The per-level assignment ping-pongs between two arena buffers: the
+	// read side is either singleLevel's freshly compacted slice or the
+	// other buffer, never the write side.
 	for li := len(levels) - 2; li >= 0; li-- {
 		l := levels[li]
-		fine := make([]int, l.g.N())
+		fine := ar.projA[:l.g.N()]
+		if li%2 == 1 {
+			fine = ar.projB[:l.g.N()]
+		}
 		for v := range fine {
 			fine[v] = part[l.cmap[v]]
 		}
 		part = fine
-		sizes := weightedSizes(part, l.vw)
+		sizes := weightedSizesInto(ar.sizesBuf, part, l.vw)
 		lvlOpts := opts
 		if li > 0 && lvlOpts.RefinePasses > 2 {
 			lvlOpts.RefinePasses = 2
 		}
-		refine(l.g, part, sizes, lvlOpts, l.vw)
+		refine(l.g, part, sizes, lvlOpts, l.vw, ar)
 	}
 	return compact(part), nil
 }
@@ -90,17 +101,20 @@ func multilevelPartition(g *Graph, opts PartitionOptions) ([]int, error) {
 // the hard constraint — but indexed. Cluster members live in linked lists
 // and merged ids resolve through a union-find, so each merge touches only
 // the small cluster's own edges instead of rescanning the whole graph;
-// weighted growth can leave thousands of matching-leftover clusters where
-// the unit path leaves at most one.
-func mergeSmallWeighted(g *Graph, part []int, sizes []int, opts PartitionOptions) ([]int, []int) {
+// weighted growth can leave thousands of matching-leftover small clusters
+// where the unit path leaves at most one. Connection weights accumulate in
+// an epoch-stamped flat array (one slot per cluster id) instead of a
+// per-merge hash map; the winner is an order-independent maximum, so the
+// flat scan picks exactly the cluster the map iteration did.
+func mergeSmallWeighted(g *Graph, part []int, sizes []int, opts PartitionOptions, ar *partArena) ([]int, []int) {
 	n := g.N()
 	k := len(sizes)
-	head := make([]int32, k)
-	tail := make([]int32, k)
+	head := ar.head[:k]
+	tail := ar.tail[:k]
 	for i := range head {
 		head[i], tail[i] = -1, -1
 	}
-	next := make([]int32, n)
+	next := ar.next[:n]
 	for v := n - 1; v >= 0; v-- { // prepend descending → lists ascend
 		id := part[v]
 		next[v] = head[id]
@@ -109,7 +123,7 @@ func mergeSmallWeighted(g *Graph, part []int, sizes []int, opts PartitionOptions
 			tail[id] = int32(v)
 		}
 	}
-	parent := make([]int32, k)
+	parent := ar.parent[:k]
 	for i := range parent {
 		parent[i] = int32(i)
 	}
@@ -122,7 +136,7 @@ func mergeSmallWeighted(g *Graph, part []int, sizes []int, opts PartitionOptions
 		return id
 	}
 	active := 0
-	var queue []int32
+	queue := ar.queue[:0]
 	for id := 0; id < k; id++ {
 		if sizes[id] > 0 {
 			active++
@@ -131,7 +145,8 @@ func mergeSmallWeighted(g *Graph, part []int, sizes []int, opts PartitionOptions
 			}
 		}
 	}
-	conn := map[int32]float64{}
+	connW := ar.mergeW[:k]
+	stamp := ar.mergeStamp[:k]
 	for qi := 0; qi < len(queue); qi++ {
 		small := find(queue[qi])
 		if sizes[small] == 0 || sizes[small] >= opts.MinSize {
@@ -140,25 +155,34 @@ func mergeSmallWeighted(g *Graph, part []int, sizes []int, opts PartitionOptions
 		if active <= 1 {
 			break // nothing to merge with
 		}
-		clear(conn)
+		ar.mergeEpoch++
+		epoch := ar.mergeEpoch
+		touched := ar.touched[:0]
 		for v := head[small]; v != -1; v = next[v] {
 			cols, ws := g.row(int(v))
 			for i, c := range cols {
 				if root := find(int32(part[c])); root != small {
-					conn[root] += ws[i]
+					if stamp[root] != epoch {
+						stamp[root] = epoch
+						connW[root] = 0
+						touched = append(touched, root)
+					}
+					connW[root] += ws[i]
 				}
 			}
 		}
 		target := int32(-1)
 		bestW := -1.0
-		for id, w := range conn {
+		for _, id := range touched {
+			w := connW[id]
 			fits := opts.MaxSize == 0 || sizes[id]+sizes[small] <= opts.MaxSize
 			if fits && (w > bestW || (w == bestW && (target == -1 || id < target))) {
 				target, bestW = id, w
 			}
 		}
 		if target == -1 { // no fitting neighbor: relax MaxSize, then fall
-			for id, w := range conn { // back to smallest cluster overall
+			for _, id := range touched { // back to smallest cluster overall
+				w := connW[id]
 				if w > bestW || (w == bestW && (target == -1 || id < target)) {
 					target, bestW = id, w
 				}
@@ -199,9 +223,10 @@ func mergeSmallWeighted(g *Graph, part []int, sizes []int, opts PartitionOptions
 	return part, sizes
 }
 
-// weightedSizes sums vertex weights per part id.
-func weightedSizes(part []int, vw []int) []int {
-	sizes := make([]int, NumParts(part))
+// weightedSizesInto sums vertex weights per part id into buf.
+func weightedSizesInto(buf []int, part []int, vw []int) []int {
+	sizes := buf[:NumParts(part)]
+	clear(sizes)
 	for v, p := range part {
 		sizes[p] += vweight(vw, v)
 	}
@@ -232,50 +257,141 @@ func matchCoin(v int, round int) bool {
 // partition — never depends on the worker count. match[v] is the partner
 // vertex, or -1 when v stays single; matched counts the non-single vertices
 // so the caller can detect a stall before contracting.
-func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions) (match []int32, matched int) {
+//
+// Per round the phases walk a worklist of the still-unmatched vertices
+// (descending fast on structured graphs), with each vertex's role for the
+// round folded into one byte — 0 unmatched acceptor, 1 unmatched proposer,
+// 2 matched — so the hot neighbor-eligibility test is a single load instead
+// of a coin re-hash plus a match lookup. cand[x] is kept -1 for every
+// matched x, which lets later rounds skip the full reset the original
+// implementation paid. On a single worker the acceptor phase scatters
+// proposals forward (one pass over the proposers) rather than rescanning
+// every acceptor's adjacency; both forms compute the same
+// heaviest-proposal-lowest-index winner, so the matching is identical — the
+// scatter is just unusable under parallelism, where two proposers could
+// race on one acceptor slot.
+func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions, ar *partArena) (match []int32, matched int) {
 	n := g.N()
-	match = make([]int32, n)
+	match = ar.match[:n]
 	for i := range match {
 		match[i] = -1
 	}
-	cand := make([]int32, n)   // proposer → chosen acceptor
-	accept := make([]int32, n) // acceptor → chosen proposer
+	cand := ar.cand[:n]
+	accept := ar.accept[:n]
+	candW := ar.candW[:n]
+	state := ar.state[:n]
+	work := ar.work[:n]
+	nextWork := ar.work2[:n]
 	maxW := opts.TargetSize
-	for round := 0; round < opts.MatchingRounds; round++ {
+	// A vertex too heavy to pair with even the lightest possible partner
+	// (weight 1) can never match: take it out of the worklist for the whole
+	// level and mark it ineligible, so neither the round passes nor the
+	// neighbor scans ever revisit it. At the near-saturated coarse levels
+	// this removes the majority of the graph — including the whole stall
+	// round that otherwise computes a matching just to discard it. When the
+	// weight cap fits in six bits (every practical TargetSize) each
+	// eligible vertex's weight is packed into the high bits of its state
+	// byte, making the proposer scan's eligibility test a single load:
+	// role in the low two bits (0 acceptor, 1 proposer, 2 matched,
+	// 3 ineligible), weight above.
+	packed := vw != nil && maxW <= 63
+	nwork := 0
+	for u := 0; u < n; u++ {
+		w := vweight(vw, u)
+		if w+1 > maxW {
+			state[u] = 3
+			// The parallel acceptor phase scans neighbors' cand slots, and
+			// an ineligible vertex never passes through the phase-1 reset:
+			// clear it here or a stale id (arena reuse, earlier level)
+			// could read as a live proposal and bind a false match.
+			cand[u] = -1
+			continue
+		}
+		if packed {
+			state[u] = uint8(w << 2)
+		} else {
+			state[u] = 0
+		}
+		work[nwork] = int32(u)
+		nwork++
+	}
+	// With unit vertex weights any pair weighs 2: the TargetSize cap either
+	// never binds or always does, so the eligibility test drops out of the
+	// inner loop entirely.
+	unitFits := vw == nil && maxW >= 2
+	if effectiveWorkers(n, opts.Workers) <= 1 {
+		matched = serialMatchingRounds(g, vw, opts, ar, match, work[:nwork], unitFits, packed)
+		return match, matched
+	}
+	for round := 0; round < opts.MatchingRounds && nwork > 0; round++ {
+		parallelVertexRanges(nwork, opts.Workers, func(lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				u := work[wi]
+				if matchCoin(int(u), round) {
+					state[u] = state[u]&^3 | 1
+				} else {
+					state[u] &^= 3
+				}
+			}
+		})
 		// Phase 1: proposers pick their heaviest eligible acceptor.
 		// Ascending columns make the first strictly heavier neighbor the
 		// smallest-indexed one, so ties break low without an explicit
-		// comparison.
-		parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
-			for u := lo; u < hi; u++ {
+		// comparison. (A self-loop's state is 1 or 2 here — u is in the
+		// worklist as a proposer — so the state test also rejects v == u.)
+		parallelVertexRanges(nwork, opts.Workers, func(lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				u := int(work[wi])
 				cand[u] = -1
-				if match[u] != -1 || !matchCoin(u, round) {
+				if state[u]&3 != 1 {
 					continue
 				}
-				wu := vweight(vw, u)
 				cols, ws := g.row(u)
 				best, bestW := int32(-1), -1.0
-				for i, c := range cols {
-					v := int(c)
-					if v == u || match[v] != -1 || matchCoin(v, round) {
-						continue
+				switch {
+				case unitFits:
+					for i, c := range cols {
+						if state[c] == 0 && ws[i] > bestW {
+							best, bestW = c, ws[i]
+						}
 					}
-					if wu+vweight(vw, v) > maxW {
-						continue
+				case packed:
+					wu := vweight(vw, u)
+					for i, c := range cols {
+						s := state[c]
+						if s&3 != 0 || wu+int(s>>2) > maxW {
+							continue
+						}
+						if ws[i] > bestW {
+							best, bestW = c, ws[i]
+						}
 					}
-					if ws[i] > bestW {
-						best, bestW = c, ws[i]
+				default:
+					wu := vweight(vw, u)
+					for i, c := range cols {
+						if state[c]&3 != 0 {
+							continue
+						}
+						if wu+vweight(vw, int(c)) > maxW {
+							continue
+						}
+						if ws[i] > bestW {
+							best, bestW = c, ws[i]
+						}
 					}
 				}
 				cand[u] = best
+				candW[u] = bestW
 			}
 		})
-		// Phase 2: acceptors take their heaviest incoming proposal (cand
-		// of a non-proposer is -1, so the scan is self-filtering).
-		parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				accept[v] = -1
-				if match[v] != -1 || matchCoin(v, round) {
+		// Phase 2: acceptors take their heaviest incoming proposal by
+		// scanning their own adjacency (cand of a matched or proposing
+		// neighbor is -1, so the scan is self-filtering) — per-vertex
+		// slots only, safe in parallel.
+		parallelVertexRanges(nwork, opts.Workers, func(lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				v := int(work[wi])
+				if state[v]&3 != 0 {
 					continue
 				}
 				cols, ws := g.row(v)
@@ -289,22 +405,25 @@ func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions) (match []int32
 			}
 		})
 		// Phase 3: bind agreeing pairs; each vertex writes only its own
-		// match slot. An accepted proposer always binds symmetrically:
-		// accept[v] = u implies cand[u] = v.
+		// match/cand/state slots. An accepted proposer always binds
+		// symmetrically: accept[v] = u implies cand[u] = v. Newly matched
+		// vertices zero their cand slot to uphold the worklist invariant.
 		var progressed atomic.Bool
-		parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
+		parallelVertexRanges(nwork, opts.Workers, func(lo, hi int) {
 			any := false
-			for u := lo; u < hi; u++ {
-				if match[u] != -1 {
-					continue
-				}
-				if matchCoin(u, round) {
-					if v := cand[u]; v >= 0 && accept[v] == int32(u) {
+			for wi := lo; wi < hi; wi++ {
+				u := work[wi]
+				if state[u]&3 == 1 {
+					if v := cand[u]; v >= 0 && accept[v] == u {
 						match[u] = v
+						cand[u] = -1
+						state[u] = state[u]&^3 | 2
 						any = true
 					}
 				} else if p := accept[u]; p >= 0 {
 					match[u] = p
+					cand[u] = -1
+					state[u] = state[u]&^3 | 2
 					any = true
 				}
 			}
@@ -315,6 +434,17 @@ func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions) (match []int32
 		if !progressed.Load() {
 			break
 		}
+		// Rebuild the worklist (ascending, deterministic) for the next
+		// round; matched vertices leave it forever.
+		nw := 0
+		for wi := 0; wi < nwork; wi++ {
+			if u := work[wi]; match[u] == -1 {
+				nextWork[nw] = u
+				nw++
+			}
+		}
+		work, nextWork = nextWork, work
+		nwork = nw
 	}
 	for _, m := range match {
 		if m != -1 {
@@ -324,55 +454,223 @@ func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions) (match []int32
 	return match, matched
 }
 
+// serialMatchingRounds is heavyEdgeMatching's single-worker form: the same
+// rounds, proposals, and bindings, but with the phases fused and the
+// worklist segregated by role. Each round keeps the still-unmatched
+// vertices in two ascending lists — this round's proposers and acceptors —
+// so no pass pays the unpredictable per-vertex role branch. Pass one walks
+// the proposers, picks each one's heaviest eligible acceptor, and
+// immediately challenges that acceptor's current-best slot (proposer order
+// is ascending and the challenge is strict >, so the lowest-index proposer
+// wins weight ties: exactly the winner the parallel form's
+// ascending-column acceptor scan finds). Pass two binds each segment's
+// agreeing pairs in place; a final merge of the two survivor streams flips
+// the next round's coins while restoring the global ascending order the
+// challenge tie-break depends on. accept slots are validated by a
+// monotonically increasing round stamp instead of being reset. The
+// computed matching is identical to the parallel form's.
+func serialMatchingRounds(g *Graph, vw []int, opts PartitionOptions, ar *partArena, match []int32, eligible []int32, unitFits, packed bool) (matched int) {
+	n := g.N()
+	cand := ar.cand[:n]
+	accept := ar.accept[:n]
+	acceptRound := ar.acceptRound[:n]
+	candW := ar.candW[:n]
+	state := ar.state[:n]
+	maxW := opts.TargetSize
+	props, accs := ar.workP[:n], ar.workA[:n]
+	propsB, accsB := ar.work2[:n], ar.work[:n]
+	np, na := 0, 0
+	for _, u := range eligible {
+		if matchCoin(int(u), 0) {
+			state[u] = state[u]&^3 | 1
+			props[np] = u
+			np++
+		} else {
+			state[u] &^= 3
+			accs[na] = u
+			na++
+		}
+	}
+	for round := 0; round < opts.MatchingRounds && np+na > 0; round++ {
+		ar.matchRound++
+		stamp := ar.matchRound
+		// Pass 1: proposers pick and challenge.
+		for pi := 0; pi < np; pi++ {
+			u := int(props[pi])
+			cols, ws := g.row(u)
+			best, bestW := int32(-1), -1.0
+			switch {
+			case unitFits:
+				for i, c := range cols {
+					if state[c] == 0 && ws[i] > bestW {
+						best, bestW = c, ws[i]
+					}
+				}
+			case packed:
+				wu := vweight(vw, u)
+				for i, c := range cols {
+					s := state[c]
+					if s&3 != 0 || wu+int(s>>2) > maxW {
+						continue
+					}
+					if ws[i] > bestW {
+						best, bestW = c, ws[i]
+					}
+				}
+			default:
+				wu := vweight(vw, u)
+				for i, c := range cols {
+					if state[c]&3 != 0 {
+						continue
+					}
+					if wu+vweight(vw, int(c)) > maxW {
+						continue
+					}
+					if ws[i] > bestW {
+						best, bestW = c, ws[i]
+					}
+				}
+			}
+			cand[u] = best
+			candW[u] = bestW
+			if best >= 0 {
+				if acceptRound[best] != stamp {
+					acceptRound[best] = stamp
+					accept[best] = int32(u)
+				} else if bestW > candW[accept[best]] {
+					accept[best] = int32(u)
+				}
+			}
+		}
+		// Pass 2: bind each segment in place; survivors compact to the
+		// segment prefix, preserving ascending order.
+		progressed := false
+		nw := 0
+		for pi := 0; pi < np; pi++ {
+			u := props[pi]
+			if v := cand[u]; v >= 0 && acceptRound[v] == stamp && accept[v] == u {
+				match[u] = v
+				state[u] = state[u]&^3 | 2
+				cand[u] = -1
+				progressed = true
+				continue
+			}
+			props[nw] = u
+			nw++
+		}
+		np = nw
+		nw = 0
+		for ai := 0; ai < na; ai++ {
+			v := accs[ai]
+			if acceptRound[v] == stamp {
+				if p := accept[v]; p >= 0 {
+					match[v] = p
+					state[v] = state[v]&^3 | 2
+					cand[v] = -1
+					progressed = true
+					continue
+				}
+			}
+			accs[nw] = v
+			nw++
+		}
+		na = nw
+		if !progressed {
+			break
+		}
+		// Merge the two ascending survivor streams, flipping next-round
+		// coins on the way; the merged order is the global ascending order
+		// the next challenge pass ties-breaks by.
+		pi, ai, np2, na2 := 0, 0, 0, 0
+		for pi < np || ai < na {
+			var u int32
+			if ai >= na || (pi < np && props[pi] < accs[ai]) {
+				u = props[pi]
+				pi++
+			} else {
+				u = accs[ai]
+				ai++
+			}
+			if matchCoin(int(u), round+1) {
+				state[u] = state[u]&^3 | 1
+				propsB[np2] = u
+				np2++
+			} else {
+				state[u] &^= 3
+				accsB[na2] = u
+				na2++
+			}
+		}
+		props, propsB = propsB, props
+		accs, accsB = accsB, accs
+		np, na = np2, na2
+	}
+	for _, m := range match {
+		if m != -1 {
+			matched++
+		}
+	}
+	return matched
+}
+
 // contract collapses matched pairs into single vertices, returning the
 // coarse graph, the fine→coarse vertex map, and the coarse vertex weights
 // (original-vertex counts). Intra-pair edges become self-loops — they can
 // never be cut, but they keep coarse strengths comparable for seed ordering,
-// mirroring Quotient. The coarse CSR is assembled directly (capacity rows
-// filled in parallel, then compacted) — staging through AddEdge re-sorted
-// the whole edge set per level and dominated the multilevel profile.
-func contract(g *Graph, vw []int, match []int32, workers int) (*Graph, []int, []int, error) {
+// mirroring Quotient. The coarse rows are written directly from the match
+// slots in one traversal of the fine adjacency (capacity rows filled in
+// parallel, coalesced in place, then compacted into an exact-size CSR); the
+// staging rows live in the arena and the resulting graph skips FromCSR's
+// validation scan, which is redundant for rows sorted by construction.
+func contract(g *Graph, vw []int, match []int32, matched, workers int, ar *partArena) (*Graph, []int32, []int, error) {
 	n := g.N()
-	cmap := make([]int, n)
-	nc := 0
+	nc := n - matched/2
+	cmap := ar.i32s.take(n)
+	cvw := ar.ints.take(nc)
+	// One pass over the match slots numbers the coarse vertices, records
+	// each one's constituents (mem2 -1 when single), sums its weight, and
+	// accumulates the capacity-row prefix — a coarse row holds at most the
+	// combined degree of its constituents. A pair is handled entirely at
+	// its smaller endpoint (the partner is known from the match slot), so
+	// the fused pass needs no second sweep; only cmap of the larger
+	// endpoint is filled when reached, for the gather below.
+	mem1 := ar.mem1[:nc]
+	mem2 := ar.mem2[:nc]
+	capPtr := ar.capPtr[:nc+1]
+	capPtr[0] = 0
+	i := 0
 	for u := 0; u < n; u++ {
 		m := int(match[u])
-		if m == -1 || u < m {
-			cmap[u] = nc
-			nc++
-		} else {
-			cmap[u] = cmap[m] // m < u already numbered
+		if m != -1 && m < u {
+			cmap[u] = cmap[m] // pair already handled at its smaller endpoint
+			continue
 		}
-	}
-	cvw := make([]int, nc)
-	// mem1/mem2 are each coarse vertex's constituents (mem2 -1 when single).
-	mem1 := make([]int32, nc)
-	mem2 := make([]int32, nc)
-	for c := range mem1 {
-		mem1[c], mem2[c] = -1, -1
-	}
-	for u := 0; u < n; u++ { // ascending, so mem1 < mem2
-		c := cmap[u]
-		if mem1[c] == -1 {
-			mem1[c] = int32(u)
-		} else {
-			mem2[c] = int32(u)
+		if i == nc {
+			i++ // would overflow the promised count; fail below
+			break
 		}
-		cvw[c] += vweight(vw, u)
-	}
-	// Capacity rows: each coarse row holds at most the combined degree of
-	// its constituents. Fill in parallel, coalesce per row, then compact.
-	capPtr := make([]int64, nc+1)
-	for c := 0; c < nc; c++ {
-		d := g.rowptr[mem1[c]+1] - g.rowptr[mem1[c]]
-		if m := mem2[c]; m != -1 {
+		cmap[u] = int32(i)
+		mem1[i] = int32(u)
+		d := g.rowptr[u+1] - g.rowptr[u]
+		if m == -1 {
+			mem2[i] = -1
+			cvw[i] = vweight(vw, u)
+		} else { // m > u: fold the partner in now
+			mem2[i] = int32(m)
+			cvw[i] = vweight(vw, u) + vweight(vw, m)
 			d += g.rowptr[m+1] - g.rowptr[m]
 		}
-		capPtr[c+1] = capPtr[c] + d
+		capPtr[i+1] = capPtr[i] + d
+		i++
 	}
-	col := make([]int32, capPtr[nc])
-	w := make([]float64, capPtr[nc])
-	cnt := make([]int32, nc)
+	if i != nc {
+		// matched must count exactly the paired vertices; anything else
+		// means the matching broke its own symmetry invariant.
+		return nil, nil, nil, fmt.Errorf("graph: contract numbered %d coarse vertices, matching promised %d", i, nc)
+	}
+	col := ar.cooCol(capPtr[nc])
+	w := ar.cooW(capPtr[nc])
+	cnt := ar.cnt[:nc]
 	parallelVertexRanges(nc, workers, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			base := capPtr[c]
@@ -384,10 +682,10 @@ func contract(g *Graph, vw []int, match []int32, workers int) (*Graph, []int, []
 					// Intra-coarse fine edges appear in both constituent
 					// rows; keep the smaller endpoint's copy so the coarse
 					// self-loop counts each undirected edge once.
-					if tc == c && cc < u {
+					if int(tc) == c && cc < u {
 						continue
 					}
-					col[base+k], w[base+k] = int32(tc), ws[i]
+					col[base+k], w[base+k] = tc, ws[i]
 					k++
 				}
 			}
@@ -412,20 +710,20 @@ func contract(g *Graph, vw []int, match []int32, workers int) (*Graph, []int, []
 			cnt[c] = int32(write)
 		}
 	})
-	rowptr := make([]int64, nc+1)
+	rowptr := ar.i64s.take(nc + 1)
+	rowptr[0] = 0
 	for c := 0; c < nc; c++ {
 		rowptr[c+1] = rowptr[c] + int64(cnt[c])
 	}
-	fcol := make([]int32, rowptr[nc])
-	fw := make([]float64, rowptr[nc])
+	m := rowptr[nc]
+	fcol := ar.i32s.take(int(m))
+	fbuf := ar.f64s.take(int(m) + nc)
+	fw := fbuf[:m]
 	for c := 0; c < nc; c++ {
 		copy(fcol[rowptr[c]:rowptr[c+1]], col[capPtr[c]:capPtr[c]+int64(cnt[c])])
 		copy(fw[rowptr[c]:rowptr[c+1]], w[capPtr[c]:capPtr[c]+int64(cnt[c])])
 	}
-	coarse, err := FromCSR(nc, rowptr, fcol, fw)
-	if err != nil {
-		return nil, nil, nil, err
-	}
+	coarse := newFrozenCSR(nc, rowptr, fcol, fw, fbuf[m:])
 	return coarse, cmap, cvw, nil
 }
 
@@ -467,6 +765,19 @@ func (p *pairSorter) Swap(i, j int) {
 // with parallelism.
 const mlChunk = 4096
 
+// effectiveWorkers resolves the worker count parallelVertexRanges will use
+// for an n-element range: 0 means GOMAXPROCS, and a range under one chunk
+// never splits.
+func effectiveWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if nchunks := (n + mlChunk - 1) / mlChunk; workers > nchunks {
+		workers = nchunks
+	}
+	return workers
+}
+
 // parallelVertexRanges runs fn over [0,n) in fixed chunks on a small worker
 // pool (workers 0 = GOMAXPROCS). Callers must write only to per-vertex
 // slots derived from read-only inputs, which makes the serial and parallel
@@ -476,12 +787,7 @@ func parallelVertexRanges(n, workers int, fn func(lo, hi int)) {
 		return
 	}
 	nchunks := (n + mlChunk - 1) / mlChunk
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > nchunks {
-		workers = nchunks
-	}
+	workers = effectiveWorkers(n, workers)
 	if workers <= 1 {
 		fn(0, n)
 		return

@@ -192,7 +192,8 @@ func TestHeavyEdgeMatchingInvariants(t *testing.T) {
 	if err := opts.normalize(g.N()); err != nil {
 		t.Fatal(err)
 	}
-	match, matched := heavyEdgeMatching(g, nil, opts)
+	ar := newPartArena(g)
+	match, matched := heavyEdgeMatching(g, nil, opts, ar)
 	count := 0
 	for u, m := range match {
 		if m == -1 {
@@ -216,7 +217,7 @@ func TestHeavyEdgeMatchingInvariants(t *testing.T) {
 		t.Fatal("matching found nothing on a connected graph")
 	}
 	// Contract and confirm weights: every coarse vertex within TargetSize.
-	_, cmap, cvw, err := contract(g, nil, match, 0)
+	_, cmap, cvw, err := contract(g, nil, match, matched, 0, ar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,8 +234,69 @@ func TestHeavyEdgeMatchingInvariants(t *testing.T) {
 		t.Fatalf("coarse weights sum to %d, want %d", total, g.N())
 	}
 	for v, c := range cmap {
-		if c < 0 || c >= len(cvw) {
+		if c < 0 || int(c) >= len(cvw) {
 			t.Fatalf("vertex %d mapped to out-of-range coarse vertex %d", v, c)
+		}
+	}
+}
+
+// An ineligible (never-matchable) vertex skips the worklist, so nothing
+// resets its cand slot — but the parallel acceptor phase scans neighbors'
+// cand slots. A recycled arena can hand matching a cand array full of
+// plausible vertex ids; if ineligible slots are not cleared, a stale id
+// reads as a live proposal and binds an asymmetric, cap-violating match.
+// This pins the fix on the parallel path (weighted level wide enough that
+// Workers>1 engages it) against the serial path's result.
+func TestHeavyEdgeMatchingIneligibleStaleCand(t *testing.T) {
+	n := 3 * mlChunk // wide enough for effectiveWorkers(n, 2) == 2
+	g := stencil2D(n, 128)
+	g.ensure()
+	opts := PartitionOptions{MinSize: 4, TargetSize: 4}
+	if err := opts.normalize(n); err != nil {
+		t.Fatal(err)
+	}
+	vw := make([]int, n)
+	for i := range vw {
+		if i%2 == 0 {
+			vw[i] = 4 // saturated: 4+1 > TargetSize, ineligible
+		} else {
+			vw[i] = 1
+		}
+	}
+	run := func(workers int) []int32 {
+		o := opts
+		o.Workers = workers
+		ar := newPartArena(g)
+		defer ar.release()
+		// Poison cand as a recycled arena would: every slot names a
+		// plausible neighbor.
+		for i := range ar.cand[:n] {
+			ar.cand[i] = int32((i + 1) % n)
+		}
+		match, _ := heavyEdgeMatching(g, vw, o, ar)
+		out := make([]int32, n)
+		copy(out, match)
+		return out
+	}
+	serial := run(1)
+	parallel := run(2)
+	for u := 0; u < n; u++ {
+		if parallel[u] != serial[u] {
+			t.Fatalf("vertex %d: parallel match %d, serial %d (stale cand leaked into a binding)",
+				u, parallel[u], serial[u])
+		}
+		m := parallel[u]
+		if m == -1 {
+			continue
+		}
+		if vw[u]+1 > opts.TargetSize {
+			t.Fatalf("ineligible vertex %d got matched to %d", u, m)
+		}
+		if parallel[m] != int32(u) {
+			t.Fatalf("asymmetric match: match[%d]=%d but match[%d]=%d", u, m, m, parallel[m])
+		}
+		if vw[u]+vw[m] > opts.TargetSize {
+			t.Fatalf("pair {%d,%d} weight %d bursts cap %d", u, m, vw[u]+vw[m], opts.TargetSize)
 		}
 	}
 }
@@ -249,8 +311,9 @@ func TestContractPreservesTotalWeight(t *testing.T) {
 	if err := opts.normalize(g.N()); err != nil {
 		t.Fatal(err)
 	}
-	match, _ := heavyEdgeMatching(g, nil, opts)
-	coarse, _, _, err := contract(g, nil, match, 0)
+	ar := newPartArena(g)
+	match, matched := heavyEdgeMatching(g, nil, opts, ar)
+	coarse, _, _, err := contract(g, nil, match, matched, 0, ar)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"slices"
+	"math"
 )
 
 // PartitionOptions bounds the clusters produced by Partition.
@@ -39,8 +39,9 @@ type PartitionOptions struct {
 	// MatchingRounds bounds the handshake rounds of each heavy-edge
 	// matching; 0 means 4.
 	MatchingRounds int
-	// Workers bounds the matching worker pool (0 = GOMAXPROCS). The
-	// assignment never depends on it.
+	// Workers bounds the worker pool of the parallel phases (matching,
+	// contraction, refinement scans); 0 = GOMAXPROCS. The assignment
+	// never depends on it.
 	Workers int
 }
 
@@ -100,62 +101,126 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 		return []int{}, nil
 	}
 	g.ensure()
+	ar := newPartArena(g)
+	defer ar.release()
 	if opts.Multilevel && n > opts.CoarsenThreshold {
-		return multilevelPartition(g, opts)
+		return multilevelPartition(g, opts, ar)
 	}
-	return singleLevel(g, opts, nil), nil
+	return singleLevel(g, opts, nil, ar), nil
 }
 
 // singleLevel is the growth → merge → refine pipeline on one graph, with
 // cluster sizes measured in vertex weight (vw nil = unit weights, the
 // original single-level behavior; multilevel coarse graphs pass the number
 // of original vertices inside each coarse vertex).
-func singleLevel(g *Graph, opts PartitionOptions, vw []int) []int {
-	part, sizes := grow(g, opts, vw)
+func singleLevel(g *Graph, opts PartitionOptions, vw []int, ar *partArena) []int {
+	part, sizes := grow(g, opts, vw, ar)
 	if vw == nil {
 		part, sizes = mergeSmall(g, part, sizes, opts)
 	} else {
 		// Weighted growth can leave many undersized clusters (matching
 		// leftovers); the indexed merge handles thousands of them without
 		// mergeSmall's per-merge full-graph scans.
-		part, sizes = mergeSmallWeighted(g, part, sizes, opts)
+		part, sizes = mergeSmallWeighted(g, part, sizes, opts, ar)
 	}
-	refine(g, part, sizes, opts, vw)
+	refine(g, part, sizes, opts, vw, ar)
 	return compact(part)
+}
+
+// sortSeedsByStrength orders all vertices by strength descending, index
+// ascending, via a stable LSD radix sort over the inverted IEEE-754 bit
+// patterns — strengths are non-negative, so their bit patterns order
+// exactly like their values, and stability turns "index ascending" into a
+// free tie-break. The result is the identical total order the comparison
+// sort produced, without its half-million comparator calls on 100k-vertex
+// graphs. Byte positions that are constant across all keys (most of the
+// exponent bytes in practice) skip their scatter pass. Returns the sorted
+// slice, which is one of the two ping-pong buffers.
+func sortSeedsByStrength(strength []float64, order, orderB []int, keys, keysB []uint64) []int {
+	n := len(strength)
+	for i := 0; i < n; i++ {
+		order[i] = i
+		keys[i] = ^math.Float64bits(strength[i])
+	}
+	var count [256]int
+	for shift := 0; shift < 64; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			count[byte(keys[i]>>shift)]++
+		}
+		if n > 0 && count[byte(keys[0]>>shift)] == n {
+			continue // constant byte: the pass would be the identity
+		}
+		pos := 0
+		for b := 0; b < 256; b++ {
+			c := count[b]
+			count[b] = pos
+			pos += c
+		}
+		for i := 0; i < n; i++ {
+			b := byte(keys[i] >> shift)
+			j := count[b]
+			count[b]++
+			keysB[j] = keys[i]
+			orderB[j] = order[i]
+		}
+		keys, keysB = keysB, keys
+		order, orderB = orderB, order
+	}
+	return order
 }
 
 // grow performs greedy region growing seeded at high-strength vertices,
 // returning the raw (non-compacted) assignment and per-id sizes in weight
-// units.
-func grow(g *Graph, opts PartitionOptions, vw []int) ([]int, []int) {
+// units. Both returned slices are arena-backed; callers own them until the
+// next grow on the same arena.
+//
+// The frontier is flat: connection weights accumulate in an epoch-stamped
+// per-vertex array (one epoch per seed, so resets are free) and the
+// frontier members sit in a shared list, scanned per pick for the maximum
+// (weight desc, vertex asc) — the same total order, over the same candidate
+// set, as the historical per-seed hash map's iteration, so every pick is
+// identical; only the hashing, per-seed allocation, and tombstone deletes
+// are gone. Assigned members are skipped in place, exactly like the map's
+// deleted keys.
+func grow(g *Graph, opts PartitionOptions, vw []int, ar *partArena) ([]int, []int) {
+	g.ensureAggregates() // seed ordering reads strengths
 	n := g.N()
-	part := make([]int, n)
+	part := ar.growPart[:n]
 	for i := range part {
 		part[i] = -1
 	}
 
 	// Seeds in decreasing strength order: heavy communicators first, so the
 	// densest neighborhoods are kept together. The index tie-break makes
-	// the order total, so any sort algorithm produces the same seeds; the
-	// generic sort avoids sort.Slice's reflection swaps, which dominated
-	// grow on 100k-vertex graphs.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	slices.SortFunc(order, func(a, b int) int {
-		sa, sb := g.strength[a], g.strength[b]
-		if sa != sb {
-			if sa > sb {
-				return -1
-			}
-			return 1
-		}
-		return a - b
-	})
+	// the order total, so any sort algorithm (or the radix sort here)
+	// produces the same seeds.
+	order := sortSeedsByStrength(g.strength, ar.order[:n], ar.orderB[:n], ar.keysA[:n], ar.keysB[:n])
 
 	next := 0
-	sizes := []int{}
+	sizes := ar.growSizes[:0]
+	connW := ar.growW[:n]
+	stamp := ar.growStamp[:n]
+	list := ar.growList[:0]
+	// addNeighbors folds u's unassigned neighbors into the frontier.
+	addNeighbors := func(u int, epoch int32) {
+		cols, ws := g.row(u)
+		for i, c := range cols {
+			v := int(c)
+			if part[v] != -1 {
+				continue
+			}
+			if stamp[v] != epoch {
+				stamp[v] = epoch
+				connW[v] = ws[i]
+				list = append(list, c)
+			} else {
+				connW[v] += ws[i]
+			}
+		}
+	}
 	// fallback scans order for any unassigned vertex; assignments only grow,
 	// so a monotonic cursor keeps the total fallback cost O(n).
 	fallbackCursor := 0
@@ -173,21 +238,21 @@ func grow(g *Graph, opts PartitionOptions, vw []int) ([]int, []int) {
 			sizes = append(sizes, size)
 			continue
 		}
-		// conn[v] = weight connecting unassigned v to the growing cluster.
-		conn := map[int]float64{}
-		seedCols, seedWs := g.row(seed)
-		for i, c := range seedCols {
-			if part[c] == -1 {
-				conn[int(c)] += seedWs[i]
-			}
-		}
+		ar.growEpoch++
+		epoch := ar.growEpoch
+		list = list[:0]
+		addNeighbors(seed, epoch)
 		for size < opts.TargetSize {
 			best, bestW := -1, -1.0
-			for v, w := range conn {
-				if opts.MaxSize != 0 && size+vweight(vw, v) > opts.MaxSize {
-					continue // weighted vertex would burst the hard cap
+			for _, v32 := range list {
+				v := int(v32)
+				if part[v] != -1 {
+					continue // already inside some cluster
 				}
-				if w > bestW || (w == bestW && (best == -1 || v < best)) {
+				if opts.MaxSize != 0 && size+vweight(vw, v) > opts.MaxSize {
+					continue // would burst the hard cap
+				}
+				if w := connW[v]; w > bestW || (w == bestW && (best == -1 || v < best)) {
 					best, bestW = v, w
 				}
 			}
@@ -217,14 +282,8 @@ func grow(g *Graph, opts PartitionOptions, vw []int) ([]int, []int) {
 				}
 			}
 			part[best] = id
-			delete(conn, best)
 			size += vweight(vw, best)
-			cols, ws := g.row(best)
-			for i, c := range cols {
-				if part[c] == -1 {
-					conn[int(c)] += ws[i]
-				}
-			}
+			addNeighbors(best, epoch)
 		}
 		sizes = append(sizes, size)
 	}
@@ -308,6 +367,11 @@ func activeClusters(sizes []int) []int {
 	return out
 }
 
+// refineParallelMin is the vertex count below which refine always runs its
+// plain serial sweep: the speculative scan's fork/join overhead only pays
+// off on graphs with tens of thousands of vertices.
+const refineParallelMin = 4096
+
 // refine performs boundary-move passes: each vertex may move to the
 // neighboring cluster it communicates with most if the move strictly lowers
 // the cut and keeps both clusters within the size bounds.
@@ -319,12 +383,18 @@ func activeClusters(sizes []int) []int {
 // touches at most deg(v) distinct clusters, so its row span always has room
 // — because one map per vertex (the previous layout) cost more to build
 // than the moves it served on 100k-vertex graphs, and the multilevel path
-// rebuilds the cache at every level.
+// rebuilds the cache at every level. The arrays come from the arena, so
+// those per-level rebuilds reuse one finest-level allocation.
 //
 // Sizes are in weight units: moving v shifts vweight(vw, v), and the size
 // bounds hold in the same units (unit weights reproduce the historical
 // vertex-count behavior exactly).
-func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int) {
+//
+// With more than one worker and a large enough graph, each pass runs as a
+// speculative parallel scan plus a serial commit (see the comment there);
+// the committed moves are exactly the serial sweep's, in the same order, so
+// the assignment never depends on the worker count.
+func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int, ar *partArena) {
 	n := g.N()
 	// connID/connW/connCnt[rowptr[v]:rowptr[v]+connLen[v]] = (cluster,
 	// weight, contributing neighbors) entries of v, unordered; lookups scan
@@ -334,12 +404,13 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int) 
 	// this repository builds) the cached weights equal the historical
 	// per-vertex map cache exactly.
 	nnz := g.rowptr[n]
-	connID := make([]int32, nnz)
-	connW := make([]float64, nnz)
-	connCnt := make([]int32, nnz)
-	connLen := make([]int32, n)
+	connID := ar.connID[:nnz]
+	connW := ar.connW[:nnz]
+	connCnt := ar.connCnt[:nnz]
+	connLen := ar.connLen[:n]
+	rowptr := g.rowptr
 	find := func(v int, id int) int {
-		lo := g.rowptr[v]
+		lo := rowptr[v]
 		span := connID[lo : lo+int64(connLen[v])]
 		for i := range span {
 			if span[i] == int32(id) {
@@ -354,7 +425,7 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int) 
 			connCnt[i]++
 			return
 		}
-		pos := g.rowptr[v] + int64(connLen[v])
+		pos := rowptr[v] + int64(connLen[v])
 		connID[pos], connW[pos], connCnt[pos] = int32(id), w, 1
 		connLen[v]++
 	}
@@ -368,61 +439,202 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int) 
 		connW[i] -= w
 		connCnt[i]--
 		if connCnt[i] == 0 {
-			last := g.rowptr[v] + int64(connLen[v]) - 1
+			last := rowptr[v] + int64(connLen[v]) - 1
 			connID[i], connW[i], connCnt[i] = connID[last], connW[last], connCnt[last]
 			connLen[v]--
 		}
 	}
-	for v := 0; v < n; v++ {
-		cols, ws := g.row(v)
-		for i, c := range cols {
-			if int(c) != v {
-				add(v, part[c], ws[i])
+	// The initial cache build writes only vertex v's own span from
+	// read-only state (part and v's row), so it parallelizes chunk-wise
+	// with no effect on the result. The body is the add() path hand-inlined
+	// over int offsets: this loop is the hottest in the multilevel profile
+	// (it reruns at every level of the ladder).
+	parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			base := int(rowptr[v])
+			ln := 0
+			cols, ws := g.row(v)
+			for i, c := range cols {
+				if int(c) == v {
+					continue
+				}
+				id := int32(part[c])
+				pos := -1
+				for j := 0; j < ln; j++ {
+					if connID[base+j] == id {
+						pos = base + j
+						break
+					}
+				}
+				if pos >= 0 {
+					connW[pos] += ws[i]
+					connCnt[pos]++
+				} else {
+					pos = base + ln
+					connID[pos], connW[pos], connCnt[pos] = id, ws[i], 1
+					ln++
+				}
+			}
+			connLen[v] = int32(ln)
+		}
+	})
+
+	// decide returns the cluster the serial sweep would move v to right
+	// now, or -1: the heaviest adjacent cluster that fits MaxSize, if its
+	// weight strictly beats v's connection to its own cluster and leaving
+	// keeps the source above MinSize. One span pass finds both the own
+	// weight and the best candidate; the candidate maximum is ordered by
+	// (weight desc, id asc), which reproduces the historical two-pass
+	// scan's pick exactly — candidates at or below the own weight lose the
+	// final strict comparison either way.
+	maxSize := opts.MaxSize
+	decide := func(v int) int {
+		from := part[v]
+		wv := vweight(vw, v)
+		if sizes[from]-wv < opts.MinSize {
+			return -1 // removing v would break the reliability bound
+		}
+		var own float64
+		bestTo, bestW := -1, -1.0
+		base := int(rowptr[v])
+		for i := 0; i < int(connLen[v]); i++ {
+			id, w := int(connID[base+i]), connW[base+i]
+			if id == from {
+				own = w
+				continue
+			}
+			if maxSize != 0 && sizes[id]+wv > maxSize {
+				continue
+			}
+			if w > bestW || (w == bestW && id < bestTo) {
+				bestTo, bestW = id, w
 			}
 		}
+		if bestW > own {
+			return bestTo
+		}
+		return -1
 	}
+
+	speculative := effectiveWorkers(n, opts.Workers) > 1 && n >= refineParallelMin
+	var desire []int32
+	if speculative {
+		desire = ar.desire[:n]
+	}
+	// Move stamps: nbrTouch[v] is the move counter when v's gain span last
+	// changed, clusterTouch[c] when cluster c's size last changed, and
+	// lastEval[v] the counter when v last evaluated to "no move" (-1 when v
+	// has never evaluated, or its last evaluation moved it). A vertex whose
+	// stamps are all at or before its lastEval would re-derive the same
+	// "no move" from identical inputs, so converged sweeps skip it after a
+	// cheap integer scan — the bulk of every pass after the first.
+	nbrTouch := ar.nbrTouch[:n]
+	clusterTouch := ar.clusterTouch[:len(sizes)]
+	lastEval := ar.lastEval[:n]
+	clear(nbrTouch)
+	clear(clusterTouch)
+	for i := range lastEval {
+		lastEval[i] = -1
+	}
+	moveCount := int32(0)
+	// stillNoMove reports whether v's previous "no move" decision is still
+	// derivable from unchanged inputs as of stamp `since`. Those inputs are
+	// v's gain span (nbrTouch) and the size of v's own cluster (the MinSize
+	// gate); other clusters' sizes only enter decide through the MaxSize
+	// cap, so the span's cluster stamps need scanning only when a cap is
+	// set — with MaxSize 0 (the paper's L1 configuration) the check is two
+	// loads.
+	stillNoMove := func(v int, since int32) bool {
+		if since < 0 || nbrTouch[v] > since || clusterTouch[part[v]] > since {
+			return false
+		}
+		if maxSize != 0 {
+			base := int(rowptr[v])
+			for i := 0; i < int(connLen[v]); i++ {
+				if clusterTouch[connID[base+i]] > since {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// commit applies the move v → to and maintains the incremental caches:
+	// every neighbor of v sees v's weight shift from cluster `from` to
+	// `to`; the stamps record what the move invalidated.
+	commit := func(v, to int) {
+		from := part[v]
+		wv := vweight(vw, v)
+		part[v] = to
+		sizes[from] -= wv
+		sizes[to] += wv
+		moveCount++
+		clusterTouch[from] = moveCount
+		clusterTouch[to] = moveCount
+		cols, ws := g.row(v)
+		for i, c := range cols {
+			u := int(c)
+			if u == v {
+				continue
+			}
+			sub(u, from, ws[i])
+			add(u, to, ws[i])
+			nbrTouch[u] = moveCount
+		}
+	}
+
 	for pass := 0; pass < opts.RefinePasses; pass++ {
 		moved := false
+		if !speculative {
+			for v := 0; v < n; v++ {
+				if stillNoMove(v, lastEval[v]) {
+					continue
+				}
+				if to := decide(v); to >= 0 {
+					commit(v, to)
+					lastEval[v] = -1
+					moved = true
+				} else {
+					lastEval[v] = moveCount
+				}
+			}
+			if !moved {
+				return
+			}
+			continue
+		}
+		// Speculative pass: a parallel scan precomputes every vertex's
+		// move against the pass-start state (per-vertex slot writes only),
+		// then the serial commit walks vertices in the sweep order and
+		// trusts a precomputed decision exactly when none of its inputs —
+		// v's gain span, the size of v's cluster, or the size of any
+		// adjacent cluster — changed since the scan, which the move stamps
+		// witness. A stale vertex is re-decided serially. Every committed
+		// move is therefore the move the serial sweep would have made at
+		// that vertex, in the same order: the result is bit-identical at
+		// any worker count, while the float-heavy gain evaluation runs
+		// parallel (and, after the first converging passes, almost no
+		// vertex is ever stale).
+		passStart := moveCount
+		parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if stillNoMove(v, lastEval[v]) {
+					desire[v] = -1 // unchanged inputs re-derive "no move"
+					continue
+				}
+				desire[v] = int32(decide(v))
+			}
+		})
 		for v := 0; v < n; v++ {
-			from := part[v]
-			wv := vweight(vw, v)
-			if sizes[from]-wv < opts.MinSize {
-				continue // removing v would break the reliability bound
+			to := int(desire[v])
+			if moveCount != passStart && !stillNoMove(v, passStart) {
+				to = decide(v) // inputs changed after the scan
 			}
-			var own float64
-			if i := find(v, from); i >= 0 {
-				own = connW[i]
-			}
-			bestTo, bestW := -1, own
-			lo := g.rowptr[v]
-			for i := int64(0); i < int64(connLen[v]); i++ {
-				id, w := int(connID[lo+i]), connW[lo+i]
-				if id == from {
-					continue
-				}
-				if opts.MaxSize != 0 && sizes[id]+wv > opts.MaxSize {
-					continue
-				}
-				if w > bestW || (w == bestW && bestTo != -1 && id < bestTo) {
-					bestTo, bestW = id, w
-				}
-			}
-			if bestTo != -1 && bestW > own {
-				part[v] = bestTo
-				sizes[from] -= wv
-				sizes[bestTo] += wv
+			if to >= 0 {
+				commit(v, to)
+				lastEval[v] = -1
 				moved = true
-				// Incremental update: every neighbor of v sees v's weight
-				// shift from cluster `from` to `bestTo`.
-				cols, ws := g.row(v)
-				for i, c := range cols {
-					u := int(c)
-					if u == v {
-						continue
-					}
-					sub(u, from, ws[i])
-					add(u, bestTo, ws[i])
-				}
+			} else {
+				lastEval[v] = moveCount
 			}
 		}
 		if !moved {

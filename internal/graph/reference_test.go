@@ -1,0 +1,452 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// This file retains the pre-optimization reference implementations of the
+// partitioner's hot phases — hash-map frontier growth, two-pass contraction,
+// map-based small-cluster merging — exactly as they ran before the arena /
+// flat-frontier rewrite. The property tests below pin the optimized paths
+// bit-identical to them: the partitioner sits inside evaluations whose
+// outputs are compared byte-for-byte, so "faster" is only acceptable when
+// it is also "identical".
+
+// growReference is the historical grow: a fresh hash-map frontier per seed,
+// scanned linearly for the heaviest (then lowest-index) candidate.
+func growReference(g *Graph, opts PartitionOptions, vw []int) ([]int, []int) {
+	g.ensureAggregates()
+	n := g.N()
+	part := make([]int, n)
+	for i := range part {
+		part[i] = -1
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := g.strength[order[a]], g.strength[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	next := 0
+	sizes := []int{}
+	fallbackCursor := 0
+	for _, seed := range order {
+		if part[seed] != -1 {
+			continue
+		}
+		id := next
+		next++
+		part[seed] = id
+		size := vweight(vw, seed)
+		if size >= opts.TargetSize {
+			sizes = append(sizes, size)
+			continue
+		}
+		conn := map[int]float64{}
+		seedCols, seedWs := g.row(seed)
+		for i, c := range seedCols {
+			if part[c] == -1 {
+				conn[int(c)] += seedWs[i]
+			}
+		}
+		for size < opts.TargetSize {
+			best, bestW := -1, -1.0
+			for v, w := range conn {
+				if opts.MaxSize != 0 && size+vweight(vw, v) > opts.MaxSize {
+					continue
+				}
+				if w > bestW || (w == bestW && (best == -1 || v < best)) {
+					best, bestW = v, w
+				}
+			}
+			if best == -1 {
+				if vw != nil {
+					break
+				}
+				for fallbackCursor < n {
+					if part[order[fallbackCursor]] == -1 {
+						best = order[fallbackCursor]
+						break
+					}
+					fallbackCursor++
+				}
+				if best == -1 {
+					break
+				}
+			}
+			part[best] = id
+			delete(conn, best)
+			size += vweight(vw, best)
+			cols, ws := g.row(best)
+			for i, c := range cols {
+				if part[c] == -1 {
+					conn[int(c)] += ws[i]
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return part, sizes
+}
+
+// contractReference is the historical two-pass contraction: one pass to
+// number coarse vertices, one to collect constituents and weights, one to
+// size the capacity rows, then the gather — each its own traversal, with
+// per-level allocations, finishing through the validating FromCSR.
+func contractReference(g *Graph, vw []int, match []int32) (*Graph, []int32, []int, error) {
+	n := g.N()
+	cmap := make([]int32, n)
+	nc := 0
+	for u := 0; u < n; u++ {
+		m := int(match[u])
+		if m == -1 || u < m {
+			cmap[u] = int32(nc)
+			nc++
+		} else {
+			cmap[u] = cmap[m]
+		}
+	}
+	cvw := make([]int, nc)
+	mem1 := make([]int32, nc)
+	mem2 := make([]int32, nc)
+	for c := range mem1 {
+		mem1[c], mem2[c] = -1, -1
+	}
+	for u := 0; u < n; u++ {
+		c := cmap[u]
+		if mem1[c] == -1 {
+			mem1[c] = int32(u)
+		} else {
+			mem2[c] = int32(u)
+		}
+		cvw[c] += vweight(vw, u)
+	}
+	capPtr := make([]int64, nc+1)
+	for c := 0; c < nc; c++ {
+		d := g.rowptr[mem1[c]+1] - g.rowptr[mem1[c]]
+		if m := mem2[c]; m != -1 {
+			d += g.rowptr[m+1] - g.rowptr[m]
+		}
+		capPtr[c+1] = capPtr[c] + d
+	}
+	col := make([]int32, capPtr[nc])
+	w := make([]float64, capPtr[nc])
+	cnt := make([]int32, nc)
+	for c := 0; c < nc; c++ {
+		base := capPtr[c]
+		k := int64(0)
+		gather := func(u int32) {
+			cols, ws := g.row(int(u))
+			for i, cc := range cols {
+				tc := cmap[cc]
+				if int(tc) == c && cc < u {
+					continue
+				}
+				col[base+k], w[base+k] = tc, ws[i]
+				k++
+			}
+		}
+		gather(mem1[c])
+		if mem2[c] != -1 {
+			gather(mem2[c])
+		}
+		span := col[base : base+k]
+		spanW := w[base : base+k]
+		sortPairsStable(span, spanW)
+		write := int64(0)
+		for i := int64(0); i < k; i++ {
+			if write > 0 && span[write-1] == span[i] {
+				spanW[write-1] += spanW[i]
+			} else {
+				span[write], spanW[write] = span[i], spanW[i]
+				write++
+			}
+		}
+		cnt[c] = int32(write)
+	}
+	rowptr := make([]int64, nc+1)
+	for c := 0; c < nc; c++ {
+		rowptr[c+1] = rowptr[c] + int64(cnt[c])
+	}
+	fcol := make([]int32, rowptr[nc])
+	fw := make([]float64, rowptr[nc])
+	for c := 0; c < nc; c++ {
+		copy(fcol[rowptr[c]:rowptr[c+1]], col[capPtr[c]:capPtr[c]+int64(cnt[c])])
+		copy(fw[rowptr[c]:rowptr[c+1]], w[capPtr[c]:capPtr[c]+int64(cnt[c])])
+	}
+	coarse, err := FromCSR(nc, rowptr, fcol, fw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return coarse, cmap, cvw, nil
+}
+
+// mergeSmallWeightedReference is the historical map-based weighted merge.
+func mergeSmallWeightedReference(g *Graph, part []int, sizes []int, opts PartitionOptions) ([]int, []int) {
+	n := g.N()
+	k := len(sizes)
+	head := make([]int32, k)
+	tail := make([]int32, k)
+	for i := range head {
+		head[i], tail[i] = -1, -1
+	}
+	next := make([]int32, n)
+	for v := n - 1; v >= 0; v-- {
+		id := part[v]
+		next[v] = head[id]
+		head[id] = int32(v)
+		if tail[id] == -1 {
+			tail[id] = int32(v)
+		}
+	}
+	parent := make([]int32, k)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(id int32) int32 {
+		for parent[id] != id {
+			parent[id] = parent[parent[id]]
+			id = parent[id]
+		}
+		return id
+	}
+	active := 0
+	var queue []int32
+	for id := 0; id < k; id++ {
+		if sizes[id] > 0 {
+			active++
+			if sizes[id] < opts.MinSize {
+				queue = append(queue, int32(id))
+			}
+		}
+	}
+	conn := map[int32]float64{}
+	for qi := 0; qi < len(queue); qi++ {
+		small := find(queue[qi])
+		if sizes[small] == 0 || sizes[small] >= opts.MinSize {
+			continue
+		}
+		if active <= 1 {
+			break
+		}
+		clear(conn)
+		for v := head[small]; v != -1; v = next[v] {
+			cols, ws := g.row(int(v))
+			for i, c := range cols {
+				if root := find(int32(part[c])); root != small {
+					conn[root] += ws[i]
+				}
+			}
+		}
+		target := int32(-1)
+		bestW := -1.0
+		for id, w := range conn {
+			fits := opts.MaxSize == 0 || sizes[id]+sizes[small] <= opts.MaxSize
+			if fits && (w > bestW || (w == bestW && (target == -1 || id < target))) {
+				target, bestW = id, w
+			}
+		}
+		if target == -1 {
+			for id, w := range conn {
+				if w > bestW || (w == bestW && (target == -1 || id < target)) {
+					target, bestW = id, w
+				}
+			}
+		}
+		if target == -1 {
+			for id := 0; id < k; id++ {
+				root := int32(id)
+				if parent[root] != root || root == small || sizes[root] == 0 {
+					continue
+				}
+				if target == -1 || sizes[root] < sizes[target] {
+					target = root
+				}
+			}
+		}
+		if target == -1 {
+			break
+		}
+		parent[small] = target
+		sizes[target] += sizes[small]
+		sizes[small] = 0
+		if head[target] == -1 {
+			head[target], tail[target] = head[small], tail[small]
+		} else {
+			next[tail[target]] = head[small]
+			tail[target] = tail[small]
+		}
+		active--
+		if sizes[target] < opts.MinSize {
+			queue = append(queue, target)
+		}
+	}
+	for v := range part {
+		part[v] = int(find(int32(part[v])))
+	}
+	return part, sizes
+}
+
+// randomWeightedGraph builds a connected graph with float weights whose
+// binary expansions do not terminate — any reordering of additions, or any
+// divergence in selection order, shows up as a changed bit.
+func randomWeightedGraph(seed int64, n int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		_ = g.AddEdge(i, i+1, 0.1+rng.Float64()*99)
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = g.AddEdge(u, v, 0.1+rng.Float64()*49)
+		}
+	}
+	return g
+}
+
+// Property: flat-frontier growth (epoch-stamped weights + frontier list)
+// produces identical seeds, assignments, and sizes to the retained hash-map
+// reference on random weighted graphs — unit weights and multilevel-style
+// vertex weights, with and without MaxSize.
+func TestGrowMatchesHashMapReference(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		n := 200 + int(seed)*97
+		g := randomWeightedGraph(seed, n)
+		g.ensure()
+		var vw []int
+		if seed%2 == 0 { // alternate: weighted path with capped weights
+			rng := rand.New(rand.NewSource(seed * 13))
+			vw = make([]int, n)
+			for i := range vw {
+				vw[i] = 1 + rng.Intn(4)
+			}
+		}
+		for _, opts := range []PartitionOptions{
+			{MinSize: 4, TargetSize: 4},
+			{MinSize: 2, TargetSize: 6, MaxSize: 8},
+		} {
+			if err := opts.normalize(n); err != nil {
+				t.Fatal(err)
+			}
+			ar := newPartArena(g)
+			gotPart, gotSizes := grow(g, opts, vw, ar)
+			wantPart, wantSizes := growReference(g, opts, vw)
+			for v := range wantPart {
+				if gotPart[v] != wantPart[v] {
+					t.Fatalf("seed %d opts %+v: vertex %d assigned %d, reference %d",
+						seed, opts, v, gotPart[v], wantPart[v])
+				}
+			}
+			if len(gotSizes) != len(wantSizes) {
+				t.Fatalf("seed %d: %d clusters, reference %d", seed, len(gotSizes), len(wantSizes))
+			}
+			for id := range wantSizes {
+				if gotSizes[id] != wantSizes[id] {
+					t.Fatalf("seed %d: cluster %d size %d, reference %d", seed, id, gotSizes[id], wantSizes[id])
+				}
+			}
+			ar.release()
+		}
+	}
+}
+
+// Property: the fused single-traversal contraction produces a coarse graph
+// byte-identical (rowptr, columns, weights, vertex map, vertex weights) to
+// the retained two-pass implementation, on every partition test graph.
+func TestContractFusedMatchesTwoPass(t *testing.T) {
+	for _, tc := range goldenGraphs() {
+		g := tc.g
+		opts := tc.opts
+		if err := opts.normalize(g.N()); err != nil {
+			t.Fatal(err)
+		}
+		g.ensure()
+		ar := newPartArena(g)
+		var vw []int
+		for level := 0; level < 3; level++ {
+			match, matched := heavyEdgeMatching(g, vw, opts, ar)
+			if matched == 0 {
+				break
+			}
+			fused, cmap, cvw, err := contract(g, vw, match, matched, opts.Workers, ar)
+			if err != nil {
+				t.Fatalf("%s L%d: fused: %v", tc.name, level, err)
+			}
+			ref, refCmap, refCvw, err := contractReference(g, vw, match)
+			if err != nil {
+				t.Fatalf("%s L%d: reference: %v", tc.name, level, err)
+			}
+			if fused.N() != ref.N() {
+				t.Fatalf("%s L%d: fused %d coarse vertices, reference %d", tc.name, level, fused.N(), ref.N())
+			}
+			for v := range refCmap {
+				if cmap[v] != refCmap[v] {
+					t.Fatalf("%s L%d: cmap[%d] = %d, reference %d", tc.name, level, v, cmap[v], refCmap[v])
+				}
+			}
+			for c := range refCvw {
+				if cvw[c] != refCvw[c] {
+					t.Fatalf("%s L%d: cvw[%d] = %d, reference %d", tc.name, level, c, cvw[c], refCvw[c])
+				}
+			}
+			for u := 0; u <= ref.N(); u++ {
+				if fused.rowptr[u] != ref.rowptr[u] {
+					t.Fatalf("%s L%d: rowptr[%d] = %d, reference %d", tc.name, level, u, fused.rowptr[u], ref.rowptr[u])
+				}
+			}
+			for i := range ref.col {
+				if fused.col[i] != ref.col[i] || fused.w[i] != ref.w[i] {
+					t.Fatalf("%s L%d: entry %d = (%d, %v), reference (%d, %v)",
+						tc.name, level, i, fused.col[i], fused.w[i], ref.col[i], ref.w[i])
+				}
+			}
+			g, vw = ref, refCvw // descend on the reference graph
+		}
+		ar.release()
+	}
+}
+
+// Property: the epoch-stamped flat-array weighted merge matches the
+// retained map-based merge exactly, starting from real weighted growths.
+func TestMergeSmallWeightedMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		n := 300 + int(seed)*61
+		g := randomWeightedGraph(seed, n)
+		g.ensure()
+		rng := rand.New(rand.NewSource(seed * 7))
+		vw := make([]int, n)
+		for i := range vw {
+			vw[i] = 1 + rng.Intn(4)
+		}
+		opts := PartitionOptions{MinSize: 6, TargetSize: 6}
+		if err := opts.normalize(n); err != nil {
+			t.Fatal(err)
+		}
+		ar := newPartArena(g)
+		part, sizes := grow(g, opts, vw, ar)
+		refPart := append([]int(nil), part...)
+		refSizes := append([]int(nil), sizes...)
+		gotPart, gotSizes := mergeSmallWeighted(g, part, sizes, opts, ar)
+		wantPart, wantSizes := mergeSmallWeightedReference(g, refPart, refSizes, opts)
+		for v := range wantPart {
+			if gotPart[v] != wantPart[v] {
+				t.Fatalf("seed %d: vertex %d in cluster %d, reference %d", seed, v, gotPart[v], wantPart[v])
+			}
+		}
+		for id := range wantSizes {
+			if gotSizes[id] != wantSizes[id] {
+				t.Fatalf("seed %d: cluster %d size %d, reference %d", seed, id, gotSizes[id], wantSizes[id])
+			}
+		}
+		ar.release()
+	}
+}
