@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke serve-smoke profile ci
+.PHONY: all build test race vet fmt bench bench-smoke serve-smoke doccheck profile ci
 
 all: build test
 
@@ -46,8 +46,14 @@ profile:
 	@echo "wrote cpu.prof and mem.prof (go tool pprof cpu.prof)"
 
 # serve-smoke boots hcserve and round-trips the quickstart scenario
-# through POST /v1/evaluate (the CI examples-job check).
+# through POST /v1/evaluate, the batch endpoint, and /metrics (the CI
+# examples-job check).
 serve-smoke:
 	sh scripts/hcserve_smoke.sh
 
-ci: fmt vet build race bench-smoke serve-smoke
+# doccheck fails if any Go package lacks a package doc comment or a
+# repo-relative markdown link in README/ROADMAP/CHANGES/docs dangles.
+doccheck:
+	sh scripts/doccheck.sh
+
+ci: fmt vet build race bench-smoke serve-smoke doccheck

@@ -10,6 +10,7 @@
 package hierclust
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,6 +25,7 @@ import (
 	"hierclust/internal/topology"
 	"hierclust/internal/trace"
 	"hierclust/internal/tsunami"
+	api "hierclust/pkg/hierclust"
 )
 
 // benchExperiment runs one harness experiment per iteration.
@@ -530,4 +532,53 @@ func BenchmarkHybridRecovery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEvaluateSharedTrace measures the pipeline's trace-level cache:
+// two scenarios that share one tsunami trace key but differ in strategy.
+// "cold" rebuilds the trace — running the traced application — on every
+// evaluation; "trace-cached" pre-warms a MemoryTraceCache with the first
+// scenario, so every evaluation of the second skips the application run
+// (the per-iteration cache stats assert it). The delta between the two is
+// exactly the cost hcserve's trace cache removes for scenarios sharing
+// a trace.
+func BenchmarkEvaluateSharedTrace(b *testing.B) {
+	scenario := func(name, kind string) *api.Scenario {
+		return &api.Scenario{
+			Name:       name,
+			Machine:    api.MachineSpec{Nodes: 16},
+			Placement:  api.PlacementSpec{Policy: "block", Ranks: 64, ProcsPerNode: 4},
+			Trace:      api.TraceSpec{Source: "tsunami", Iterations: 5},
+			Strategies: []api.StrategySpec{{Kind: kind}},
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		pl := api.NewPipeline()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Run(context.Background(), scenario("shared-b", "size-guided")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("trace-cached", func(b *testing.B) {
+		tc := api.NewMemoryTraceCache(4)
+		pl := api.NewPipeline(api.WithTraceCache(tc))
+		if _, err := pl.Run(context.Background(), scenario("shared-a", "hierarchical")); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Run(context.Background(), scenario("shared-b", "size-guided")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if stats := tc.Stats(); stats.Hits != int64(b.N) || stats.Misses != 1 {
+			b.Fatalf("trace cache stats = %+v, want %d hits / 1 miss (every timed run must skip the app)", stats, b.N)
+		}
+	})
 }

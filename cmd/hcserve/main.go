@@ -1,12 +1,19 @@
 // Command hcserve serves clustering-scenario evaluations over HTTP: POST a
-// scenario JSON document, get the four-dimension evaluation of every
-// strategy in it. Hot scenarios are answered from an LRU cache.
+// scenario JSON document (or an array of them), get the four-dimension
+// evaluation of every strategy in it. Two cache levels absorb repeated
+// work — a scenario-result LRU and a trace cache beneath it that spares
+// the traced tsunami application from re-running for scenarios that share
+// a trace — a concurrency limiter with a bounded wait queue sheds overload
+// with 429 + Retry-After, and GET /metrics exposes the registry in
+// Prometheus text format. See docs/OPERATIONS.md for the full runbook.
 //
 // Usage:
 //
-//	hcserve                          # listen on :8080
-//	hcserve -addr :9090 -cache 512   # custom port and cache size
-//	hcserve -workers 4               # bound per-request parallelism
+//	hcserve                            # listen on :8080
+//	hcserve -addr :9090 -cache 512     # custom port and result-cache size
+//	hcserve -workers 4                 # bound per-request parallelism
+//	hcserve -trace-cache-dir /var/hc   # persistent disk trace cache
+//	hcserve -max-concurrent 8 -queue-depth 32 -retry-after 2s
 //
 // Try it:
 //
@@ -16,6 +23,7 @@
 //	          "placement":{"ranks":256,"procs_per_node":8},
 //	          "trace":{"source":"synthetic"},
 //	          "strategies":[{"kind":"hierarchical"}]}'
+//	curl -s localhost:8080/metrics | grep hcserve_cache
 package main
 
 import (
@@ -39,12 +47,37 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		cache   = flag.Int("cache", serve.DefaultCacheSize, "scenario-result LRU capacity (0 = default, negative disables)")
 		workers = flag.Int("workers", 0, "per-request evaluation workers (0 = GOMAXPROCS)")
+
+		traceCache   = flag.Int("trace-cache", 64, "in-memory trace cache capacity in traces (negative disables; ignored with -trace-cache-dir)")
+		traceDir     = flag.String("trace-cache-dir", "", "directory for a persistent disk trace cache (empty = in-memory)")
+		traceDiskMB  = flag.Int("trace-cache-mb", 256, "disk trace cache size bound in MiB (with -trace-cache-dir)")
+		maxConc      = flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "evaluations executing at once")
+		queueDepth   = flag.Int("queue-depth", 0, "evaluations waiting for a slot before 429 shedding (0 = 2x max-concurrent, negative = no queue)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "advisory Retry-After on 429/503 responses")
+		maxBatch     = flag.Int("max-batch", serve.DefaultMaxBatch, "max scenarios per /v1/evaluate-batch request")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace period for in-flight evaluations")
 	)
 	flag.Parse()
 
+	opts := []hierclust.PipelineOption{hierclust.WithWorkers(*workers)}
+	switch {
+	case *traceDir != "":
+		dc, err := hierclust.NewDiskTraceCache(*traceDir, int64(*traceDiskMB)<<20)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, hierclust.WithTraceCache(dc))
+	case *traceCache > 0:
+		opts = append(opts, hierclust.WithTraceCache(hierclust.NewMemoryTraceCache(*traceCache)))
+	}
+
 	handler := serve.New(serve.Options{
-		Pipeline:  hierclust.NewPipeline(hierclust.WithWorkers(*workers)),
-		CacheSize: *cache,
+		Pipeline:          hierclust.NewPipeline(opts...),
+		CacheSize:         *cache,
+		MaxConcurrent:     *maxConc,
+		QueueDepth:        *queueDepth,
+		RetryAfter:        *retryAfter,
+		MaxBatchScenarios: *maxBatch,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -64,12 +97,17 @@ func main() {
 			fail(err)
 		}
 	case <-ctx.Done():
-		log.Printf("hcserve: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: stop admitting new evaluations (queued waiters
+		// get 503 immediately), then let the already-running ones finish
+		// within the grace period.
+		log.Printf("hcserve: draining (grace %s)", *drainTimeout)
+		handler.Drain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fail(err)
 		}
+		log.Printf("hcserve: drained")
 	}
 }
 

@@ -1,0 +1,19 @@
+// Package hierclust is the root of a Go reproduction of "Hierarchical
+// Clustering Strategies for Fault Tolerance in Large Scale HPC Systems"
+// (Bautista-Gomez, Ropars, Maruyama, Cappello, Matsuoka — IEEE CLUSTER
+// 2012). The package itself contains only the repository-wide benchmark
+// suite (bench_test.go); the code lives underneath:
+//
+//   - internal/…       the substrates: topology, trace, graph partitioning,
+//     erasure coding, checkpointing, message logging, the hybrid protocol,
+//     the reliability model, the simulated MPI runtime, the tsunami proxy
+//     application, the evaluation harness, and the metrics registry
+//   - pkg/hierclust    the public scenario API (strategies, scenarios,
+//     pipeline) — the only import path external code should use
+//   - pkg/hierclust/serve and cmd/hcserve  the HTTP evaluation service
+//   - cmd/hcrun        the paper's tables and figures
+//   - examples/…       runnable walkthroughs
+//
+// docs/ARCHITECTURE.md maps the layers and the data flow between them;
+// docs/OPERATIONS.md is the hcserve runbook.
+package hierclust

@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("test_inflight", "a gauge")
+	g.Set(5)
+	g.Dec()
+	r.GaugeFunc("test_entries", "a gauge func", func() float64 { return 7 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_total a counter",
+		"# TYPE test_total counter",
+		"test_total 3",
+		"# TYPE test_inflight gauge",
+		"test_inflight 4",
+		"test_entries 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 3 || g.Value() != 4 {
+		t.Fatalf("Value() = %d / %d, want 3 / 4", c.Value(), g.Value())
+	}
+}
+
+func TestCounterVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "endpoint", "status")
+	v.With("evaluate", "200").Add(2)
+	v.With("evaluate", "429").Inc()
+	// Same label values resolve to the same series.
+	v.With("evaluate", "200").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `req_total{endpoint="evaluate",status="200"} 3`) {
+		t.Errorf("missing 200 series:\n%s", out)
+	}
+	if !strings.Contains(out, `req_total{endpoint="evaluate",status="429"} 1`) {
+		t.Errorf("missing 429 series:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "", "path")
+	v.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", 0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 55.65; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary 0.1 (le is inclusive)
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 55.65",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVecMergesLeLabel(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("eval_seconds", "", []float64{1}, "source")
+	v.With("tsunami").Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `eval_seconds_bucket{source="tsunami",le="1"} 1`) {
+		t.Errorf("le label not merged into series labels:\n%s", out)
+	}
+	if !strings.Contains(out, `eval_seconds_count{source="tsunami"} 1`) {
+		t.Errorf("missing labeled count:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.Counter("0bad-name", "")
+}
+
+func TestWrongLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("arity_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+// TestConcurrentUse hammers every metric kind from many goroutines while
+// scraping concurrently — the registry's concurrency-safety contract,
+// meaningful under -race (the CI test job always runs with it).
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	cv := r.CounterVec("conc_vec_total", "", "worker")
+	hv := r.HistogramVec("conc_seconds", "", []float64{0.5, 1}, "worker")
+	r.GaugeFunc("conc_fn", "", func() float64 { return float64(g.Value()) })
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Inc()
+				cv.With(label).Inc()
+				hv.With(label).Observe(float64(i) / iters)
+				g.Dec()
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		label := string(rune('a' + w))
+		if got := cv.With(label).Value(); got != iters {
+			t.Fatalf("vec counter %q = %d, want %d", label, got, iters)
+		}
+		if got := hv.With(label).Count(); got != iters {
+			t.Fatalf("histogram %q count = %d, want %d", label, got, iters)
+		}
+	}
+}

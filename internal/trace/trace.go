@@ -3,6 +3,16 @@
 // paper. The paper instruments MPICH2 to collect this matrix for the tsunami
 // application (Figs. 5a/5b); here a Recorder plugs into simmpi's Tracer hook
 // and produces the same artifact.
+//
+// Two storage layouts implement the shared Comm read interface: the dense
+// Matrix (natural for heatmaps and submatrix zooms) and the sparse CSR
+// (O(n + nnz) memory, the layout that scales the pipeline to 100k+ ranks).
+// Both serialize to the same HCTR binary format via WriteTo, and ReadCSR
+// reads either. A frozen matrix — a CSR, or a Matrix once recording ends —
+// is immutable: every consumer (partitioning, evaluation, caching) only
+// reads, so one trace may back any number of concurrent evaluations. This
+// immutability is a pinned repository invariant; the trace cache in
+// pkg/hierclust depends on it.
 package trace
 
 import (

@@ -24,11 +24,36 @@
 //     context cancellation. Results are deterministic at any worker count.
 //
 // The cmd/hcserve binary wraps a Pipeline in an HTTP service
-// (POST /v1/evaluate) with an LRU scenario-result cache; cmd/hcrun drives
-// the paper's table and figure reproductions through the same package.
+// (POST /v1/evaluate and /v1/evaluate-batch) with a scenario-result LRU
+// and an optional trace-level cache beneath it (TraceCache, keyed by
+// Scenario.TraceKey); cmd/hcrun drives the paper's table and figure
+// reproductions through the same package.
 //
 // Lower-level building blocks — machines and placements, communication
 // matrices, the multi-level checkpoint store, and the hybrid
 // rollback-recovery protocol — are re-exported here so applications never
 // import this repository's internal packages.
+//
+// # Pinned invariants
+//
+// Three properties are contractual; tests across the repository assert
+// them and downstream code may rely on them:
+//
+//   - Bit-identity at any worker count. Pipeline.Run produces the same
+//     Result — byte-identical JSON — whether it runs with 1 worker or
+//     GOMAXPROCS. Parallelism changes wall-clock time, never numbers.
+//     This is what makes the result and trace caches sound: a cached
+//     value is indistinguishable from a recomputation.
+//
+//   - Frozen-CSR immutability. Communication matrices handed to the
+//     pipeline (trace.CSR, and trace.Matrix after freeze) are never
+//     mutated downstream, so one trace may back any number of concurrent
+//     evaluations — the property the trace cache and the singleflight
+//     build dedup depend on.
+//
+//   - Scenario schema versioning. ScenarioVersion is the schema this
+//     package writes; DecodeScenario accepts documents up to that version
+//     and rejects newer ones with SchemaVersionError, and unknown fields
+//     are always an error. Old documents keep decoding forever: fields
+//     are only ever added, with zero values meaning "the old behavior".
 package hierclust

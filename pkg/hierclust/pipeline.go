@@ -16,7 +16,21 @@ import (
 // zero value is not usable; construct with NewPipeline. A Pipeline is safe
 // for concurrent Run calls — hcserve shares one across requests.
 type Pipeline struct {
-	workers int
+	workers    int
+	traceCache TraceCache
+
+	// flight deduplicates concurrent builds of the same trace: when two
+	// requests miss the trace cache on the same key, the second waits for
+	// the first build instead of launching a second application run.
+	flightMu sync.Mutex
+	flight   map[string]*traceFlight
+}
+
+// traceFlight is one in-progress trace build; waiters block on done.
+type traceFlight struct {
+	done chan struct{}
+	comm Comm
+	err  error
 }
 
 // PipelineOption customizes a Pipeline.
@@ -30,9 +44,18 @@ func WithWorkers(n int) PipelineOption {
 	return func(p *Pipeline) { p.workers = n }
 }
 
+// WithTraceCache caches built communication traces by Scenario.TraceKey,
+// so scenarios that share a trace — same source, ranks, iterations, and
+// generation parameters, any strategies/mix/baseline — never re-run the
+// traced application or regenerate the stencil. Concurrent misses on the
+// same key coalesce into one build. nil (the default) disables caching.
+func WithTraceCache(tc TraceCache) PipelineOption {
+	return func(p *Pipeline) { p.traceCache = tc }
+}
+
 // NewPipeline builds a pipeline with the given options.
 func NewPipeline(opts ...PipelineOption) *Pipeline {
-	p := &Pipeline{}
+	p := &Pipeline{flight: map[string]*traceFlight{}}
 	for _, o := range opts {
 		o(p)
 	}
@@ -100,7 +123,7 @@ func (pl *Pipeline) Run(ctx context.Context, sc *Scenario) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	comm, err := pl.buildTrace(sc, placement)
+	comm, err := pl.resolveTrace(ctx, sc, placement)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +227,66 @@ func (pl *Pipeline) evalStrategy(spec StrategySpec, comm Comm, placement *Placem
 		Violations:         violations,
 	}
 	return nil
+}
+
+// resolveTrace returns the scenario's communication matrix, consulting
+// the trace cache (and the in-flight build table) before building. When
+// the context carries a TraceInfo (WithTraceInfo), the hit/miss outcome
+// is recorded there.
+func (pl *Pipeline) resolveTrace(ctx context.Context, sc *Scenario, placement *Placement) (Comm, error) {
+	info := traceInfoFrom(ctx)
+	key, cacheable := "", false
+	if pl.traceCache != nil {
+		key, cacheable = sc.TraceKey()
+	}
+	if !cacheable {
+		return pl.buildTrace(sc, placement)
+	}
+	if c, ok := pl.traceCache.Get(key); ok {
+		if info != nil {
+			info.Cache = "hit"
+		}
+		return c, nil
+	}
+
+	pl.flightMu.Lock()
+	if f, ok := pl.flight[key]; ok {
+		pl.flightMu.Unlock()
+		// Another request is building this exact trace; share its result.
+		// That counts as a hit: no new application run was started.
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+		if info != nil {
+			info.Cache = "hit"
+		}
+		return f.comm, nil
+	}
+	f := &traceFlight{done: make(chan struct{})}
+	pl.flight[key] = f
+	pl.flightMu.Unlock()
+
+	f.comm, f.err = pl.buildTrace(sc, placement)
+	if f.err == nil {
+		pl.traceCache.Put(key, f.comm)
+	}
+	pl.flightMu.Lock()
+	delete(pl.flight, key)
+	pl.flightMu.Unlock()
+	close(f.done)
+
+	if f.err != nil {
+		return nil, f.err
+	}
+	if info != nil {
+		info.Cache = "miss"
+	}
+	return f.comm, nil
 }
 
 // buildTrace resolves the scenario's trace source into a communication

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// admission is the outcome of limiter.acquire.
+type admission int
+
+const (
+	// admitted: a slot is held; the caller must invoke the release func.
+	admitted admission = iota
+	// admissionShed: the wait queue is full — load-shed with 429.
+	admissionShed
+	// admissionDraining: the server is shutting down — reject with 503.
+	admissionDraining
+	// admissionCancelled: the request context ended while queued.
+	admissionCancelled
+)
+
+// limiter is the admission controller for expensive evaluations: at most
+// maxConcurrent pipeline runs execute at once, at most maxQueue more wait
+// for a slot, and everything beyond that is shed immediately — queueing
+// unboundedly under overload would trade a fast 429 (which a client can
+// back off from) for unbounded latency on every request (which it cannot).
+// This is the load-shedding / graceful-degradation shape of the HPC
+// resilience pattern literature applied to the evaluation service itself.
+//
+// Cache hits never pass through the limiter: serving bytes from the result
+// LRU is as cheap as the 429 would be.
+type limiter struct {
+	sem      chan struct{} // buffered to maxConcurrent; holding a token = running
+	maxQueue int
+
+	mu      sync.Mutex
+	waiting int
+
+	drainOnce sync.Once
+	draining  chan struct{} // closed once Drain is called
+}
+
+func newLimiter(maxConcurrent, maxQueue int) *limiter {
+	return &limiter{
+		sem:      make(chan struct{}, maxConcurrent),
+		maxQueue: maxQueue,
+		draining: make(chan struct{}),
+	}
+}
+
+// acquire claims an execution slot, queueing up to the wait bound. On
+// admitted, release must be called exactly once; on any other outcome
+// release is nil.
+func (l *limiter) acquire(ctx context.Context) (admission, func()) {
+	select {
+	case <-l.draining:
+		return admissionDraining, nil
+	default:
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case l.sem <- struct{}{}:
+		return admitted, l.release
+	default:
+	}
+	l.mu.Lock()
+	if l.waiting >= l.maxQueue {
+		l.mu.Unlock()
+		return admissionShed, nil
+	}
+	l.waiting++
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.waiting--
+		l.mu.Unlock()
+	}()
+	select {
+	case l.sem <- struct{}{}:
+		return admitted, l.release
+	case <-ctx.Done():
+		return admissionCancelled, nil
+	case <-l.draining:
+		return admissionDraining, nil
+	}
+}
+
+func (l *limiter) release() { <-l.sem }
+
+// queued returns the current number of waiters.
+func (l *limiter) queued() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waiting
+}
+
+// running returns the number of held execution slots.
+func (l *limiter) running() int { return len(l.sem) }
+
+// drain stops admitting new work: queued waiters are released with
+// admissionDraining, future acquires fail fast, and already-running
+// evaluations finish normally (http.Server.Shutdown waits for their
+// handlers). Safe to call more than once.
+func (l *limiter) drain() {
+	l.drainOnce.Do(func() { close(l.draining) })
+}

@@ -3,52 +3,124 @@
 //
 // Endpoints:
 //
-//	POST /v1/evaluate   scenario JSON in → evaluation JSON out
-//	GET  /v1/scenarios  list the built-in scenarios (full documents)
-//	GET  /healthz       liveness probe
+//	POST /v1/evaluate        scenario JSON in → evaluation JSON out
+//	POST /v1/evaluate-batch  JSON array of scenarios in → NDJSON results
+//	                         out, streamed in input order as each completes
+//	GET  /v1/scenarios       list the built-in scenarios (full documents)
+//	GET  /metrics            Prometheus text exposition of the registry
+//	GET  /healthz            liveness probe
 //
-// Responses to /v1/evaluate are cached in an LRU keyed by the scenario's
-// canonical encoding, so hot scenarios (dashboards, CI gates re-POSTing the
-// same document) cost one pipeline run. The X-Hierclust-Cache response
-// header reports "hit" or "miss".
+// # Caching
+//
+// Two cache levels sit in front of the pipeline. Successful evaluations
+// are cached in a result LRU keyed by the scenario's canonical encoding,
+// so hot scenarios (dashboards, CI gates re-POSTing the same document)
+// cost one pipeline run. Beneath it, when the pipeline is built with
+// hierclust.WithTraceCache, communication traces are cached by
+// Scenario.TraceKey, so scenarios that differ only in strategies, mix, or
+// baseline share one traced-application run. The X-Hierclust-Cache
+// response header reports which level served the request: "hit" (result
+// LRU, no pipeline run), "trace-hit" (pipeline ran, trace from cache —
+// no application run), or "miss" (full build).
+//
+// # Admission control
+//
+// Requests that miss the result cache compete for a bounded pool of
+// evaluation slots with a bounded wait queue. When the queue is full the
+// request is shed immediately with 429 and a Retry-After header instead
+// of queueing unboundedly; a draining server (Drain was called, shutdown
+// in progress) answers 503. Cache hits bypass admission entirely.
+//
+// # Metrics
+//
+// Every interesting internal — request totals by endpoint and status,
+// result- and trace-cache hits/misses, per-trace-source latency
+// histograms, in-flight and queued evaluation counts, shed totals — is
+// registered in an internal/metrics Registry and exposed on GET /metrics.
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
+	"time"
 
+	"hierclust/internal/metrics"
 	"hierclust/pkg/hierclust"
 )
 
 // Options configures the handler.
 type Options struct {
-	// Pipeline runs the scenarios; nil builds a default pipeline.
+	// Pipeline runs the scenarios; nil builds a default pipeline. Wire
+	// hierclust.WithTraceCache here to enable the trace-level cache.
 	Pipeline *hierclust.Pipeline
 	// CacheSize bounds the scenario-result LRU (entries); 0 picks
 	// DefaultCacheSize and negative disables caching.
 	CacheSize int
-	// MaxBodyBytes bounds accepted request bodies; 0 picks 1 MiB.
+	// MaxBodyBytes bounds accepted /v1/evaluate bodies; 0 picks 1 MiB.
 	MaxBodyBytes int64
+	// MaxBatchBodyBytes bounds accepted /v1/evaluate-batch bodies;
+	// 0 picks 16 MiB.
+	MaxBatchBodyBytes int64
+	// MaxBatchScenarios bounds the element count of one batch; 0 picks
+	// DefaultMaxBatch.
+	MaxBatchScenarios int
+	// MaxConcurrent bounds simultaneously executing evaluations; 0 picks
+	// DefaultMaxConcurrent.
+	MaxConcurrent int
+	// QueueDepth bounds evaluations waiting for a slot before load
+	// shedding begins; 0 picks 2×MaxConcurrent, negative disables
+	// queueing (every contended request sheds).
+	QueueDepth int
+	// RetryAfter is the advisory backoff returned with 429/503
+	// responses; 0 picks 1s. Sub-second values round up to 1s (the
+	// Retry-After header carries whole seconds).
+	RetryAfter time.Duration
+	// Metrics receives the server's instrumentation; nil builds a fresh
+	// registry (exposed either way on GET /metrics).
+	Metrics *metrics.Registry
 }
 
 // DefaultCacheSize is the scenario-result LRU capacity when Options leaves
 // CacheSize zero.
 const DefaultCacheSize = 128
 
+// DefaultMaxConcurrent is the evaluation-slot count when Options leaves
+// MaxConcurrent zero.
+const DefaultMaxConcurrent = 4
+
+// DefaultMaxBatch is the per-request scenario bound of /v1/evaluate-batch
+// when Options leaves MaxBatchScenarios zero.
+const DefaultMaxBatch = 256
+
 // Server is the HTTP evaluation service. It is an http.Handler; mount it
 // directly or under a prefix.
 type Server struct {
-	mux      *http.ServeMux
-	pipeline *hierclust.Pipeline
-	cache    *lruCache
-	maxBody  int64
+	mux          *http.ServeMux
+	pipeline     *hierclust.Pipeline
+	cache        *lruCache
+	lim          *limiter
+	maxBody      int64
+	maxBatchBody int64
+	maxBatch     int
+	retryAfter   string // whole seconds, pre-rendered for the header
+	draining     atomic.Bool
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	reg         *metrics.Registry
+	reqTotal    *metrics.CounterVec
+	cacheHits   *metrics.CounterVec
+	cacheMisses *metrics.CounterVec
+	evalSeconds *metrics.HistogramVec
+	shedTotal   *metrics.Counter
+	batchTotal  *metrics.Counter
 }
 
 // New builds the service.
@@ -65,24 +137,141 @@ func New(opts Options) *Server {
 	if maxBody <= 0 {
 		maxBody = 1 << 20
 	}
-	s := &Server{
-		mux:      http.NewServeMux(),
-		pipeline: pl,
-		cache:    newLRU(size),
-		maxBody:  maxBody,
+	maxBatchBody := opts.MaxBatchBodyBytes
+	if maxBatchBody <= 0 {
+		maxBatchBody = 16 << 20
 	}
-	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	maxBatch := opts.MaxBatchScenarios
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	maxConc := opts.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = DefaultMaxConcurrent
+	}
+	queue := opts.QueueDepth
+	switch {
+	case queue == 0:
+		queue = 2 * maxConc
+	case queue < 0:
+		queue = 0
+	}
+	retry := opts.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	retrySec := int(retry.Round(time.Second) / time.Second)
+	if retrySec < 1 {
+		retrySec = 1
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+
+	s := &Server{
+		mux:          http.NewServeMux(),
+		pipeline:     pl,
+		cache:        newLRU(size),
+		lim:          newLimiter(maxConc, queue),
+		maxBody:      maxBody,
+		maxBatchBody: maxBatchBody,
+		maxBatch:     maxBatch,
+		retryAfter:   strconv.Itoa(retrySec),
+		reg:          reg,
+	}
+	s.reqTotal = reg.CounterVec("hcserve_requests_total",
+		"HTTP requests served, by endpoint and status code.", "endpoint", "status")
+	s.cacheHits = reg.CounterVec("hcserve_cache_hits_total",
+		"Cache hits by level: result (LRU, no pipeline run) or trace (no application run).", "cache")
+	s.cacheMisses = reg.CounterVec("hcserve_cache_misses_total",
+		"Cache misses by level: result or trace.", "cache")
+	s.evalSeconds = reg.HistogramVec("hcserve_evaluate_seconds",
+		"Pipeline evaluation latency by trace source (cache hits excluded).", nil, "source")
+	s.shedTotal = reg.Counter("hcserve_shed_total",
+		"Evaluations rejected with 429 because the wait queue was full.")
+	s.batchTotal = reg.Counter("hcserve_batch_scenarios_total",
+		"Scenario elements received by /v1/evaluate-batch.")
+	reg.GaugeFunc("hcserve_inflight_evaluations",
+		"Evaluations currently holding an execution slot.",
+		func() float64 { return float64(s.lim.running()) })
+	reg.GaugeFunc("hcserve_queued_evaluations",
+		"Evaluations waiting for an execution slot.",
+		func() float64 { return float64(s.lim.queued()) })
+	reg.GaugeFunc("hcserve_result_cache_entries",
+		"Entries resident in the scenario-result LRU.",
+		func() float64 { return float64(s.cache.Len()) })
+
+	s.mux.HandleFunc("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
+	s.mux.HandleFunc("POST /v1/evaluate-batch", s.instrument("evaluate-batch", s.handleEvaluateBatch))
+	s.mux.HandleFunc("GET /v1/scenarios", s.instrument("scenarios", s.handleScenarios))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// CacheStats returns the lifetime hit/miss counters and current size.
+// Registry returns the metrics registry (the one passed in Options, or the
+// server's own), for callers embedding hcserve metrics alongside their own.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Drain puts the server into shutdown mode: queued evaluations are
+// released with 503, new expensive work is rejected with 503 + Retry-After,
+// and cheap reads (cache hits, scenario listings, metrics, health) keep
+// answering so load balancers and scrapers see the drain happen. Call it
+// before http.Server.Shutdown, which then waits for the already-running
+// evaluations to finish.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.lim.drain()
+}
+
+// CacheStats returns the lifetime result-cache hit/miss counters and
+// current size.
 func (s *Server) CacheStats() (hits, misses int64, size int) {
 	return s.hits.Load(), s.misses.Load(), s.cache.Len()
+}
+
+// statusWriter records the response status for the request-total metric.
+// It forwards Flush so NDJSON streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the per-endpoint request counter.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.reqTotal.With(endpoint, strconv.Itoa(status)).Inc()
+	}
 }
 
 // errorDoc is the JSON error envelope.
@@ -96,6 +285,90 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(errorDoc{Error: err.Error()})
 }
 
+// statusClientClosed is the non-standard 499 reported when the client went
+// away mid-evaluation (nginx's convention).
+const statusClientClosed = 499
+
+// decodeScenario parses and policy-checks one scenario document, mapping
+// failures to an HTTP status.
+func decodeScenario(body []byte) (*hierclust.Scenario, int, error) {
+	sc, err := hierclust.DecodeScenario(body)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	// Trace files are a local-filesystem feature; accepting paths over
+	// HTTP would let any client read arbitrary server files.
+	if sc.Trace.Source == "file" {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("hierclust: trace source \"file\" is not accepted over HTTP; inline a synthetic or tsunami source")
+	}
+	return sc, 0, nil
+}
+
+// evaluate runs one decoded scenario through result cache → admission →
+// pipeline. It returns the compact rendered result document and the cache
+// level that answered ("hit", "trace-hit", or "miss"), or a non-zero HTTP
+// status with the error.
+func (s *Server) evaluate(r *http.Request, sc *hierclust.Scenario) (doc []byte, cacheState string, status int, err error) {
+	key, err := sc.CacheKey()
+	if err != nil {
+		return nil, "", http.StatusBadRequest, err
+	}
+	if doc, ok := s.cache.Get(key); ok {
+		s.hits.Add(1)
+		s.cacheHits.With("result").Inc()
+		return doc, "hit", 0, nil
+	}
+	s.misses.Add(1)
+	s.cacheMisses.With("result").Inc()
+
+	adm, release := s.lim.acquire(r.Context())
+	switch adm {
+	case admissionShed:
+		s.shedTotal.Inc()
+		return nil, "", http.StatusTooManyRequests,
+			fmt.Errorf("hierclust: evaluation queue full (%d running, %d queued); retry after %ss",
+				s.lim.running(), s.lim.queued(), s.retryAfter)
+	case admissionDraining:
+		return nil, "", http.StatusServiceUnavailable,
+			errors.New("hierclust: server draining; retry against another replica")
+	case admissionCancelled:
+		return nil, "", statusClientClosed, r.Context().Err()
+	}
+	defer release()
+
+	ctx, info := hierclust.WithTraceInfo(r.Context())
+	start := time.Now()
+	res, err := s.pipeline.Run(ctx, sc)
+	switch info.Cache {
+	case "hit":
+		s.cacheHits.With("trace").Inc()
+	case "miss":
+		s.cacheMisses.With("trace").Inc()
+	}
+	if err != nil {
+		// A cancelled client is not a server error; everything else from
+		// the pipeline is a scenario problem (the inputs were already
+		// validated, so machine-building failures are bad parameters).
+		if r.Context().Err() != nil {
+			return nil, "", statusClientClosed, r.Context().Err()
+		}
+		return nil, "", http.StatusUnprocessableEntity, err
+	}
+	s.evalSeconds.With(sc.Trace.Source).Observe(time.Since(start).Seconds())
+
+	doc, err = json.Marshal(res)
+	if err != nil {
+		return nil, "", http.StatusInternalServerError, err
+	}
+	s.cache.Put(key, doc)
+	cacheState = "miss"
+	if info.Cache == "hit" {
+		cacheState = "trace-hit"
+	}
+	return doc, cacheState, 0, nil
+}
+
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
@@ -107,53 +380,40 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, fmt.Errorf("reading body: %w", err))
 		return
 	}
-	sc, err := hierclust.DecodeScenario(body)
+	sc, status, err := decodeScenario(body)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, status, err)
 		return
 	}
-	// Trace files are a local-filesystem feature; accepting paths over
-	// HTTP would let any client read arbitrary server files.
-	if sc.Trace.Source == "file" {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Errorf("hierclust: trace source \"file\" is not accepted over HTTP; inline a synthetic or tsunami source"))
-		return
-	}
-	key, err := sc.CacheKey()
+	doc, cacheState, status, err := s.evaluate(r, sc)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if doc, ok := s.cache.Get(key); ok {
-		s.hits.Add(1)
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Hierclust-Cache", "hit")
-		_, _ = w.Write(doc)
-		return
-	}
-	s.misses.Add(1)
-	res, err := s.pipeline.Run(r.Context(), sc)
-	if err != nil {
-		// A cancelled client is not a server error; everything else from
-		// the pipeline is a scenario problem (the inputs were already
-		// validated, so machine-building failures are bad parameters).
-		if r.Context().Err() != nil {
-			s.writeError(w, 499, r.Context().Err()) // client closed request
-			return
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", s.retryAfter)
 		}
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, status, err)
 		return
 	}
-	doc, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Hierclust-Cache", cacheState)
+	// Responses stay human-readable (the documented curl workflow); the
+	// cache stores the compact form shared with the batch endpoint.
+	var pretty []byte
+	if pretty, err = prettyJSON(doc); err != nil {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	doc = append(doc, '\n')
-	s.cache.Put(key, doc)
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Hierclust-Cache", "miss")
-	_, _ = w.Write(doc)
+	_, _ = w.Write(pretty)
+}
+
+// prettyJSON re-indents a compact document for the single-scenario
+// endpoint.
+func prettyJSON(doc []byte) ([]byte, error) {
+	var b bytes.Buffer
+	if err := json.Indent(&b, doc, "", "  "); err != nil {
+		return nil, err
+	}
+	b.WriteByte('\n')
+	return b.Bytes(), nil
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -166,9 +426,18 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(append(doc, '\n'))
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.CacheStats()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"cache_entries\":%d,\"cache_hits\":%d,\"cache_misses\":%d}\n",
-		size, hits, misses)
+	fmt.Fprintf(w, "{\"status\":%q,\"cache_entries\":%d,\"cache_hits\":%d,\"cache_misses\":%d}\n",
+		status, size, hits, misses)
 }

@@ -1,0 +1,382 @@
+package hierclust
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hierclust/internal/trace"
+	"hierclust/internal/tsunami"
+)
+
+// Building a scenario's communication trace is the expensive half of many
+// evaluations: a "tsunami" source runs the simulated MPI application —
+// seconds of wall clock at paper scale — while everything downstream
+// (cluster, evaluate) takes milliseconds. Scenarios that differ only in
+// strategies, mix, or baseline share the *same* trace, so hcserve-style
+// workloads re-run the application for no reason. The trace cache sits
+// beneath the scenario-result cache and keys on exactly the inputs that
+// determine the trace, so any scenario family sharing a trace pays for one
+// application run.
+
+// TraceKey returns the canonical cache key identifying the communication
+// trace this scenario resolves to, and whether the trace is cacheable.
+// Two scenarios with equal keys build bit-identical traces: the key folds
+// in the source kind, the rank count, the iteration count (with source
+// defaults resolved), and every generation parameter — the tsunami grid
+// dimensions derived from the rank count, or the synthetic pattern, grid
+// width (with the placement-derived default resolved), and message size.
+//
+// Source "file" is not cacheable (false): the bytes behind a path can
+// change, so a path is not a value.
+func (s *Scenario) TraceKey() (string, bool) {
+	ranks := s.Placement.Ranks
+	switch s.Trace.Source {
+	case "tsunami":
+		iters := s.Trace.Iterations
+		if iters <= 0 {
+			iters = 20
+		}
+		p := tsunami.TraceParams(ranks)
+		return fmt.Sprintf("tsunami|ranks=%d|iters=%d|nx=%d|ny=%d", ranks, iters, p.NX, p.NY), true
+	case "synthetic":
+		iters := s.Trace.Iterations
+		if iters <= 0 {
+			iters = 100
+		}
+		bpm := s.Trace.BytesPerMsg
+		if bpm <= 0 {
+			bpm = 1536
+		}
+		pattern := s.Trace.Pattern
+		if pattern == "" {
+			pattern = "stencil1d"
+		}
+		width := 0
+		if pattern == "stencil2d" {
+			width = s.Trace.Width
+			if width == 0 {
+				width = s.Placement.ProcsPerNode
+			}
+		}
+		return fmt.Sprintf("synthetic|ranks=%d|iters=%d|pattern=%s|width=%d|bpm=%d",
+			ranks, iters, pattern, width, bpm), true
+	}
+	return "", false
+}
+
+// TraceCache caches built communication traces by TraceKey, beneath the
+// scenario-result cache. Implementations must be safe for concurrent use
+// and must treat stored traces as immutable — the pipeline hands out the
+// same Comm to concurrent evaluations, which is sound because frozen CSR
+// matrices and recorded dense matrices are never mutated after
+// construction (the frozen-CSR immutability invariant the trace and graph
+// packages pin).
+type TraceCache interface {
+	// Get returns the cached trace for key, if present.
+	Get(key string) (Comm, bool)
+	// Put stores a freshly built trace. Implementations may drop entries
+	// (bounded capacity) or decline silently.
+	Put(key string, c Comm)
+}
+
+// TraceCacheStats is the observability surface shared by the built-in
+// TraceCache implementations.
+type TraceCacheStats struct {
+	// Hits and Misses count Get outcomes since construction.
+	Hits, Misses int64
+	// Entries is the current entry count.
+	Entries int
+	// Bytes is the stored size where the backend tracks one (disk);
+	// 0 for the in-memory cache.
+	Bytes int64
+}
+
+// MemoryTraceCache is a fixed-capacity in-memory LRU TraceCache. Traces
+// are shared by reference (no copy), so hits cost nothing beyond a map
+// lookup; capacity bounds entry count, not bytes — size it against the
+// O(ranks + distinct pairs) CSR footprint of the machines you serve.
+type MemoryTraceCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recently used
+	byK  map[string]*list.Element
+	hits atomic.Int64
+	miss atomic.Int64
+}
+
+type memTraceEntry struct {
+	key string
+	c   Comm
+}
+
+// NewMemoryTraceCache returns an LRU trace cache holding up to capacity
+// traces; capacity <= 0 disables caching (every Get misses).
+func NewMemoryTraceCache(capacity int) *MemoryTraceCache {
+	return &MemoryTraceCache{cap: capacity, ll: list.New(), byK: map[string]*list.Element{}}
+}
+
+// Get implements TraceCache.
+func (c *MemoryTraceCache) Get(key string) (Comm, bool) {
+	if c.cap <= 0 {
+		c.miss.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[key]
+	if !ok {
+		c.miss.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*memTraceEntry).c, true
+}
+
+// Put implements TraceCache.
+func (c *MemoryTraceCache) Put(key string, comm Comm) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[key]; ok {
+		// Traces are deterministic per key; keep the resident value.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byK[key] = c.ll.PushFront(&memTraceEntry{key: key, c: comm})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byK, oldest.Value.(*memTraceEntry).key)
+	}
+}
+
+// Stats returns lifetime counters and the current entry count.
+func (c *MemoryTraceCache) Stats() TraceCacheStats {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return TraceCacheStats{Hits: c.hits.Load(), Misses: c.miss.Load(), Entries: n}
+}
+
+// DiskTraceCache is a size-bounded on-disk TraceCache: each trace is one
+// HCTR file (the same serialization trace files use) named by the SHA-256
+// of its key, evicted least-recently-used when the directory exceeds the
+// byte budget. It survives process restarts — NewDiskTraceCache re-indexes
+// whatever an earlier server left behind — which is what makes a fleet of
+// hcserve replicas sharing a volume skip each other's application runs.
+type DiskTraceCache struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+	total    int64
+	ll       *list.List // front = most recently used
+	byK      map[string]*list.Element
+	hits     atomic.Int64
+	miss     atomic.Int64
+}
+
+type diskTraceEntry struct {
+	key  string // sha256 hex of the TraceKey (also the filename stem)
+	size int64
+}
+
+const diskTraceExt = ".hctr"
+
+// NewDiskTraceCache opens (creating if needed) a disk trace cache rooted
+// at dir, bounded to maxBytes of stored traces (<= 0 means 256 MiB).
+// Existing cache files are indexed oldest-first by modification time.
+func NewDiskTraceCache(dir string, maxBytes int64) (*DiskTraceCache, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("hierclust: trace cache dir: %w", err)
+	}
+	c := &DiskTraceCache{dir: dir, maxBytes: maxBytes, ll: list.New(), byK: map[string]*list.Element{}}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("hierclust: trace cache dir: %w", err)
+	}
+	type found struct {
+		stem  string
+		size  int64
+		mtime int64
+	}
+	var olds []found
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != diskTraceExt {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		olds = append(olds, found{stem: name[:len(name)-len(diskTraceExt)], size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(olds, func(i, j int) bool { return olds[i].mtime < olds[j].mtime })
+	for _, f := range olds {
+		c.byK[f.stem] = c.ll.PushFront(&diskTraceEntry{key: f.stem, size: f.size})
+		c.total += f.size
+	}
+	c.evictLocked()
+	return c, nil
+}
+
+// hash maps a TraceKey to its filename stem.
+func (c *DiskTraceCache) hash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *DiskTraceCache) path(stem string) string {
+	return filepath.Join(c.dir, stem+diskTraceExt)
+}
+
+// Get implements TraceCache, deserializing the stored trace into sparse
+// (CSR) form. A file that fails to read — truncated write, concurrent
+// cleanup — is dropped from the index and reported as a miss rather than
+// surfacing an error into the evaluation.
+func (c *DiskTraceCache) Get(key string) (Comm, bool) {
+	stem := c.hash(key)
+	c.mu.Lock()
+	el, ok := c.byK[stem]
+	if !ok {
+		c.mu.Unlock()
+		c.miss.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.mu.Unlock()
+
+	f, err := os.Open(c.path(stem))
+	if err != nil {
+		c.drop(stem)
+		c.miss.Add(1)
+		return nil, false
+	}
+	defer f.Close()
+	// The bound exists to reject hostile headers; our own cache files are
+	// trusted, so raise it well past any machine this repo models.
+	csr, err := trace.ReadCSR(f, trace.ReadOptions{MaxRanks: 1 << 26})
+	if err != nil {
+		c.drop(stem)
+		c.miss.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return csr, true
+}
+
+// drop removes a stem from the index and disk (corrupt or vanished file).
+func (c *DiskTraceCache) drop(stem string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[stem]; ok {
+		c.total -= el.Value.(*diskTraceEntry).size
+		c.ll.Remove(el)
+		delete(c.byK, stem)
+	}
+	_ = os.Remove(c.path(stem))
+}
+
+// Put implements TraceCache, serializing via the trace's WriteTo (write to
+// a temp file, fsync-free rename into place) and evicting LRU entries
+// until the byte budget holds. Traces that cannot be serialized are
+// declined silently.
+func (c *DiskTraceCache) Put(key string, comm Comm) {
+	w, ok := comm.(io.WriterTo)
+	if !ok {
+		return
+	}
+	stem := c.hash(key)
+	c.mu.Lock()
+	_, exists := c.byK[stem]
+	c.mu.Unlock()
+	if exists {
+		return // deterministic per key: resident file is already right
+	}
+
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	size, err := w.WriteTo(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil || os.Rename(tmp.Name(), c.path(stem)) != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byK[stem]; dup {
+		return // concurrent Put of the same trace; file contents identical
+	}
+	c.byK[stem] = c.ll.PushFront(&diskTraceEntry{key: stem, size: size})
+	c.total += size
+	c.evictLocked()
+}
+
+// evictLocked removes least-recently-used files until total <= maxBytes,
+// always keeping at least the most recent entry (a single trace larger
+// than the budget still caches — evicting it would defeat the point).
+func (c *DiskTraceCache) evictLocked() {
+	for c.total > c.maxBytes && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*diskTraceEntry)
+		c.ll.Remove(oldest)
+		delete(c.byK, e.key)
+		c.total -= e.size
+		_ = os.Remove(c.path(e.key))
+	}
+}
+
+// Stats returns lifetime counters, the entry count, and the stored bytes.
+func (c *DiskTraceCache) Stats() TraceCacheStats {
+	c.mu.Lock()
+	n, b := c.ll.Len(), c.total
+	c.mu.Unlock()
+	return TraceCacheStats{Hits: c.hits.Load(), Misses: c.miss.Load(), Entries: n, Bytes: b}
+}
+
+// TraceInfo reports, per Run, how the pipeline satisfied the scenario's
+// trace. Attach one to the context with WithTraceInfo before Run and read
+// it after — hcserve uses this to label the X-Hierclust-Cache header and
+// its trace-cache metrics without changing Run's signature.
+type TraceInfo struct {
+	// Cache is "hit" (served from the trace cache, or joined an
+	// in-flight build of the same trace — either way no new application
+	// run started), "miss" (this Run built the trace), or "" (no trace
+	// cache configured, or an uncacheable file source).
+	Cache string
+}
+
+type traceInfoKey struct{}
+
+// WithTraceInfo derives a context carrying a fresh TraceInfo that
+// Pipeline.Run fills in.
+func WithTraceInfo(ctx context.Context) (context.Context, *TraceInfo) {
+	info := &TraceInfo{}
+	return context.WithValue(ctx, traceInfoKey{}, info), info
+}
+
+func traceInfoFrom(ctx context.Context) *TraceInfo {
+	info, _ := ctx.Value(traceInfoKey{}).(*TraceInfo)
+	return info
+}

@@ -1,0 +1,364 @@
+package hierclust
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"hierclust/internal/trace"
+)
+
+// traceScenario returns a small tsunami-traced scenario; strategies vary by
+// name so result-level identity differs while the trace key is shared.
+func traceScenario(name, kind string) *Scenario {
+	return &Scenario{
+		Name:       name,
+		Machine:    MachineSpec{Nodes: 16},
+		Placement:  PlacementSpec{Policy: "block", Ranks: 64, ProcsPerNode: 4},
+		Trace:      TraceSpec{Source: "tsunami", Iterations: 5},
+		Strategies: []StrategySpec{{Kind: kind}},
+	}
+}
+
+func TestTraceKeySharedAcrossStrategies(t *testing.T) {
+	a := traceScenario("a", "naive")
+	a.Strategies[0].Size = 8
+	b := traceScenario("b", "hierarchical")
+	ka, oka := a.TraceKey()
+	kb, okb := b.TraceKey()
+	if !oka || !okb {
+		t.Fatal("tsunami scenarios must be cacheable")
+	}
+	if ka != kb {
+		t.Fatalf("scenarios differing only in name/strategies got different trace keys:\n%s\n%s", ka, kb)
+	}
+}
+
+func TestTraceKeyResolvesDefaults(t *testing.T) {
+	// tsunami: omitted iterations means 20, so explicit 20 shares the key.
+	imp := traceScenario("imp", "naive")
+	imp.Strategies[0].Size = 8
+	imp.Trace.Iterations = 0
+	exp := traceScenario("exp", "naive")
+	exp.Strategies[0].Size = 8
+	exp.Trace.Iterations = 20
+	ki, _ := imp.TraceKey()
+	ke, _ := exp.TraceKey()
+	if ki != ke {
+		t.Fatalf("implicit and explicit default iterations differ:\n%s\n%s", ki, ke)
+	}
+
+	// synthetic stencil2d: omitted width resolves to procs_per_node.
+	syn := &Scenario{
+		Name:       "s",
+		Placement:  PlacementSpec{Ranks: 64, ProcsPerNode: 4},
+		Trace:      TraceSpec{Source: "synthetic", Pattern: "stencil2d"},
+		Strategies: []StrategySpec{{Kind: "hierarchical"}},
+	}
+	synW := &Scenario{
+		Name:       "s",
+		Placement:  PlacementSpec{Ranks: 64, ProcsPerNode: 4},
+		Trace:      TraceSpec{Source: "synthetic", Pattern: "stencil2d", Width: 4},
+		Strategies: []StrategySpec{{Kind: "hierarchical"}},
+	}
+	k1, _ := syn.TraceKey()
+	k2, _ := synW.TraceKey()
+	if k1 != k2 {
+		t.Fatalf("derived and explicit width differ:\n%s\n%s", k1, k2)
+	}
+
+	// Different ranks must split the key.
+	syn2 := *syn
+	syn2.Placement.Ranks = 128
+	k3, _ := syn2.TraceKey()
+	if k1 == k3 {
+		t.Fatal("different rank counts share a trace key")
+	}
+}
+
+func TestTraceKeyFileNotCacheable(t *testing.T) {
+	s := &Scenario{
+		Name:       "f",
+		Placement:  PlacementSpec{Ranks: 64, ProcsPerNode: 4},
+		Trace:      TraceSpec{Source: "file", Path: "x.hctr"},
+		Strategies: []StrategySpec{{Kind: "hierarchical"}},
+	}
+	if _, ok := s.TraceKey(); ok {
+		t.Fatal("file source must not be cacheable")
+	}
+}
+
+func TestMemoryTraceCacheLRU(t *testing.T) {
+	c := NewMemoryTraceCache(2)
+	ta, _ := trace.Synthetic(8, SyntheticOptions{})
+	tb, _ := trace.Synthetic(16, SyntheticOptions{})
+	tc2, _ := trace.Synthetic(32, SyntheticOptions{})
+	c.Put("a", ta)
+	c.Put("b", tb)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", tc2)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	got, ok := c.Get("a")
+	if !ok || got.Ranks() != 8 {
+		t.Fatalf("a lost or wrong: %v", ok)
+	}
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/1", st.Hits, st.Misses)
+	}
+}
+
+func TestDiskTraceCacheRoundTripAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskTraceCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := trace.Synthetic(64, SyntheticOptions{Iterations: 7})
+	c.Put("key-1", orig)
+
+	got, ok := c.Get("key-1")
+	if !ok {
+		t.Fatal("disk cache missed a stored trace")
+	}
+	var a, b bytes.Buffer
+	if _, err := orig.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.(*trace.CSR).WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("round-tripped trace differs from the original")
+	}
+
+	// A fresh instance over the same dir re-indexes the stored trace.
+	c2, err := NewDiskTraceCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("key-1"); !ok {
+		t.Fatal("restarted cache lost the stored trace")
+	}
+	if st := c2.Stats(); st.Entries != 1 || st.Bytes == 0 {
+		t.Fatalf("restart stats = %+v", st)
+	}
+}
+
+func TestDiskTraceCacheEvictsToBudget(t *testing.T) {
+	dir := t.TempDir()
+	one, _ := trace.Synthetic(64, SyntheticOptions{})
+	var sz bytes.Buffer
+	_, _ = one.WriteTo(&sz)
+	// Budget for two traces of this size, not three.
+	c, err := NewDiskTraceCache(dir, int64(sz.Len()*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", one)
+	c.Put("b", one)
+	c.Put("c", one)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("oldest entry survived over-budget insertion")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes > int64(sz.Len()*2) {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+diskTraceExt))
+	if len(files) != 2 {
+		t.Fatalf("%d files on disk, want 2", len(files))
+	}
+}
+
+func TestDiskTraceCacheCorruptFileIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskTraceCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := trace.Synthetic(64, SyntheticOptions{})
+	c.Put("a", one)
+	// Truncate the stored file behind the cache's back.
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+diskTraceExt))
+	if len(files) != 1 {
+		t.Fatalf("%d files, want 1", len(files))
+	}
+	if err := os.WriteFile(files[0], []byte("HCTRgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("corrupt file reported as hit")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("corrupt entry not dropped: %+v", st)
+	}
+}
+
+// TestPipelineTraceCacheHit runs two scenarios sharing one tsunami trace:
+// the second must be served from the cache (TraceInfo reports the hit) and
+// produce the same result it would have uncached — determinism is pinned
+// elsewhere; here we check the cached path returns the identical matrix.
+func TestPipelineTraceCacheHit(t *testing.T) {
+	cache := NewMemoryTraceCache(4)
+	pl := NewPipeline(WithWorkers(1), WithTraceCache(cache))
+	plain := NewPipeline(WithWorkers(1))
+
+	ctx1, info1 := WithTraceInfo(context.Background())
+	res1, err := pl.Run(ctx1, traceScenario("first", "hierarchical"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Cache != "miss" {
+		t.Fatalf("first run trace cache = %q, want miss", info1.Cache)
+	}
+
+	ctx2, info2 := WithTraceInfo(context.Background())
+	sc2 := traceScenario("second", "naive")
+	sc2.Strategies[0].Size = 8
+	res2, err := pl.Run(ctx2, sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Cache != "hit" {
+		t.Fatalf("second run trace cache = %q, want hit", info2.Cache)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// The cached-trace result matches an uncached evaluation exactly.
+	ref, err := plain.Run(context.Background(), sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TotalBytes != ref.TotalBytes || res2.TotalMsgs != ref.TotalMsgs {
+		t.Fatalf("cached trace totals differ: %+v vs %+v", res2, ref)
+	}
+	if res2.Evaluations[0].LoggedFraction != ref.Evaluations[0].LoggedFraction {
+		t.Fatalf("cached evaluation differs: %+v vs %+v", res2.Evaluations[0], ref.Evaluations[0])
+	}
+	if res1.TotalBytes != res2.TotalBytes {
+		t.Fatal("shared trace reports different totals")
+	}
+}
+
+// TestPipelineJoinsInflightBuild pins the singleflight contract: a Run that
+// misses the cache while the same trace is mid-build waits for that build
+// and reports a hit, never starting a second application run.
+func TestPipelineJoinsInflightBuild(t *testing.T) {
+	cache := NewMemoryTraceCache(4)
+	pl := NewPipeline(WithWorkers(1), WithTraceCache(cache))
+	sc := traceScenario("join", "hierarchical")
+	key, ok := sc.TraceKey()
+	if !ok {
+		t.Fatal("scenario not cacheable")
+	}
+
+	// Install a fake in-flight build for the scenario's key.
+	comm, err := trace.Synthetic(64, SyntheticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &traceFlight{done: make(chan struct{})}
+	pl.flightMu.Lock()
+	pl.flight[key] = f
+	pl.flightMu.Unlock()
+
+	type outcome struct {
+		res  *Result
+		info *TraceInfo
+		err  error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		ctx, info := WithTraceInfo(context.Background())
+		res, err := pl.Run(ctx, sc)
+		got <- outcome{res, info, err}
+	}()
+
+	select {
+	case o := <-got:
+		t.Fatalf("Run completed without waiting for the in-flight build: %+v", o)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	f.comm = comm
+	pl.flightMu.Lock()
+	delete(pl.flight, key)
+	pl.flightMu.Unlock()
+	close(f.done)
+
+	o := <-got
+	if o.err != nil {
+		t.Fatal(o.err)
+	}
+	if o.info.Cache != "hit" {
+		t.Fatalf("joined run trace cache = %q, want hit", o.info.Cache)
+	}
+	if o.res.TotalBytes != comm.TotalBytes() {
+		t.Fatal("joined run did not use the in-flight build's trace")
+	}
+
+	// Cancellation releases a waiter blocked on an in-flight build.
+	f2 := &traceFlight{done: make(chan struct{})}
+	pl.flightMu.Lock()
+	pl.flight[key] = f2
+	pl.flightMu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := pl.Run(ctx, sc)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+}
+
+// TestPipelineConcurrentSharedTrace stresses the cache + singleflight path
+// under real concurrency; every run must succeed and agree on the trace.
+func TestPipelineConcurrentSharedTrace(t *testing.T) {
+	cache := NewMemoryTraceCache(4)
+	pl := NewPipeline(WithWorkers(1), WithTraceCache(cache))
+	const n = 6
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = pl.Run(context.Background(), traceScenario("conc", "hierarchical"))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].TotalBytes != results[0].TotalBytes {
+			t.Fatal("concurrent runs disagree on the shared trace")
+		}
+	}
+	if st := cache.Stats(); st.Entries != 1 {
+		t.Fatalf("cache entries = %d, want 1", st.Entries)
+	}
+}

@@ -1,7 +1,9 @@
 #!/bin/sh
 # hcserve_smoke.sh — build hcserve, start it, POST the quickstart scenario,
-# and assert a 200 response carrying non-empty evaluations. Used by CI and
-# runnable locally: sh scripts/hcserve_smoke.sh
+# and assert a 200 response carrying non-empty evaluations; then exercise
+# POST /v1/evaluate-batch (NDJSON lines in input order, trace-level cache
+# hit for a scenario sharing the quickstart trace) and the GET /metrics
+# scrape. Used by CI and runnable locally: sh scripts/hcserve_smoke.sh
 set -eu
 
 ADDR="${HCSERVE_ADDR:-127.0.0.1:18080}"
@@ -46,3 +48,38 @@ if [ "$COUNT" -lt 1 ]; then
 fi
 echo "hcserve_smoke: ok ($COUNT evaluations)"
 jq -r '.evaluations[] | "  \(.strategy): within_baseline=\(.within_baseline)"' /tmp/hcserve_smoke_response.json
+
+# Batch: the quickstart scenario again (result-cache hit after the POST
+# above) plus a renamed copy — different result key, same trace key, so the
+# second element must evaluate without re-running the traced application
+# ("trace-hit").
+BATCH="$(printf '%s' "$SCENARIO" | jq -c '[., . * {"name": "quickstart-batch"}]')"
+printf '%s' "$BATCH" | curl -sf -X POST -d @- \
+    "http://$ADDR/v1/evaluate-batch" > /tmp/hcserve_smoke_batch.ndjson
+LINES="$(wc -l < /tmp/hcserve_smoke_batch.ndjson)"
+if [ "$LINES" -ne 2 ]; then
+    echo "hcserve_smoke: batch returned $LINES NDJSON lines, want 2" >&2
+    cat /tmp/hcserve_smoke_batch.ndjson >&2
+    exit 1
+fi
+ORDER="$(jq -s -c 'map({index, status, cache})' /tmp/hcserve_smoke_batch.ndjson)"
+WANT='[{"index":0,"status":200,"cache":"hit"},{"index":1,"status":200,"cache":"trace-hit"}]'
+if [ "$ORDER" != "$WANT" ]; then
+    echo "hcserve_smoke: batch lines $ORDER, want $WANT" >&2
+    exit 1
+fi
+echo "hcserve_smoke: batch ok (result hit + trace-hit, in order)"
+
+# Metrics: the scrape must expose the trace-cache hit the batch just made.
+curl -sf "http://$ADDR/metrics" > /tmp/hcserve_smoke_metrics.txt
+for want in \
+    'hcserve_cache_hits_total{cache="trace"} 1' \
+    'hcserve_batch_scenarios_total 2' \
+    'hcserve_shed_total 0'; do
+    if ! grep -qxF "$want" /tmp/hcserve_smoke_metrics.txt; then
+        echo "hcserve_smoke: /metrics missing line: $want" >&2
+        grep '^hcserve_' /tmp/hcserve_smoke_metrics.txt >&2 || true
+        exit 1
+    fi
+done
+echo "hcserve_smoke: metrics ok"
