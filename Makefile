@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke serve-smoke doccheck profile ci
+.PHONY: all build test race vet fmt bench bench-smoke serve-smoke chaos doccheck profile ci
 
 all: build test
 
@@ -50,6 +50,15 @@ profile:
 # examples-job check).
 serve-smoke:
 	sh scripts/hcserve_smoke.sh
+
+# chaos runs the fault-injection and cancellation suites under the race
+# detector: degraded trace cache, panic isolation, server deadlines,
+# cancellation latency, goroutine-leak assertions (the CI chaos job).
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Cancel|Panic|Degrad|Quarantine|Fault|Timeout|Drain' \
+		./internal/faultinject/ ./internal/reliability/ \
+		./pkg/hierclust/ ./pkg/hierclust/serve/
 
 # doccheck fails if any Go package lacks a package doc comment or a
 # repo-relative markdown link in README/ROADMAP/CHANGES/docs dangles.

@@ -14,6 +14,8 @@
 //	hcserve -workers 4                 # bound per-request parallelism
 //	hcserve -trace-cache-dir /var/hc   # persistent disk trace cache
 //	hcserve -max-concurrent 8 -queue-depth 32 -retry-after 2s
+//	hcserve -eval-timeout 30s          # server-side deadline per evaluation
+//	hcserve -fault 'tracecache.disk.write=error:1.0'   # chaos drills
 //
 // Try it:
 //
@@ -38,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"hierclust/internal/faultinject"
 	"hierclust/pkg/hierclust"
 	"hierclust/pkg/hierclust/serve"
 )
@@ -56,10 +59,17 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", time.Second, "advisory Retry-After on 429/503 responses")
 		maxBatch     = flag.Int("max-batch", serve.DefaultMaxBatch, "max scenarios per /v1/evaluate-batch request")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace period for in-flight evaluations")
+		evalTimeout  = flag.Duration("eval-timeout", 0, "server-side deadline per evaluation / batch element, measured after admission (0 = none); exceeded = 504")
 	)
+	flag.Func("fault", "arm fault injection points, e.g. 'tracecache.disk.write=error:1.0,pipeline.worker=panic:0.01' (repeatable; chaos drills only)",
+		faultinject.ArmSpec)
 	flag.Parse()
+	if armed := faultinject.Armed(); len(armed) > 0 {
+		log.Printf("hcserve: WARNING: fault injection armed (chaos drill, not for production traffic): %v", armed)
+	}
 
 	opts := []hierclust.PipelineOption{hierclust.WithWorkers(*workers)}
+	var cacheStats serve.TraceCacheStatser
 	switch {
 	case *traceDir != "":
 		dc, err := hierclust.NewDiskTraceCache(*traceDir, int64(*traceDiskMB)<<20)
@@ -67,8 +77,11 @@ func main() {
 			fail(err)
 		}
 		opts = append(opts, hierclust.WithTraceCache(dc))
+		cacheStats = dc
 	case *traceCache > 0:
-		opts = append(opts, hierclust.WithTraceCache(hierclust.NewMemoryTraceCache(*traceCache)))
+		mc := hierclust.NewMemoryTraceCache(*traceCache)
+		opts = append(opts, hierclust.WithTraceCache(mc))
+		cacheStats = mc
 	}
 
 	handler := serve.New(serve.Options{
@@ -78,6 +91,8 @@ func main() {
 		QueueDepth:        *queueDepth,
 		RetryAfter:        *retryAfter,
 		MaxBatchScenarios: *maxBatch,
+		EvalTimeout:       *evalTimeout,
+		TraceCache:        cacheStats,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

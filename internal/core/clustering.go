@@ -191,6 +191,13 @@ type HierOptions struct {
 	// speculative gain scans (0 = GOMAXPROCS). The clustering never
 	// depends on it.
 	PartitionWorkers int
+	// Cancel, when non-nil, is polled by the partitioner between
+	// coarsening levels and refinement passes; once it returns true,
+	// Hierarchical abandons the build and returns graph.ErrCancelled.
+	// It is never consulted for results — an uncancelled build is
+	// bit-identical with or without it. Not part of the scenario surface;
+	// the pipeline wires a context check here.
+	Cancel func() bool
 }
 
 func (o *HierOptions) normalize() {
@@ -300,6 +307,7 @@ func partitionNodes(nodeGraph *graph.Graph, used []topology.NodeID, p *topology.
 			CoarsenThreshold: opts.CoarsenThreshold,
 			MatchingRounds:   opts.MatchingRounds,
 			Workers:          opts.PartitionWorkers,
+			Cancel:           opts.Cancel,
 		}
 	}
 	if !opts.AlignPowerPairs || !p.Machine().PowerPairs {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,6 +56,11 @@ func DefaultBaseline() Baseline {
 type EvalOptions struct {
 	// Workers bounds the reliability model's worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the evaluation: the reliability model's
+	// enumeration and sampling loops observe it within a bounded number of
+	// iterations and EvaluateOpts returns Ctx.Err(). An uncancelled
+	// evaluation is bit-identical with or without a context.
+	Ctx context.Context
 }
 
 // Evaluate scores a clustering against a traced communication matrix
@@ -65,6 +71,10 @@ func Evaluate(c *Clustering, m trace.Comm, p *topology.Placement, mix reliabilit
 
 // EvaluateOpts is Evaluate with execution options.
 func EvaluateOpts(c *Clustering, m trace.Comm, p *topology.Placement, mix reliability.Mix, opts EvalOptions) (*Evaluation, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := c.Validate(p.NumRanks()); err != nil {
 		return nil, err
 	}
@@ -75,8 +85,14 @@ func EvaluateOpts(c *Clustering, m trace.Comm, p *topology.Placement, mix reliab
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rec, err := RecoveryFraction(c, p)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var groups []reliability.Group
@@ -84,7 +100,7 @@ func EvaluateOpts(c *Clustering, m trace.Comm, p *topology.Placement, mix reliab
 		groups = append(groups, reliability.GroupFromRanks(p, g))
 	}
 	mdl := &reliability.Model{Nodes: len(p.UsedNodes()), Mix: mix, Workers: opts.Workers}
-	pcat, err := mdl.CatastropheProb(groups)
+	pcat, err := mdl.CatastropheProbCtx(ctx, groups)
 	if err != nil {
 		return nil, err
 	}

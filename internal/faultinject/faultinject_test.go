@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	DisarmAll()
+	if err := Hit("nonexistent.point"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = Hit("nonexistent.point") }); allocs != 0 {
+		t.Fatalf("disarmed Hit allocates %.1f per call", allocs)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	Arm("t.err", Fault{Kind: KindError})
+	err := Hit("t.err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed error point returned %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "t.err") {
+		t.Fatalf("injected error %q does not name the point", err)
+	}
+	if got := Triggered("t.err"); got != 1 {
+		t.Fatalf("Triggered = %d, want 1", got)
+	}
+	// Other points stay disarmed.
+	if err := Hit("t.other"); err != nil {
+		t.Fatalf("unarmed sibling point returned %v", err)
+	}
+	custom := errors.New("boom")
+	Arm("t.err", Fault{Kind: KindError, Err: custom})
+	if err := Hit("t.err"); !errors.Is(err, custom) {
+		t.Fatalf("custom error fault returned %v, want %v", err, custom)
+	}
+
+	Disarm("t.err")
+	if err := Hit("t.err"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+	if got := Triggered("t.err"); got != 0 {
+		t.Fatalf("Triggered after disarm = %d, want 0", got)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	Arm("t.panic", Fault{Kind: KindPanic})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("armed panic point did not panic")
+		}
+		if !strings.Contains(v.(string), "t.panic") {
+			t.Fatalf("panic value %v does not name the point", v)
+		}
+	}()
+	_ = Hit("t.panic")
+}
+
+func TestLatencyFault(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	Arm("t.slow", Fault{Kind: KindLatency, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("t.slow"); err != nil {
+		t.Fatalf("latency fault returned %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency fault slept %v, want >= 30ms", d)
+	}
+}
+
+func TestProbability(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	Seed(12345)
+	Arm("t.half", Fault{Kind: KindError, P: 0.5})
+	hits := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if Hit("t.half") != nil {
+			hits++
+		}
+	}
+	if hits < 4500 || hits > 5500 {
+		t.Fatalf("p=0.5 point triggered %d/%d times", hits, n)
+	}
+	if got := Triggered("t.half"); got != int64(hits) {
+		t.Fatalf("Triggered = %d, observed %d errors", got, hits)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	spec := "a.b=error:1.0, c.d=latency:5ms:0.25 ,e.f=panic"
+	if err := ArmSpec(spec); err != nil {
+		t.Fatalf("ArmSpec(%q): %v", spec, err)
+	}
+	want := []string{"a.b", "c.d", "e.f"}
+	got := Armed()
+	if len(got) != len(want) {
+		t.Fatalf("Armed() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Armed() = %v, want %v", got, want)
+		}
+	}
+	if err := Hit("a.b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a.b armed via spec returned %v", err)
+	}
+
+	for _, bad := range []string{
+		"nameonly",
+		"x=",
+		"=error",
+		"x=warp",
+		"x=latency",          // missing duration
+		"x=latency:fast",     // bad duration
+		"x=error:2",          // probability out of range
+		"x=error:0",          // probability out of range
+		"x=error:1.0:extra",  // too many parts
+		"x=panic:0.5:extra",  // too many parts
+		"x=latency:5ms:1:oh", // too many parts
+	} {
+		if err := ArmSpec(bad); err == nil {
+			t.Errorf("ArmSpec(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestConcurrentArmAndHit(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = Hit("t.race")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		Arm("t.race", Fault{Kind: KindError})
+		Disarm("t.race")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkHitDisarmed(b *testing.B) {
+	DisarmAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Hit("bench.point")
+	}
+}

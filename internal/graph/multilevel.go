@@ -47,6 +47,9 @@ func multilevelPartition(g *Graph, opts PartitionOptions, ar *partArena) ([]int,
 		if cur.g.N() <= opts.CoarsenThreshold {
 			break
 		}
+		if opts.cancelled() {
+			return nil, ErrCancelled
+		}
 		match, matched := heavyEdgeMatching(cur.g, cur.vw, opts, ar)
 		// Stop when matching stalls — nothing matched, or the graph would
 		// shrink by less than 10% (each matched pair removes one vertex):
@@ -76,6 +79,9 @@ func multilevelPartition(g *Graph, opts PartitionOptions, ar *partArena) ([]int,
 	// read side is either singleLevel's freshly compacted slice or the
 	// other buffer, never the write side.
 	for li := len(levels) - 2; li >= 0; li-- {
+		if opts.cancelled() {
+			return nil, ErrCancelled
+		}
 		l := levels[li]
 		fine := ar.projA[:l.g.N()]
 		if li%2 == 1 {
@@ -91,6 +97,9 @@ func multilevelPartition(g *Graph, opts PartitionOptions, ar *partArena) ([]int,
 			lvlOpts.RefinePasses = 2
 		}
 		refine(l.g, part, sizes, lvlOpts, l.vw, ar)
+	}
+	if opts.cancelled() {
+		return nil, ErrCancelled
 	}
 	return compact(part), nil
 }

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -43,7 +44,20 @@ type PartitionOptions struct {
 	// contraction, refinement scans); 0 = GOMAXPROCS. The assignment
 	// never depends on it.
 	Workers int
+	// Cancel, when non-nil, is polled between coarsening levels and
+	// refinement passes; once it returns true, Partition abandons the work
+	// and returns ErrCancelled. It must be cheap (an atomic load or
+	// ctx.Err()) and is never consulted for results — an uncancelled run
+	// is bit-identical with or without it.
+	Cancel func() bool
 }
+
+// ErrCancelled is returned by Partition when PartitionOptions.Cancel
+// reported an abort; match with errors.Is.
+var ErrCancelled = errors.New("graph: partition cancelled")
+
+// cancelled reports a caller-requested abort.
+func (o *PartitionOptions) cancelled() bool { return o.Cancel != nil && o.Cancel() }
 
 func (o *PartitionOptions) normalize(n int) error {
 	if o.MinSize <= 0 {
@@ -106,7 +120,11 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 	if opts.Multilevel && n > opts.CoarsenThreshold {
 		return multilevelPartition(g, opts, ar)
 	}
-	return singleLevel(g, opts, nil, ar), nil
+	part := singleLevel(g, opts, nil, ar)
+	if opts.cancelled() {
+		return nil, ErrCancelled
+	}
+	return part, nil
 }
 
 // singleLevel is the growth → merge → refine pipeline on one graph, with
@@ -583,6 +601,11 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int, 
 	}
 
 	for pass := 0; pass < opts.RefinePasses; pass++ {
+		if opts.cancelled() {
+			// Abandon mid-refinement: the caller observes Cancel itself and
+			// discards the partition, so the half-refined state never leaks.
+			return
+		}
 		moved := false
 		if !speculative {
 			for v := 0; v < n; v++ {

@@ -137,6 +137,14 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&family{name: name, help: help, typ: "gauge", fn: fn})
 }
 
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for monotonic totals already counted elsewhere (the
+// trace cache's own error counters). fn must be safe for concurrent use
+// and must never decrease.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "counter", fn: fn})
+}
+
 // Histogram registers and returns an unlabeled histogram with the given
 // ascending upper bounds (DefBuckets when empty). A +Inf bucket is always
 // appended.

@@ -38,6 +38,24 @@ func TestCounterGaugeExposition(t *testing.T) {
 	}
 }
 
+func TestCounterFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("ext_errors_total", "errors counted elsewhere", func() float64 { return 12 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ext_errors_total counter",
+		"ext_errors_total 12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCounterVecLabels(t *testing.T) {
 	r := NewRegistry()
 	v := r.CounterVec("req_total", "requests", "endpoint", "status")

@@ -1,0 +1,6 @@
+//go:build race
+
+package racedetect
+
+// Enabled reports whether this binary was built with -race.
+const Enabled = true

@@ -1,0 +1,5 @@
+// Package racedetect reports whether the race detector is compiled into
+// the binary. Latency-bound tests (the cancellation-promptness suite) use
+// it to scale their deadlines instead of flaking under `go test -race`,
+// where everything runs several times slower.
+package racedetect

@@ -38,9 +38,9 @@ func TestExactConditionalWorkerInvariance(t *testing.T) {
 		groups := randomGroups(seed, 12, 6)
 		fg := flatten(groups, 12)
 		for f := 1; f <= 5; f++ {
-			serial := exactConditional(fg, 12, f, 1)
+			serial := exactConditional(fg, 12, f, 1, nil)
 			for _, workers := range []int{2, 3, 8} {
-				if got := exactConditional(fg, 12, f, workers); got != serial {
+				if got := exactConditional(fg, 12, f, workers, nil); got != serial {
 					t.Errorf("seed %d f %d: workers=%d gave %v, serial %v", seed, f, workers, got, serial)
 				}
 			}
@@ -54,15 +54,15 @@ func TestExactConditionalWorkerInvariance(t *testing.T) {
 func TestMonteCarloWorkerInvariance(t *testing.T) {
 	groups := randomGroups(3, 40, 10)
 	fg := flatten(groups, 40)
-	serial := monteCarloConditional(fg, 40, 4, 50_000, 17, 1)
+	serial := monteCarloConditional(fg, 40, 4, 50_000, 17, 1, nil)
 	for _, workers := range []int{2, 5, 16} {
-		if got := monteCarloConditional(fg, 40, 4, 50_000, 17, workers); got != serial {
+		if got := monteCarloConditional(fg, 40, 4, 50_000, 17, workers, nil); got != serial {
 			t.Errorf("workers=%d gave %v, serial %v", workers, got, serial)
 		}
 	}
 	old := runtime.GOMAXPROCS(2)
 	defer runtime.GOMAXPROCS(old)
-	if got := monteCarloConditional(fg, 40, 4, 50_000, 17, 0); got != serial {
+	if got := monteCarloConditional(fg, 40, 4, 50_000, 17, 0, nil); got != serial {
 		t.Errorf("GOMAXPROCS=2 workers=0 gave %v, serial %v", got, serial)
 	}
 }
@@ -159,7 +159,7 @@ func TestDisjointConditionalMatchesExact(t *testing.T) {
 			t.Fatalf("seed %d: disjoint layout rejected by reduction", seed)
 		}
 		for f := 1; f <= 6; f++ {
-			exact := exactConditional(fg, n, f, 1)
+			exact := exactConditional(fg, n, f, 1, nil)
 			closed := fg.disjointConditional(n, f)
 			if math.Abs(exact-closed) > 1e-12 {
 				t.Errorf("seed %d f %d: exact %v, closed form %v", seed, f, exact, closed)

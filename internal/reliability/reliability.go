@@ -34,6 +34,7 @@
 package reliability
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -168,12 +169,43 @@ type Model struct {
 
 // CatastropheProb returns P(catastrophic | a failure occurs) for the groups.
 func (mdl *Model) CatastropheProb(groups []Group) (float64, error) {
+	return mdl.CatastropheProbCtx(context.Background(), groups)
+}
+
+// cancelWatch converts a context into a flag the enumeration and sampling
+// inner loops can poll for a few nanoseconds instead of a channel select
+// per iteration. The returned stop is nil when the context can never be
+// cancelled (no polling overhead at all); done releases the watcher.
+func cancelWatch(ctx context.Context) (stop *atomic.Bool, done func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return nil, func() {}
+	}
+	stop = &atomic.Bool{}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-quit:
+		}
+	}()
+	return stop, func() { close(quit) }
+}
+
+// CatastropheProbCtx is CatastropheProb with cancellation: a cancelled
+// context makes the exact-enumeration and Monte Carlo worker loops bail
+// out within a bounded number of inner iterations and the call return
+// ctx.Err(). An uncancelled call is bit-identical to CatastropheProb —
+// the stop flag is polled, never consulted for results.
+func (mdl *Model) CatastropheProbCtx(ctx context.Context, groups []Group) (float64, error) {
 	if mdl.Nodes <= 0 {
 		return 0, fmt.Errorf("reliability: model has %d nodes", mdl.Nodes)
 	}
 	if err := mdl.Mix.Validate(); err != nil {
 		return 0, err
 	}
+	stop, watchDone := cancelWatch(ctx)
+	defer watchDone()
 	exactLimit := mdl.ExactLimit
 	if exactLimit == 0 {
 		exactLimit = 100_000
@@ -192,19 +224,22 @@ func (mdl *Model) CatastropheProb(groups []Group) (float64, error) {
 		if pf == 0 || f > mdl.Nodes {
 			continue
 		}
+		if stop != nil && stop.Load() {
+			break // partial sums are discarded below
+		}
 		var pcat float64
 		switch {
 		case combinations(mdl.Nodes, f) <= float64(exactLimit):
-			pcat = exactConditional(fg, mdl.Nodes, f, workers)
+			pcat = exactConditional(fg, mdl.Nodes, f, workers, stop)
 		case fg.dpOK:
 			// Disjoint uniform spans: exact closed form, no sampling.
 			pcat = fg.disjointConditional(mdl.Nodes, f)
 		default:
-			ub := unionBoundConditional(groups, mdl.Nodes, f, workers)
+			ub := unionBoundConditional(groups, mdl.Nodes, f, workers, stop)
 			if ub <= 0.1 {
 				pcat = ub
 			} else {
-				pcat = monteCarloConditional(fg, mdl.Nodes, f, samples, int64(f)*7919, workers)
+				pcat = monteCarloConditional(fg, mdl.Nodes, f, samples, int64(f)*7919, workers, stop)
 			}
 		}
 		if f == 2 && mdl.Mix.PairCorrelation > 0 {
@@ -214,6 +249,11 @@ func (mdl *Model) CatastropheProb(groups []Group) (float64, error) {
 			pcat = mdl.Mix.PairCorrelation*aligned + (1-mdl.Mix.PairCorrelation)*pcat
 		}
 		total += pf * pcat
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 	}
 	return total, nil
 }
@@ -525,10 +565,15 @@ func resolveWorkers(workers, nchunks int) int {
 // dynamically; worker is a stable id < the resolved pool size, so callers
 // can reuse per-worker scratch buffers without the results ever depending
 // on scheduling (fn must write conclusions only to per-chunk state).
-func parallelChunks(nchunks, workers int, fn func(chunk, worker int)) {
+// A non-nil stop flag makes the pool abandon unclaimed chunks once set —
+// the caller is cancelling and will discard the partial result.
+func parallelChunks(nchunks, workers int, stop *atomic.Bool, fn func(chunk, worker int)) {
 	workers = resolveWorkers(workers, nchunks)
 	if workers <= 1 {
 		for i := 0; i < nchunks; i++ {
+			if stop != nil && stop.Load() {
+				return
+			}
 			fn(i, 0)
 		}
 		return
@@ -540,6 +585,9 @@ func parallelChunks(nchunks, workers int, fn func(chunk, worker int)) {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if stop != nil && stop.Load() {
+					return
+				}
 				i := next.Add(1) - 1
 				if i >= int64(nchunks) {
 					return
@@ -557,7 +605,9 @@ func parallelChunks(nchunks, workers int, fn func(chunk, worker int)) {
 // {v, ...} with the remaining f-1 nodes drawn from v+1..n-1, so chunks are
 // disjoint, cover everything, and carry integer hit counts that sum to the
 // same total in any order — the parallel result is bit-identical to serial.
-func exactConditional(fg *flatGroups, n, f, workers int) float64 {
+// A set stop flag makes in-progress chunks break within 1024 subsets; the
+// caller discards the partial result and reports cancellation.
+func exactConditional(fg *flatGroups, n, f, workers int, stop *atomic.Bool) float64 {
 	if f <= 0 || f > n {
 		return 0
 	}
@@ -571,7 +621,7 @@ func exactConditional(fg *flatGroups, n, f, workers int) float64 {
 		scratch []uint64
 	}
 	states := make([]*exactState, resolveWorkers(workers, nchunks))
-	parallelChunks(nchunks, workers, func(v, worker int) {
+	parallelChunks(nchunks, workers, stop, func(v, worker int) {
 		st := states[worker]
 		if st == nil {
 			st = &exactState{idx: make([]int, f), scratch: fg.newScratch()}
@@ -585,6 +635,9 @@ func exactConditional(fg *flatGroups, n, f, workers int) float64 {
 		scratch := st.scratch
 		var h, s int64
 		for {
+			if stop != nil && s&1023 == 1023 && stop.Load() {
+				break
+			}
 			s++
 			if fg.destroys(idx, scratch) {
 				h++
@@ -614,10 +667,13 @@ func exactConditional(fg *flatGroups, n, f, workers int) float64 {
 
 // unionBoundConditional sums the exact per-group destruction probability
 // over groups (an upper bound on the union, tight when events are rare).
-func unionBoundConditional(groups []Group, n, f, workers int) float64 {
+func unionBoundConditional(groups []Group, n, f, workers int, stop *atomic.Bool) float64 {
 	var sum float64
 	for gi := range groups {
-		sum += groupConditional(&groups[gi], n, f, workers)
+		if stop != nil && stop.Load() {
+			break
+		}
+		sum += groupConditional(&groups[gi], n, f, workers, stop)
 	}
 	if sum > 1 {
 		sum = 1
@@ -628,7 +684,7 @@ func unionBoundConditional(groups []Group, n, f, workers int) float64 {
 // groupConditional computes P(group destroyed | f uniform random distinct
 // node failures) exactly, enumerating subsets of the group's node span when
 // small and sampling otherwise.
-func groupConditional(g *Group, n, f, workers int) float64 {
+func groupConditional(g *Group, n, f, workers int, stop *atomic.Bool) float64 {
 	counts := make([]int, 0, len(g.MembersOn))
 	for _, c := range g.MembersOn {
 		counts = append(counts, c)
@@ -662,9 +718,10 @@ func groupConditional(g *Group, n, f, workers int) float64 {
 		work += combinations(s, j)
 	}
 	if work > 2e6 {
-		return monteCarloConditional(flatten([]Group{*g}, n), n, f, 100_000, int64(n)*31+int64(f), workers)
+		return monteCarloConditional(flatten([]Group{*g}, n), n, f, 100_000, int64(n)*31+int64(f), workers, stop)
 	}
 	idx := make([]int, maxJ)
+	var steps int64
 	for j := 1; j <= maxJ; j++ {
 		outside := combinations(n-s, f-j)
 		if outside == 0 {
@@ -675,6 +732,10 @@ func groupConditional(g *Group, n, f, workers int) float64 {
 		}
 		sub := idx[:j]
 		for {
+			steps++
+			if stop != nil && steps&4095 == 0 && stop.Load() {
+				return 0 // cancelled; the caller discards the result
+			}
 			lost := 0
 			for _, b := range sub {
 				lost += counts[b]
@@ -711,8 +772,9 @@ const mcChunkSamples = 8192
 
 // monteCarloConditional estimates the union probability by sampling
 // f-subsets, sharded into fixed deterministic chunks with independent
-// splitmix-seeded generators.
-func monteCarloConditional(fg *flatGroups, n, f, samples int, seed int64, workers int) float64 {
+// splitmix-seeded generators. A set stop flag makes in-progress chunks
+// break within 512 samples (the caller discards the partial estimate).
+func monteCarloConditional(fg *flatGroups, n, f, samples int, seed int64, workers int, stop *atomic.Bool) float64 {
 	if samples <= 0 {
 		return 0
 	}
@@ -727,7 +789,7 @@ func monteCarloConditional(fg *flatGroups, n, f, samples int, seed int64, worker
 		scratch []uint64
 	}
 	states := make([]*mcState, resolveWorkers(workers, nchunks))
-	parallelChunks(nchunks, workers, func(c, worker int) {
+	parallelChunks(nchunks, workers, stop, func(c, worker int) {
 		st := states[worker]
 		if st == nil {
 			st = &mcState{perm: make([]int, n), failed: make([]int, f), scratch: fg.newScratch()}
@@ -746,6 +808,9 @@ func monteCarloConditional(fg *flatGroups, n, f, samples int, seed int64, worker
 		scratch := st.scratch
 		var h int64
 		for s := 0; s < count; s++ {
+			if stop != nil && s&511 == 511 && stop.Load() {
+				break
+			}
 			// partial Fisher–Yates for the first f positions
 			for i := 0; i < f; i++ {
 				j := i + rng.intn(n-i)

@@ -5,12 +5,39 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"hierclust/internal/core"
+	"hierclust/internal/faultinject"
 	"hierclust/internal/trace"
 	"hierclust/internal/tsunami"
 )
+
+// PanicError wraps a panic recovered at one of the pipeline's isolation
+// boundaries — a strategy-evaluation worker goroutine, the singleflight
+// trace build, or Run itself. The boundary converts a bug in one scenario
+// (or an injected chaos panic) into an error on that Run instead of a dead
+// process; hcserve maps it to a 500 with an incident id. Match with
+// errors.As to reach the original value and stack.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("hierclust: internal panic: %v", e.Value)
+}
+
+// recoverAsError converts an in-flight panic into *PanicError at a defer
+// boundary. It must be deferred directly (recover only works one frame up).
+func recoverAsError(errp *error) {
+	if v := recover(); v != nil {
+		*errp = &PanicError{Value: v, Stack: debug.Stack()}
+	}
+}
 
 // Pipeline runs scenarios through the trace→cluster→evaluate engine. The
 // zero value is not usable; construct with NewPipeline. A Pipeline is safe
@@ -104,11 +131,21 @@ type StrategyResult struct {
 	Violations     []string `json:"violations,omitempty"`
 }
 
-// Run evaluates a scenario. The context cancels between stages and between
-// strategy evaluations; a canceled run returns ctx.Err(). Strategies
-// evaluate concurrently up to the pipeline's worker bound, and results are
-// returned in scenario order regardless of completion order.
-func (pl *Pipeline) Run(ctx context.Context, sc *Scenario) (*Result, error) {
+// Run evaluates a scenario. The context cancels the run — between stages,
+// between strategy evaluations, and *inside* the reliability model's
+// enumeration and Monte Carlo loops, so even a long chunked sampling run
+// observes cancellation within milliseconds; a canceled run returns
+// ctx.Err(). Strategies evaluate concurrently up to the pipeline's worker
+// bound, and results are returned in scenario order regardless of
+// completion order. A panic anywhere in the run (a strategy bug, a trace
+// builder bug) is recovered at the nearest isolation boundary and returned
+// as a *PanicError instead of crashing the process.
+func (pl *Pipeline) Run(ctx context.Context, sc *Scenario) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -137,7 +174,7 @@ func (pl *Pipeline) Run(ctx context.Context, sc *Scenario) (*Result, error) {
 
 	mix := sc.Mix.Mix()
 	baseline := sc.Baseline.Baseline()
-	res := &Result{
+	res = &Result{
 		Scenario:    sc.Name,
 		Machine:     mach.Name,
 		Ranks:       placement.NumRanks(),
@@ -173,7 +210,7 @@ func (pl *Pipeline) Run(ctx context.Context, sc *Scenario) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				errs[i] = pl.evalStrategy(sc.Strategies[i], comm, placement, mix, baseline, evalWorkers, &res.Evaluations[i])
+				errs[i] = pl.evalStrategyIsolated(ctx, sc.Strategies[i], comm, placement, mix, baseline, evalWorkers, &res.Evaluations[i])
 			}
 		}()
 	}
@@ -198,17 +235,40 @@ func (pl *Pipeline) Run(ctx context.Context, sc *Scenario) (*Result, error) {
 	return res, nil
 }
 
+// evalStrategyIsolated is evalStrategy behind the per-worker panic
+// boundary: a panicking strategy (or the "pipeline.worker" chaos point)
+// fails its own evaluation as a *PanicError without taking down the
+// sibling workers or the process.
+func (pl *Pipeline) evalStrategyIsolated(ctx context.Context, spec StrategySpec, comm Comm, placement *Placement, mix Mix, baseline Baseline, workers int, out *StrategyResult) (err error) {
+	defer recoverAsError(&err)
+	if err := faultinject.Hit("pipeline.worker"); err != nil {
+		return err
+	}
+	return pl.evalStrategy(ctx, spec, comm, placement, mix, baseline, workers, out)
+}
+
 // evalStrategy builds and scores one strategy into out.
-func (pl *Pipeline) evalStrategy(spec StrategySpec, comm Comm, placement *Placement, mix Mix, baseline Baseline, workers int, out *StrategyResult) error {
+func (pl *Pipeline) evalStrategy(ctx context.Context, spec StrategySpec, comm Comm, placement *Placement, mix Mix, baseline Baseline, workers int, out *StrategyResult) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	st, err := NewStrategy(spec)
 	if err != nil {
 		return err
 	}
-	c, err := st.Build(comm, placement)
+	var c *Clustering
+	if cs, ok := st.(CtxStrategy); ok {
+		c, err = cs.BuildCtx(ctx, comm, placement)
+	} else {
+		c, err = st.Build(comm, placement)
+	}
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		return err
 	}
-	e, err := core.EvaluateOpts(c, comm, placement, mix, core.EvalOptions{Workers: workers})
+	e, err := core.EvaluateOpts(c, comm, placement, mix, core.EvalOptions{Workers: workers, Ctx: ctx})
 	if err != nil {
 		return err
 	}
@@ -271,14 +331,26 @@ func (pl *Pipeline) resolveTrace(ctx context.Context, sc *Scenario, placement *P
 	pl.flight[key] = f
 	pl.flightMu.Unlock()
 
-	f.comm, f.err = pl.buildTrace(sc, placement)
-	if f.err == nil {
-		pl.traceCache.Put(key, f.comm)
-	}
-	pl.flightMu.Lock()
-	delete(pl.flight, key)
-	pl.flightMu.Unlock()
-	close(f.done)
+	// The build runs behind its own panic boundary: a panicking trace
+	// builder (or cache Put) must still remove the flight entry and close
+	// done, or every waiter coalesced onto this build would block forever.
+	func() {
+		defer func() {
+			pl.flightMu.Lock()
+			delete(pl.flight, key)
+			pl.flightMu.Unlock()
+			close(f.done)
+		}()
+		defer recoverAsError(&f.err)
+		if err := faultinject.Hit("pipeline.trace.build"); err != nil {
+			f.err = err
+			return
+		}
+		f.comm, f.err = pl.buildTrace(sc, placement)
+		if f.err == nil {
+			pl.traceCache.Put(key, f.comm)
+		}
+	}()
 
 	if f.err != nil {
 		return nil, f.err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 )
 
 // POST /v1/evaluate-batch accepts a JSON array of scenario documents and
@@ -22,7 +23,8 @@ type BatchLine struct {
 	// Index is the element's position in the request array.
 	Index int `json:"index"`
 	// Status is the HTTP status this element would have received from
-	// POST /v1/evaluate (200, 400, 422, 429, 499, 503).
+	// POST /v1/evaluate (200, 400, 422, 429, 499, 500 recovered panic,
+	// 503, 504 server deadline exceeded).
 	Status int `json:"status"`
 	// Cache reports which cache level answered a successful element:
 	// "hit", "trace-hit", or "miss" — the X-Hierclust-Cache values.
@@ -111,8 +113,17 @@ func (s *Server) handleEvaluateBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // evaluateElement runs one batch element through decode → cache →
-// admission → pipeline and renders its line.
-func (s *Server) evaluateElement(r *http.Request, i int, raw json.RawMessage) BatchLine {
+// admission → pipeline and renders its line. It is a panic isolation
+// boundary: a panicking element becomes its own 500 line and the rest of
+// the batch proceeds (the worker goroutine must survive to drain the
+// remaining indices).
+func (s *Server) evaluateElement(r *http.Request, i int, raw json.RawMessage) (line BatchLine) {
+	defer func() {
+		if v := recover(); v != nil {
+			id := s.reportPanic(v, debug.Stack())
+			line = BatchLine{Index: i, Status: http.StatusInternalServerError, Error: incidentErr(id).Error()}
+		}
+	}()
 	sc, status, err := decodeScenario(raw)
 	if err != nil {
 		return BatchLine{Index: i, Status: status, Error: err.Error()}

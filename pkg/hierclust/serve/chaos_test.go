@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hierclust/internal/faultinject"
+	"hierclust/internal/racedetect"
+	"hierclust/pkg/hierclust"
+)
+
+// chaosScenario is small, synthetic (so the trace cache engages), and
+// parameterized by name so two documents can share a trace key while
+// missing the result cache.
+func chaosScenario(name string) string {
+	return fmt.Sprintf(`{
+		"name": %q,
+		"machine": {"nodes": 16},
+		"placement": {"ranks": 64, "procs_per_node": 4},
+		"trace": {"source": "synthetic", "iterations": 10},
+		"strategies": [{"kind": "hierarchical"}]
+	}`, name)
+}
+
+func postEvaluate(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/evaluate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServeDegradedTraceCacheBitIdentical is the acceptance drill of the
+// issue: with every trace-cache disk write failing, hcserve must keep
+// serving — results bit-identical to a server with no trace cache at all —
+// fall back to memory-only degraded mode (second scenario sharing the
+// trace key is a trace-hit from the fallback), and surface the mode on
+// /healthz and /metrics.
+func TestServeDegradedTraceCacheBitIdentical(t *testing.T) {
+	defer faultinject.DisarmAll()
+	dir := t.TempDir()
+	dc, err := hierclust.NewDiskTraceCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Result caching off: every request must reach the pipeline so the
+	// trace-cache path is exercised, not the result LRU.
+	s := New(Options{
+		Pipeline:   hierclust.NewPipeline(hierclust.WithWorkers(2), hierclust.WithTraceCache(dc)),
+		CacheSize:  -1,
+		TraceCache: dc,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	refTS := httptest.NewServer(New(Options{CacheSize: -1})) // no trace cache → no disk writes
+	defer refTS.Close()
+
+	faultinject.Arm("tracecache.disk.write", faultinject.Fault{Kind: faultinject.KindError})
+
+	resp, body := postEvaluate(t, ts.URL, chaosScenario("chaos-a"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status under write faults = %d, want 200 (body %s)", resp.StatusCode, body)
+	}
+	_, refBody := postEvaluate(t, refTS.URL, chaosScenario("chaos-a"))
+	if !bytes.Equal(body, refBody) {
+		t.Fatalf("degraded-mode result differs from trace-cache-free server:\n%s\nvs\n%s", body, refBody)
+	}
+
+	// Same trace key, different document: the trace survives in the memory
+	// fallback, so this is a trace-hit — no second application run.
+	resp2, _ := postEvaluate(t, ts.URL, chaosScenario("chaos-b"))
+	if got := resp2.Header.Get("X-Hierclust-Cache"); got != "trace-hit" {
+		t.Fatalf("second scenario cache header = %q, want trace-hit from the memory fallback", got)
+	}
+
+	var health struct {
+		Status     string `json:"status"`
+		TraceCache *struct {
+			Degraded    bool  `json:"degraded"`
+			MemEntries  int   `json:"mem_entries"`
+			WriteErrors int64 `json:"write_errors"`
+		} `json:"trace_cache"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "degraded" {
+		t.Fatalf("healthz status = %q, want degraded", health.Status)
+	}
+	if health.TraceCache == nil || !health.TraceCache.Degraded {
+		t.Fatalf("healthz trace_cache = %+v, want degraded=true", health.TraceCache)
+	}
+	if health.TraceCache.WriteErrors < 3 || health.TraceCache.MemEntries < 1 {
+		t.Fatalf("healthz trace_cache = %+v, want >=3 write errors and a fallback entry", health.TraceCache)
+	}
+
+	mtext := getMetrics(t, ts.URL)
+	if !strings.Contains(mtext, "hcserve_trace_cache_degraded 1") {
+		t.Fatal("metrics missing hcserve_trace_cache_degraded 1")
+	}
+	if !strings.Contains(mtext, "hcserve_trace_cache_write_errors_total") {
+		t.Fatal("metrics missing hcserve_trace_cache_write_errors_total")
+	}
+}
+
+// TestServePipelineWorkerPanicIncident pins the panic contract end to end:
+// an injected pipeline-worker panic answers 500 with an incident id (no
+// stack leaks to the client), increments hcserve_panics_total, and the
+// very next request succeeds — the server survives its own bugs.
+func TestServePipelineWorkerPanicIncident(t *testing.T) {
+	defer faultinject.DisarmAll()
+	_, ts := newTestServer(t)
+
+	faultinject.Arm("pipeline.worker", faultinject.Fault{Kind: faultinject.KindPanic})
+	resp, body := postEvaluate(t, ts.URL, chaosScenario("panic-a"))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status under injected worker panic = %d, want 500 (body %s)", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "incident") {
+		t.Fatalf("500 body %q does not carry an incident id", body)
+	}
+	if strings.Contains(e.Error, "goroutine") {
+		t.Fatalf("500 body leaks a stack trace: %q", e.Error)
+	}
+	if m := getMetrics(t, ts.URL); !strings.Contains(m, "hcserve_panics_total 1") {
+		t.Fatal("hcserve_panics_total not incremented")
+	}
+
+	faultinject.DisarmAll()
+	resp2, body2 := postEvaluate(t, ts.URL, chaosScenario("panic-a"))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("request after recovered panic = %d, want 200 (body %s)", resp2.StatusCode, body2)
+	}
+}
+
+// TestServeHandlerPanicIsolated drives the outermost isolation boundary:
+// a panic raised inside the handler itself (before the pipeline) is
+// recovered by instrument, answered 500 + incident, and counted.
+func TestServeHandlerPanicIsolated(t *testing.T) {
+	defer faultinject.DisarmAll()
+	_, ts := newTestServer(t)
+
+	faultinject.Arm("serve.evaluate", faultinject.Fault{Kind: faultinject.KindPanic})
+	resp, body := postEvaluate(t, ts.URL, chaosScenario("handler-panic"))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status under handler panic = %d, want 500 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "incident") {
+		t.Fatalf("500 body %q does not carry an incident id", body)
+	}
+
+	faultinject.DisarmAll()
+	if resp2, _ := postEvaluate(t, ts.URL, chaosScenario("handler-panic")); resp2.StatusCode != http.StatusOK {
+		t.Fatalf("request after handler panic = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestServeEvalTimeout504 pins the server-side deadline: an evaluation
+// held past Options.EvalTimeout (via injected worker latency) is cancelled
+// and answered 504 with the deadline in the message, counted on
+// hcserve_eval_timeouts_total — and on the batch endpoint the same
+// deadline applies per element, as an element-level 504 line.
+func TestServeEvalTimeout504(t *testing.T) {
+	defer faultinject.DisarmAll()
+	// The deadline must comfortably fit a clean evaluation of the test
+	// scenario (so the post-disarm request succeeds) while the injected
+	// latency comfortably exceeds it; the race detector slows evaluations
+	// by an order of magnitude, so both scale with it.
+	timeout := 150 * time.Millisecond
+	if racedetect.Enabled {
+		timeout = time.Second
+	}
+	s := New(Options{CacheSize: -1, EvalTimeout: timeout})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	faultinject.Arm("pipeline.worker", faultinject.Fault{Kind: faultinject.KindLatency, Delay: 4 * timeout})
+
+	resp, body := postEvaluate(t, ts.URL, chaosScenario("slow"))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Fatalf("504 body %q does not mention the deadline", body)
+	}
+	if m := getMetrics(t, ts.URL); !strings.Contains(m, "hcserve_eval_timeouts_total 1") {
+		t.Fatal("hcserve_eval_timeouts_total not incremented")
+	}
+
+	// Batch: one malformed element (400 line) and one slow element (504
+	// line); the batch request itself still answers 200 and streams both.
+	batch := fmt.Sprintf(`[{"nope": true}, %s]`, chaosScenario("slow-batch"))
+	bresp, err := http.Post(ts.URL+"/v1/evaluate-batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", bresp.StatusCode)
+	}
+	dec := json.NewDecoder(bresp.Body)
+	var lines []BatchLine
+	for {
+		var ln BatchLine
+		if err := dec.Decode(&ln); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, ln)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("batch returned %d lines, want 2", len(lines))
+	}
+	if lines[0].Status != http.StatusBadRequest {
+		t.Fatalf("malformed element status = %d, want 400", lines[0].Status)
+	}
+	if lines[1].Status != http.StatusGatewayTimeout || !strings.Contains(lines[1].Error, "deadline") {
+		t.Fatalf("slow element line = %+v, want a 504 deadline error", lines[1])
+	}
+
+	// With the fault cleared the same scenario fits the deadline.
+	faultinject.DisarmAll()
+	if resp2, body2 := postEvaluate(t, ts.URL, chaosScenario("slow")); resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status after fault cleared = %d, want 200 (body %s)", resp2.StatusCode, body2)
+	}
+}
+
+// TestServeDrainCompletesUnderFaults: draining while a fault point is
+// armed must still answer health (reporting "draining") and reject new
+// work with 503 — chaos must not wedge shutdown.
+func TestServeDrainCompletesUnderFaults(t *testing.T) {
+	defer faultinject.DisarmAll()
+	s, ts := newTestServer(t)
+
+	faultinject.Arm("pipeline.worker", faultinject.Fault{Kind: faultinject.KindPanic})
+	s.Drain()
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "draining" {
+		t.Fatalf("healthz status = %q, want draining", health.Status)
+	}
+	resp, _ := postEvaluate(t, ts.URL, chaosScenario("drain"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 under drain missing Retry-After")
+	}
+}

@@ -1,0 +1,12 @@
+package serve
+
+import (
+	"testing"
+
+	"hierclust/internal/leakcheck"
+)
+
+// TestMain asserts the suite — including the chaos tests that panic
+// workers, time out evaluations, and drain mid-fault — leaks no
+// goroutines.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -31,25 +31,44 @@
 // of queueing unboundedly; a draining server (Drain was called, shutdown
 // in progress) answers 503. Cache hits bypass admission entirely.
 //
+// # Robustness
+//
+// Evaluations run under an optional server-side deadline
+// (Options.EvalTimeout): a scenario that exceeds it is cancelled through
+// the pipeline and answered 504 — in a batch, per element. Panics
+// anywhere in request handling are recovered at isolation boundaries
+// (handler, pipeline worker, batch element), answered 500 with a random
+// incident id whose stack trace is logged server-side, and counted on
+// hcserve_panics_total; the server keeps serving. When Options.TraceCache
+// is wired, disk-cache health (IO error counters, quarantined corrupt
+// files, memory-only degraded mode) is surfaced on /metrics and /healthz.
+//
 // # Metrics
 //
 // Every interesting internal — request totals by endpoint and status,
 // result- and trace-cache hits/misses, per-trace-source latency
-// histograms, in-flight and queued evaluation counts, shed totals — is
+// histograms, in-flight and queued evaluation counts, shed totals,
+// recovered panics, deadline 504s, trace-cache disk health — is
 // registered in an internal/metrics Registry and exposed on GET /metrics.
 package serve
 
 import (
 	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"hierclust/internal/faultinject"
 	"hierclust/internal/metrics"
 	"hierclust/pkg/hierclust"
 )
@@ -84,6 +103,22 @@ type Options struct {
 	// Metrics receives the server's instrumentation; nil builds a fresh
 	// registry (exposed either way on GET /metrics).
 	Metrics *metrics.Registry
+	// EvalTimeout bounds one evaluation's pipeline run (per batch element
+	// on /v1/evaluate-batch), measured after admission — queue wait does
+	// not count against it. An evaluation that exceeds the deadline is
+	// cancelled and answered 504. 0 disables the deadline.
+	EvalTimeout time.Duration
+	// TraceCache, when non-nil, is polled for disk-cache health: its error
+	// counters, quarantine count, and degraded flag are exposed on
+	// /metrics and /healthz. Wire the same cache here and into the
+	// pipeline (hierclust.WithTraceCache).
+	TraceCache TraceCacheStatser
+}
+
+// TraceCacheStatser is the observability surface Options.TraceCache needs;
+// both built-in trace caches implement it.
+type TraceCacheStatser interface {
+	Stats() hierclust.TraceCacheStats
 }
 
 // DefaultCacheSize is the scenario-result LRU capacity when Options leaves
@@ -109,18 +144,22 @@ type Server struct {
 	maxBatchBody int64
 	maxBatch     int
 	retryAfter   string // whole seconds, pre-rendered for the header
+	evalTimeout  time.Duration
+	traceCache   TraceCacheStatser
 	draining     atomic.Bool
 
 	hits   atomic.Int64
 	misses atomic.Int64
 
-	reg         *metrics.Registry
-	reqTotal    *metrics.CounterVec
-	cacheHits   *metrics.CounterVec
-	cacheMisses *metrics.CounterVec
-	evalSeconds *metrics.HistogramVec
-	shedTotal   *metrics.Counter
-	batchTotal  *metrics.Counter
+	reg           *metrics.Registry
+	reqTotal      *metrics.CounterVec
+	cacheHits     *metrics.CounterVec
+	cacheMisses   *metrics.CounterVec
+	evalSeconds   *metrics.HistogramVec
+	shedTotal     *metrics.Counter
+	batchTotal    *metrics.Counter
+	panicsTotal   *metrics.Counter
+	timeoutsTotal *metrics.Counter
 }
 
 // New builds the service.
@@ -178,6 +217,8 @@ func New(opts Options) *Server {
 		maxBatchBody: maxBatchBody,
 		maxBatch:     maxBatch,
 		retryAfter:   strconv.Itoa(retrySec),
+		evalTimeout:  opts.EvalTimeout,
+		traceCache:   opts.TraceCache,
 		reg:          reg,
 	}
 	s.reqTotal = reg.CounterVec("hcserve_requests_total",
@@ -201,6 +242,32 @@ func New(opts Options) *Server {
 	reg.GaugeFunc("hcserve_result_cache_entries",
 		"Entries resident in the scenario-result LRU.",
 		func() float64 { return float64(s.cache.Len()) })
+	s.panicsTotal = reg.Counter("hcserve_panics_total",
+		"Panics recovered at an isolation boundary (request handler, pipeline worker, batch element).")
+	s.timeoutsTotal = reg.Counter("hcserve_eval_timeouts_total",
+		"Evaluations cut off by the server-side deadline and answered 504.")
+	if tc := s.traceCache; tc != nil {
+		reg.CounterFunc("hcserve_trace_cache_read_errors_total",
+			"Failed trace-cache disk read attempts (each retry counts).",
+			func() float64 { return float64(tc.Stats().ReadErrors) })
+		reg.CounterFunc("hcserve_trace_cache_write_errors_total",
+			"Failed trace-cache disk write attempts (each retry counts).",
+			func() float64 { return float64(tc.Stats().WriteErrors) })
+		reg.CounterFunc("hcserve_trace_cache_quarantined_total",
+			"Corrupt trace-cache files quarantined to .bad for post-mortem.",
+			func() float64 { return float64(tc.Stats().Quarantined) })
+		reg.GaugeFunc("hcserve_trace_cache_degraded",
+			"1 while the trace cache serves memory-only after repeated disk failures.",
+			func() float64 {
+				if tc.Stats().Degraded {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("hcserve_trace_cache_entries",
+			"Entries resident in the trace cache.",
+			func() float64 { return float64(tc.Stats().Entries) })
+	}
 
 	s.mux.HandleFunc("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("POST /v1/evaluate-batch", s.instrument("evaluate-batch", s.handleEvaluateBatch))
@@ -261,17 +328,52 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps a handler with the per-endpoint request counter.
+// instrument wraps a handler with the per-endpoint request counter and the
+// outermost panic isolation boundary: a handler panic is answered 500 with
+// an incident id (when the response has not started) instead of killing
+// the connection, and the server keeps serving.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				id := s.reportPanic(v, debug.Stack())
+				if sw.status == 0 {
+					s.writeError(sw, http.StatusInternalServerError, incidentErr(id))
+				}
+			}
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.reqTotal.With(endpoint, strconv.Itoa(status)).Inc()
+		}()
 		h(sw, r)
-		status := sw.status
-		if status == 0 {
-			status = http.StatusOK
-		}
-		s.reqTotal.With(endpoint, strconv.Itoa(status)).Inc()
 	}
+}
+
+// reportPanic logs a recovered panic with its stack under a short random
+// incident id — the correlation token the client gets instead of the stack
+// — and counts it on hcserve_panics_total.
+func (s *Server) reportPanic(v any, stack []byte) string {
+	id := incidentID()
+	s.panicsTotal.Inc()
+	log.Printf("hcserve: panic incident %s: %v\n%s", id, v, stack)
+	return id
+}
+
+func incidentID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// incidentErr is the client-facing form of a recovered panic: no internal
+// detail, just the token to grep server logs for.
+func incidentErr(id string) error {
+	return fmt.Errorf("hierclust: internal error; incident %s", id)
 }
 
 // errorDoc is the JSON error envelope.
@@ -310,6 +412,9 @@ func decodeScenario(body []byte) (*hierclust.Scenario, int, error) {
 // level that answered ("hit", "trace-hit", or "miss"), or a non-zero HTTP
 // status with the error.
 func (s *Server) evaluate(r *http.Request, sc *hierclust.Scenario) (doc []byte, cacheState string, status int, err error) {
+	if err := faultinject.Hit("serve.evaluate"); err != nil {
+		return nil, "", http.StatusInternalServerError, err
+	}
 	key, err := sc.CacheKey()
 	if err != nil {
 		return nil, "", http.StatusBadRequest, err
@@ -337,7 +442,16 @@ func (s *Server) evaluate(r *http.Request, sc *hierclust.Scenario) (doc []byte, 
 	}
 	defer release()
 
-	ctx, info := hierclust.WithTraceInfo(r.Context())
+	// The deadline starts here, after admission: time spent queued for a
+	// slot is the limiter's business, not the evaluation's.
+	runCtx := r.Context()
+	cancel := func() {}
+	if s.evalTimeout > 0 {
+		runCtx, cancel = context.WithTimeout(runCtx, s.evalTimeout)
+	}
+	defer cancel()
+
+	ctx, info := hierclust.WithTraceInfo(runCtx)
 	start := time.Now()
 	res, err := s.pipeline.Run(ctx, sc)
 	switch info.Cache {
@@ -347,11 +461,23 @@ func (s *Server) evaluate(r *http.Request, sc *hierclust.Scenario) (doc []byte, 
 		s.cacheMisses.With("trace").Inc()
 	}
 	if err != nil {
-		// A cancelled client is not a server error; everything else from
-		// the pipeline is a scenario problem (the inputs were already
-		// validated, so machine-building failures are bad parameters).
-		if r.Context().Err() != nil {
+		// Rank the failure: a recovered pipeline panic is a server bug
+		// (500 + incident id); a cancelled client is not a server error
+		// (499); a deadline the *server* imposed is a timeout (504);
+		// everything else from the pipeline is a scenario problem (the
+		// inputs were already validated, so machine-building failures are
+		// bad parameters — 422).
+		var pe *hierclust.PanicError
+		switch {
+		case errors.As(err, &pe):
+			id := s.reportPanic(pe.Value, pe.Stack)
+			return nil, "", http.StatusInternalServerError, incidentErr(id)
+		case r.Context().Err() != nil:
 			return nil, "", statusClientClosed, r.Context().Err()
+		case runCtx.Err() != nil:
+			s.timeoutsTotal.Inc()
+			return nil, "", http.StatusGatewayTimeout,
+				fmt.Errorf("hierclust: evaluation exceeded the server's %s deadline", s.evalTimeout)
 		}
 		return nil, "", http.StatusUnprocessableEntity, err
 	}
@@ -431,13 +557,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.reg.WritePrometheus(w)
 }
 
+// healthDoc is the GET /healthz body. Status is "ok", "degraded" (the
+// trace cache fell back to memory-only; results are still correct and
+// bit-identical, the disk needs attention), or "draining" (shutdown in
+// progress; stop routing here).
+type healthDoc struct {
+	Status       string          `json:"status"`
+	CacheEntries int             `json:"cache_entries"`
+	CacheHits    int64           `json:"cache_hits"`
+	CacheMisses  int64           `json:"cache_misses"`
+	TraceCache   *traceHealthDoc `json:"trace_cache,omitempty"`
+}
+
+type traceHealthDoc struct {
+	Degraded    bool  `json:"degraded"`
+	Entries     int   `json:"entries"`
+	MemEntries  int   `json:"mem_entries"`
+	ReadErrors  int64 `json:"read_errors"`
+	WriteErrors int64 `json:"write_errors"`
+	Quarantined int64 `json:"quarantined"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.CacheStats()
-	status := "ok"
+	doc := healthDoc{Status: "ok", CacheEntries: size, CacheHits: hits, CacheMisses: misses}
+	if tc := s.traceCache; tc != nil {
+		st := tc.Stats()
+		doc.TraceCache = &traceHealthDoc{
+			Degraded:    st.Degraded,
+			Entries:     st.Entries,
+			MemEntries:  st.MemEntries,
+			ReadErrors:  st.ReadErrors,
+			WriteErrors: st.WriteErrors,
+			Quarantined: st.Quarantined,
+		}
+		if st.Degraded {
+			doc.Status = "degraded"
+		}
+	}
 	if s.draining.Load() {
-		status = "draining"
+		doc.Status = "draining"
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":%q,\"cache_entries\":%d,\"cache_hits\":%d,\"cache_misses\":%d}\n",
-		status, size, hits, misses)
+	_ = json.NewEncoder(w).Encode(doc)
 }

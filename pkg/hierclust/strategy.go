@@ -1,6 +1,7 @@
 package hierclust
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,6 +19,17 @@ type Strategy interface {
 	Name() string
 	// Build constructs the clustering for the given trace and placement.
 	Build(m Comm, p *Placement) (*Clustering, error)
+}
+
+// CtxStrategy is an optional extension of Strategy for builds long enough
+// to need cancellation: when a strategy implements it, the pipeline calls
+// BuildCtx instead of Build, and a cancelled context must make the build
+// return promptly (the built-in hierarchical strategy polls it between
+// partitioner phases). A build that ignores the context is merely slower
+// to cancel, never incorrect.
+type CtxStrategy interface {
+	Strategy
+	BuildCtx(ctx context.Context, m Comm, p *Placement) (*Clustering, error)
 }
 
 // StrategySpec declaratively selects and parameterizes a strategy inside a
@@ -147,8 +159,24 @@ type hierStrategy struct {
 func (s *hierStrategy) Name() string { return s.name }
 
 func (s *hierStrategy) Build(m Comm, p *Placement) (*Clustering, error) {
-	c, err := core.Hierarchical(m, p, s.opts)
+	return s.BuildCtx(context.Background(), m, p)
+}
+
+// BuildCtx implements CtxStrategy: the partitioner polls the context
+// between coarsening levels and refinement passes, so cancelling mid-build
+// on a large machine returns within one phase instead of after the full
+// partition. The clustering of an uncancelled build is identical to
+// Build's.
+func (s *hierStrategy) BuildCtx(ctx context.Context, m Comm, p *Placement) (*Clustering, error) {
+	opts := s.opts
+	if ctx.Done() != nil {
+		opts.Cancel = func() bool { return ctx.Err() != nil }
+	}
+	c, err := core.Hierarchical(m, p, opts)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	c.Name = s.name // distinguish non-default variants in results

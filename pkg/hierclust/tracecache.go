@@ -12,7 +12,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hierclust/internal/faultinject"
 	"hierclust/internal/trace"
 	"hierclust/internal/tsunami"
 )
@@ -98,6 +100,23 @@ type TraceCacheStats struct {
 	// Bytes is the stored size where the backend tracks one (disk);
 	// 0 for the in-memory cache.
 	Bytes int64
+
+	// The remaining fields describe DiskTraceCache health; they stay zero
+	// for the in-memory cache.
+
+	// ReadErrors and WriteErrors count failed disk operation *attempts*
+	// (each retry of a transiently failing op counts), the counters
+	// hcserve exposes on /metrics for alerting.
+	ReadErrors, WriteErrors int64
+	// Quarantined counts corrupt cache files renamed to .bad instead of
+	// deleted, preserved for post-mortem inspection.
+	Quarantined int64
+	// Degraded reports memory-only fallback mode: the disk failed
+	// repeatedly and the cache serves from its bounded memory LRU until a
+	// probe write succeeds.
+	Degraded bool
+	// MemEntries is the entry count of the degraded-mode memory fallback.
+	MemEntries int
 }
 
 // MemoryTraceCache is a fixed-capacity in-memory LRU TraceCache. Traces
@@ -176,6 +195,20 @@ func (c *MemoryTraceCache) Stats() TraceCacheStats {
 // byte budget. It survives process restarts — NewDiskTraceCache re-indexes
 // whatever an earlier server left behind — which is what makes a fleet of
 // hcserve replicas sharing a volume skip each other's application runs.
+//
+// The cache is engineered to degrade, not fail, when its disk does:
+//
+//   - Transient IO errors are retried with capped backoff; every failed
+//     attempt is counted (Stats.ReadErrors/WriteErrors) so /metrics can
+//     alarm before users notice.
+//   - Corrupt files (decode failures) are quarantined — renamed to .bad,
+//     preserving the bytes for post-mortem — and reported as misses.
+//   - After degradeAfter consecutive failed attempts the cache enters
+//     memory-only degraded mode: disk is left alone, a bounded in-memory
+//     LRU keeps serving the hottest traces (results stay bit-identical —
+//     the fallback holds the same immutable Comm values), and a probe
+//     write every probeEvery retries the disk and clears the mode when it
+//     succeeds. Stats.Degraded surfaces the mode in /healthz.
 type DiskTraceCache struct {
 	mu       sync.Mutex
 	dir      string
@@ -185,6 +218,16 @@ type DiskTraceCache struct {
 	byK      map[string]*list.Element
 	hits     atomic.Int64
 	miss     atomic.Int64
+
+	degradeAfter int           // consecutive failed attempts before memory-only
+	probeEvery   time.Duration // how often a degraded cache re-tries the disk
+	consecFails  atomic.Int32
+	degraded     atomic.Bool
+	degradedAt   atomic.Int64 // unix nanos; advanced when a probe is claimed
+	readErrs     atomic.Int64
+	writeErrs    atomic.Int64
+	quarantined  atomic.Int64
+	mem          *MemoryTraceCache // degraded-mode fallback
 }
 
 type diskTraceEntry struct {
@@ -192,19 +235,74 @@ type diskTraceEntry struct {
 	size int64
 }
 
-const diskTraceExt = ".hctr"
+const (
+	diskTraceExt  = ".hctr"
+	quarantineExt = ".bad" // appended to the cache filename, so .hctr.bad
+
+	// Transient-IO retry policy: attempts per operation, with doubling
+	// backoff capped well below any request deadline.
+	diskOpAttempts      = 3
+	diskRetryBackoff    = 2 * time.Millisecond
+	diskRetryBackoffMax = 8 * time.Millisecond
+
+	// defaultDegradeAfter failed attempts in a row flip to memory-only:
+	// one fully retried-out operation is enough — a disk that ate all its
+	// retries is not worth blocking requests on.
+	defaultDegradeAfter = diskOpAttempts
+	defaultProbeEvery   = 30 * time.Second
+
+	// memFallbackCap bounds the degraded-mode LRU; traces are shared by
+	// reference so this caps entry count, not bytes.
+	memFallbackCap = 32
+)
+
+// DiskTraceCacheOption tunes NewDiskTraceCache.
+type DiskTraceCacheOption func(*DiskTraceCache)
+
+// WithDegradeAfter sets how many consecutive failed disk-operation
+// attempts flip the cache into memory-only degraded mode; n <= 0 keeps
+// the default (one fully retried-out operation).
+func WithDegradeAfter(n int) DiskTraceCacheOption {
+	return func(c *DiskTraceCache) {
+		if n > 0 {
+			c.degradeAfter = n
+		}
+	}
+}
+
+// WithDegradedProbe sets how often a degraded cache lets one Put through
+// to the disk to test for recovery; d <= 0 keeps the default (30s).
+func WithDegradedProbe(d time.Duration) DiskTraceCacheOption {
+	return func(c *DiskTraceCache) {
+		if d > 0 {
+			c.probeEvery = d
+		}
+	}
+}
 
 // NewDiskTraceCache opens (creating if needed) a disk trace cache rooted
 // at dir, bounded to maxBytes of stored traces (<= 0 means 256 MiB).
-// Existing cache files are indexed oldest-first by modification time.
-func NewDiskTraceCache(dir string, maxBytes int64) (*DiskTraceCache, error) {
+// Existing cache files are indexed oldest-first by modification time;
+// quarantined .bad files are ignored.
+func NewDiskTraceCache(dir string, maxBytes int64, opts ...DiskTraceCacheOption) (*DiskTraceCache, error) {
 	if maxBytes <= 0 {
 		maxBytes = 256 << 20
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("hierclust: trace cache dir: %w", err)
 	}
-	c := &DiskTraceCache{dir: dir, maxBytes: maxBytes, ll: list.New(), byK: map[string]*list.Element{}}
+	c := &DiskTraceCache{
+		dir:          dir,
+		maxBytes:     maxBytes,
+		ll:           list.New(),
+		byK:          map[string]*list.Element{},
+		degradeAfter: defaultDegradeAfter,
+		probeEvery:   defaultProbeEvery,
+		mem:          NewMemoryTraceCache(memFallbackCap),
+	}
+	for _, o := range opts {
+		o(c)
+	}
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -246,43 +344,149 @@ func (c *DiskTraceCache) path(stem string) string {
 	return filepath.Join(c.dir, stem+diskTraceExt)
 }
 
+// permanentErr marks a disk error retrying cannot fix — a decode failure
+// (the bytes are wrong, not the IO). retryDisk returns it immediately.
+type permanentErr struct{ error }
+
+func (e permanentErr) Unwrap() error { return e.error }
+
+// isPermanentDiskErr reports errors retryDisk should not retry and the
+// degradation trigger should not count: corruption (permanentErr) and
+// vanished files (concurrent cleanup) are content/index problems, not
+// disk-health problems.
+func isPermanentDiskErr(err error) bool {
+	if _, ok := err.(permanentErr); ok {
+		return true
+	}
+	return os.IsNotExist(err)
+}
+
+// retryDisk runs op with capped-backoff retries, charging every failed
+// transient attempt to errs and to the consecutive-failure degradation
+// trigger. Permanent failures return immediately, uncharged.
+func (c *DiskTraceCache) retryDisk(errs *atomic.Int64, op func() error) error {
+	backoff := diskRetryBackoff
+	var err error
+	for attempt := 0; attempt < diskOpAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff < diskRetryBackoffMax {
+				backoff *= 2
+			}
+		}
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if isPermanentDiskErr(err) {
+			return err
+		}
+		errs.Add(1)
+		c.noteFailure()
+	}
+	return err
+}
+
+// noteFailure records one failed disk attempt; degradeAfter of them in a
+// row (no intervening success) flip the cache to memory-only.
+func (c *DiskTraceCache) noteFailure() {
+	if int(c.consecFails.Add(1)) >= c.degradeAfter && !c.degraded.Swap(true) {
+		c.degradedAt.Store(time.Now().UnixNano())
+	}
+}
+
+// noteSuccess records a successful disk operation, resetting the failure
+// streak and leaving degraded mode (a disk success while degraded can only
+// come from a recovery probe).
+func (c *DiskTraceCache) noteSuccess() {
+	c.consecFails.Store(0)
+	c.degraded.Store(false)
+}
+
+// shouldProbe reports whether a degraded cache should let this Put through
+// to the disk as a recovery probe. At most one caller wins per probeEvery
+// window (CAS on the timestamp), so a degraded cache under load does not
+// hammer a dead disk.
+func (c *DiskTraceCache) shouldProbe() bool {
+	at := c.degradedAt.Load()
+	if time.Since(time.Unix(0, at)) < c.probeEvery {
+		return false
+	}
+	return c.degradedAt.CompareAndSwap(at, time.Now().UnixNano())
+}
+
+// memGet consults the memory fallback and settles the hit/miss accounting
+// for a Get the disk could not serve.
+func (c *DiskTraceCache) memGet(key string) (Comm, bool) {
+	if comm, ok := c.mem.Get(key); ok {
+		c.hits.Add(1)
+		return comm, true
+	}
+	c.miss.Add(1)
+	return nil, false
+}
+
 // Get implements TraceCache, deserializing the stored trace into sparse
-// (CSR) form. A file that fails to read — truncated write, concurrent
-// cleanup — is dropped from the index and reported as a miss rather than
-// surfacing an error into the evaluation.
+// (CSR) form. Transient read failures are retried with backoff and fall
+// back to the memory LRU; a corrupt file is quarantined to .bad (bytes
+// preserved for post-mortem) and reported as a miss; in degraded mode the
+// disk is not touched at all.
 func (c *DiskTraceCache) Get(key string) (Comm, bool) {
+	if c.degraded.Load() {
+		return c.memGet(key)
+	}
 	stem := c.hash(key)
 	c.mu.Lock()
 	el, ok := c.byK[stem]
 	if !ok {
 		c.mu.Unlock()
-		c.miss.Add(1)
-		return nil, false
+		// Not on disk — but a Put during an earlier failure window may
+		// have landed the trace in the memory fallback.
+		return c.memGet(key)
 	}
 	c.ll.MoveToFront(el)
 	c.mu.Unlock()
 
-	f, err := os.Open(c.path(stem))
-	if err != nil {
-		c.drop(stem)
-		c.miss.Add(1)
-		return nil, false
+	var csr *trace.CSR
+	err := c.retryDisk(&c.readErrs, func() error {
+		if err := faultinject.Hit("tracecache.disk.read"); err != nil {
+			return err
+		}
+		f, err := os.Open(c.path(stem))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// The bound exists to reject hostile headers; our own cache files
+		// are trusted, so raise it well past any machine this repo models.
+		out, err := trace.ReadCSR(f, trace.ReadOptions{MaxRanks: 1 << 26})
+		if err != nil {
+			return permanentErr{err}
+		}
+		csr = out
+		return nil
+	})
+	switch {
+	case err == nil:
+		c.noteSuccess()
+		c.hits.Add(1)
+		return csr, true
+	case os.IsNotExist(err):
+		// Vanished behind our back (concurrent cleanup): index drift, not
+		// a disk fault.
+		c.dropIndex(stem)
+	case isPermanentDiskErr(err):
+		c.quarantine(stem)
+	default:
+		// Transient IO that survived every retry (already counted). Keep
+		// the index entry — the bytes are probably fine, the IO was not.
 	}
-	defer f.Close()
-	// The bound exists to reject hostile headers; our own cache files are
-	// trusted, so raise it well past any machine this repo models.
-	csr, err := trace.ReadCSR(f, trace.ReadOptions{MaxRanks: 1 << 26})
-	if err != nil {
-		c.drop(stem)
-		c.miss.Add(1)
-		return nil, false
-	}
-	c.hits.Add(1)
-	return csr, true
+	return c.memGet(key)
 }
 
-// drop removes a stem from the index and disk (corrupt or vanished file).
-func (c *DiskTraceCache) drop(stem string) {
+// dropIndex removes a stem from the index only; the caller decides what
+// happens to the file.
+func (c *DiskTraceCache) dropIndex(stem string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byK[stem]; ok {
@@ -290,16 +494,35 @@ func (c *DiskTraceCache) drop(stem string) {
 		c.ll.Remove(el)
 		delete(c.byK, stem)
 	}
-	_ = os.Remove(c.path(stem))
+}
+
+// quarantine moves a corrupt cache file aside as <stem>.hctr.bad instead
+// of deleting it — destroying the only evidence of how a trace got
+// corrupted is how cache bugs stay unfixed. Operators sweep *.bad during
+// hygiene (see docs/OPERATIONS.md).
+func (c *DiskTraceCache) quarantine(stem string) {
+	c.dropIndex(stem)
+	if err := os.Rename(c.path(stem), c.path(stem)+quarantineExt); err != nil {
+		// Cannot preserve it; remove so the stem is rebuildable.
+		_ = os.Remove(c.path(stem))
+	}
+	c.quarantined.Add(1)
 }
 
 // Put implements TraceCache, serializing via the trace's WriteTo (write to
 // a temp file, fsync-free rename into place) and evicting LRU entries
-// until the byte budget holds. Traces that cannot be serialized are
-// declined silently.
+// until the byte budget holds. Transient write failures are retried with
+// backoff; a Put that still fails keeps the trace in the memory fallback
+// so the build is not lost. In degraded mode the disk is skipped entirely
+// except for one recovery probe per probe interval. Traces that cannot be
+// serialized are declined silently.
 func (c *DiskTraceCache) Put(key string, comm Comm) {
 	w, ok := comm.(io.WriterTo)
 	if !ok {
+		return
+	}
+	if c.degraded.Load() && !c.shouldProbe() {
+		c.mem.Put(key, comm)
 		return
 	}
 	stem := c.hash(key)
@@ -310,18 +533,20 @@ func (c *DiskTraceCache) Put(key string, comm Comm) {
 		return // deterministic per key: resident file is already right
 	}
 
-	tmp, err := os.CreateTemp(c.dir, "put-*")
+	var size int64
+	err := c.retryDisk(&c.writeErrs, func() error {
+		var aerr error
+		size, aerr = c.writeAttempt(stem, w)
+		return aerr
+	})
 	if err != nil {
+		// The freshly built trace is too expensive to drop on the floor:
+		// keep it in memory so the next request still skips the
+		// application run, disk or no disk.
+		c.mem.Put(key, comm)
 		return
 	}
-	size, err := w.WriteTo(tmp)
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil || os.Rename(tmp.Name(), c.path(stem)) != nil {
-		_ = os.Remove(tmp.Name())
-		return
-	}
+	c.noteSuccess()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -331,6 +556,38 @@ func (c *DiskTraceCache) Put(key string, comm Comm) {
 	c.byK[stem] = c.ll.PushFront(&diskTraceEntry{key: stem, size: size})
 	c.total += size
 	c.evictLocked()
+}
+
+// writeAttempt is one try at writing a cache file: temp file, serialize,
+// close, rename into place. The write error and the rename error are
+// tracked separately — a rename failure after a clean write is its own
+// fault, not a silent no-op — and the temp file is removed on every
+// failure path.
+func (c *DiskTraceCache) writeAttempt(stem string, w io.WriterTo) (int64, error) {
+	if err := faultinject.Hit("tracecache.disk.write"); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return 0, fmt.Errorf("create temp: %w", err)
+	}
+	size, err := w.WriteTo(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp.Name())
+		return 0, fmt.Errorf("write: %w", err)
+	}
+	if err := faultinject.Hit("tracecache.disk.rename"); err != nil {
+		_ = os.Remove(tmp.Name())
+		return 0, fmt.Errorf("rename: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(stem)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return 0, fmt.Errorf("rename: %w", err)
+	}
+	return size, nil
 }
 
 // evictLocked removes least-recently-used files until total <= maxBytes,
@@ -347,12 +604,23 @@ func (c *DiskTraceCache) evictLocked() {
 	}
 }
 
-// Stats returns lifetime counters, the entry count, and the stored bytes.
+// Stats returns lifetime counters, the entry count, the stored bytes, and
+// the disk-health fields (error counts, quarantines, degraded mode).
 func (c *DiskTraceCache) Stats() TraceCacheStats {
 	c.mu.Lock()
 	n, b := c.ll.Len(), c.total
 	c.mu.Unlock()
-	return TraceCacheStats{Hits: c.hits.Load(), Misses: c.miss.Load(), Entries: n, Bytes: b}
+	return TraceCacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.miss.Load(),
+		Entries:     n,
+		Bytes:       b,
+		ReadErrors:  c.readErrs.Load(),
+		WriteErrors: c.writeErrs.Load(),
+		Quarantined: c.quarantined.Load(),
+		Degraded:    c.degraded.Load(),
+		MemEntries:  c.mem.Stats().Entries,
+	}
 }
 
 // TraceInfo reports, per Run, how the pipeline satisfied the scenario's

@@ -3,7 +3,11 @@
 # and assert a 200 response carrying non-empty evaluations; then exercise
 # POST /v1/evaluate-batch (NDJSON lines in input order, trace-level cache
 # hit for a scenario sharing the quickstart trace) and the GET /metrics
-# scrape. Used by CI and runnable locally: sh scripts/hcserve_smoke.sh
+# scrape. Finally, a chaos drill: restart the server with every trace-cache
+# disk write failing (-fault tracecache.disk.write=error:1.0) and assert it
+# degrades to memory-only — bit-identical evaluations, trace-hit from the
+# fallback, degraded /healthz, error counters on /metrics.
+# Used by CI and runnable locally: sh scripts/hcserve_smoke.sh
 set -eu
 
 ADDR="${HCSERVE_ADDR:-127.0.0.1:18080}"
@@ -83,3 +87,69 @@ for want in \
     fi
 done
 echo "hcserve_smoke: metrics ok"
+
+# Chaos drill: a fresh server with a disk trace cache whose every write
+# fails must keep serving, bit-identically, from its memory fallback.
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+CHAOS_DIR="$(mktemp -d)"
+"$BIN" -addr "$ADDR" -trace-cache-dir "$CHAOS_DIR" \
+    -fault 'tracecache.disk.write=error:1.0' &
+PID=$!
+i=0
+until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "hcserve_smoke: chaos server never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+STATUS="$(printf '%s' "$SCENARIO" | curl -s -o /tmp/hcserve_smoke_chaos.json \
+    -w '%{http_code}' -X POST -d @- "http://$ADDR/v1/evaluate")"
+if [ "$STATUS" != "200" ]; then
+    echo "hcserve_smoke: chaos POST /v1/evaluate returned $STATUS" >&2
+    cat /tmp/hcserve_smoke_chaos.json >&2
+    exit 1
+fi
+if [ "$(jq -S '.evaluations' /tmp/hcserve_smoke_chaos.json)" != \
+     "$(jq -S '.evaluations' /tmp/hcserve_smoke_response.json)" ]; then
+    echo "hcserve_smoke: degraded-mode evaluations differ from the clean run" >&2
+    exit 1
+fi
+
+# A renamed copy shares the trace key: it must be served from the memory
+# fallback without a second application run.
+CACHE_HDR="$(printf '%s' "$SCENARIO" | jq -c '. * {"name": "quickstart-chaos"}' | \
+    curl -s -o /dev/null -D - -X POST -d @- "http://$ADDR/v1/evaluate" | \
+    tr -d '\r' | awk -F': ' 'tolower($1) == "x-hierclust-cache" {print $2}')"
+if [ "$CACHE_HDR" != "trace-hit" ]; then
+    echo "hcserve_smoke: chaos cache header '$CACHE_HDR', want trace-hit" >&2
+    exit 1
+fi
+
+HEALTH="$(curl -sf "http://$ADDR/healthz")"
+if [ "$(printf '%s' "$HEALTH" | jq -r '.status')" != "degraded" ] || \
+   [ "$(printf '%s' "$HEALTH" | jq -r '.trace_cache.degraded')" != "true" ]; then
+    echo "hcserve_smoke: healthz does not report degraded: $HEALTH" >&2
+    exit 1
+fi
+if [ "$(printf '%s' "$HEALTH" | jq -r '.trace_cache.write_errors >= 3')" != "true" ]; then
+    echo "hcserve_smoke: healthz write_errors not counted: $HEALTH" >&2
+    exit 1
+fi
+curl -sf "http://$ADDR/metrics" > /tmp/hcserve_smoke_chaos_metrics.txt
+if ! grep -qxF 'hcserve_trace_cache_degraded 1' /tmp/hcserve_smoke_chaos_metrics.txt; then
+    echo "hcserve_smoke: /metrics missing hcserve_trace_cache_degraded 1" >&2
+    exit 1
+fi
+if ! grep -q '^hcserve_trace_cache_write_errors_total [1-9]' /tmp/hcserve_smoke_chaos_metrics.txt; then
+    echo "hcserve_smoke: /metrics missing trace-cache write errors" >&2
+    exit 1
+fi
+if [ -n "$(ls "$CHAOS_DIR" 2>/dev/null)" ]; then
+    echo "hcserve_smoke: failed writes left files behind: $(ls "$CHAOS_DIR")" >&2
+    exit 1
+fi
+echo "hcserve_smoke: chaos drill ok (degraded, bit-identical, memory-only)"
