@@ -12,6 +12,8 @@
 //	hcrun -exp scaling -maxranks 262144 -multilevel  # 256k ranks / 16k nodes,
 //	                               # multilevel node partitioner
 //	hcrun -list                    # list experiment ids
+//	hcrun -sweep grid.json -server http://localhost:8080  # sweep client:
+//	                               # submit, poll, stream result NDJSON
 //
 // -parallel runs the experiments on a GOMAXPROCS-wide worker pool
 // (override with -workers); results still print in experiment order, so
@@ -34,6 +36,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"hierclust/pkg/hierclust"
 )
@@ -56,8 +59,18 @@ func main() {
 		timings    = flag.Bool("timings", false, "include wall-clock measurement columns (non-deterministic)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after all experiments) to this file")
+		sweepFile  = flag.String("sweep", "", "sweep client mode: submit this sweep JSON document to -server, poll, stream result NDJSON to stdout")
+		server     = flag.String("server", "http://localhost:8080", "hcserve base URL for -sweep")
+		pollEvery  = flag.Duration("poll", 500*time.Millisecond, "status poll interval for -sweep")
 	)
 	flag.Parse()
+
+	if *sweepFile != "" {
+		if err := runSweepClient(*server, *sweepFile, *pollEvery); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range hierclust.Experiments() {

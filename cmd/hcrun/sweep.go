@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// Sweep client mode: `hcrun -sweep grid.json -server http://host:8080`
+// submits the sweep document to an hcserve instance, polls the job to
+// completion (progress on stderr), and streams the result NDJSON — one
+// line per cell, in deterministic cell order — to stdout. The exit code
+// is nonzero if the job does not complete or any cell fails, so the mode
+// composes with shell pipelines:
+//
+//	hcrun -sweep grid.json -server http://localhost:8080 | jq -r '.scenario'
+
+// sweepClientStatus mirrors the fields of hcserve's sweep status document
+// that the client needs; unknown fields are ignored so the client stays
+// compatible as the document grows.
+type sweepClientStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Cells struct {
+		Total  int `json:"total"`
+		Done   int `json:"done"`
+		Failed int `json:"failed"`
+	} `json:"cells"`
+	ResultsURL string `json:"results_url"`
+}
+
+// runSweepClient drives one sweep job end to end. It returns an error for
+// transport problems, a job that ends in any state but "completed", or a
+// stream containing failed cells.
+func runSweepClient(server, sweepPath string, pollEvery time.Duration) error {
+	doc, err := os.ReadFile(sweepPath)
+	if err != nil {
+		return err
+	}
+	server = strings.TrimRight(server, "/")
+
+	resp, err := http.Post(server+"/v1/sweeps", "application/json", strings.NewReader(string(doc)))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: server answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var st sweepClientStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("submit: decoding status: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "hcrun: sweep %s: %d cells\n", st.ID, st.Cells.Total)
+
+	statusURL := server + "/v1/sweeps/" + st.ID
+	for st.State == "running" {
+		time.Sleep(pollEvery)
+		resp, err := http.Get(statusURL)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("poll: server answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("poll: decoding status: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "hcrun: sweep %s: %s, %d/%d cells done\n",
+			st.ID, st.State, st.Cells.Done, st.Cells.Total)
+	}
+	if st.State != "completed" {
+		return fmt.Errorf("sweep %s ended %s (%d/%d cells done, %d failed)",
+			st.ID, st.State, st.Cells.Done, st.Cells.Total, st.Cells.Failed)
+	}
+
+	resp, err = http.Get(statusURL + "/results")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("results: server answered %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	failed := 0
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	for scan.Scan() {
+		var line struct {
+			Status int `json:"status"`
+		}
+		if err := json.Unmarshal(scan.Bytes(), &line); err == nil && line.Status != http.StatusOK {
+			failed++
+		}
+		out.Write(scan.Bytes())
+		out.WriteByte('\n')
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	if err := scan.Err(); err != nil {
+		return fmt.Errorf("results: reading stream: %w", err)
+	}
+	if failed > 0 {
+		return fmt.Errorf("sweep %s: %d cells failed (lines above carry per-cell errors)", st.ID, failed)
+	}
+	return nil
+}

@@ -16,6 +16,7 @@
 //	hcserve -max-concurrent 8 -queue-depth 32 -retry-after 2s
 //	hcserve -eval-timeout 30s          # server-side deadline per evaluation
 //	hcserve -fault 'tracecache.disk.write=error:1.0'   # chaos drills
+//	hcserve -max-sweeps 4 -max-sweep-cells 4096 -client-slot-cap 2
 //
 // Try it:
 //
@@ -60,6 +61,11 @@ func main() {
 		maxBatch     = flag.Int("max-batch", serve.DefaultMaxBatch, "max scenarios per /v1/evaluate-batch request")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace period for in-flight evaluations")
 		evalTimeout  = flag.Duration("eval-timeout", 0, "server-side deadline per evaluation / batch element, measured after admission (0 = none); exceeded = 504")
+
+		clientCap     = flag.Int("client-slot-cap", 0, "max evaluation slots one client (X-Hierclust-Client) may hold at once (0 = max-concurrent-1)")
+		maxSweepCells = flag.Int("max-sweep-cells", serve.DefaultMaxSweepCells, "max cells per /v1/sweeps submission")
+		maxSweeps     = flag.Int("max-sweeps", serve.DefaultMaxConcurrentSweeps, "sweep jobs executing at once")
+		maxSweepJobs  = flag.Int("max-sweep-jobs", serve.DefaultMaxSweepJobs, "finished sweep jobs retained for polling before eviction")
 	)
 	flag.Func("fault", "arm fault injection points, e.g. 'tracecache.disk.write=error:1.0,pipeline.worker=panic:0.01' (repeatable; chaos drills only)",
 		faultinject.ArmSpec)
@@ -93,6 +99,11 @@ func main() {
 		MaxBatchScenarios: *maxBatch,
 		EvalTimeout:       *evalTimeout,
 		TraceCache:        cacheStats,
+
+		ClientSlotCap:       *clientCap,
+		MaxSweepCells:       *maxSweepCells,
+		MaxConcurrentSweeps: *maxSweeps,
+		MaxSweepJobs:        *maxSweepJobs,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

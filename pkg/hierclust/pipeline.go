@@ -174,16 +174,7 @@ func (pl *Pipeline) Run(ctx context.Context, sc *Scenario) (res *Result, err err
 
 	mix := sc.Mix.Mix()
 	baseline := sc.Baseline.Baseline()
-	res = &Result{
-		Scenario:    sc.Name,
-		Machine:     mach.Name,
-		Ranks:       placement.NumRanks(),
-		Nodes:       len(placement.UsedNodes()),
-		TotalBytes:  comm.TotalBytes(),
-		TotalMsgs:   comm.TotalMsgs(),
-		Baseline:    baselineSpec(baseline),
-		Evaluations: make([]StrategyResult, len(sc.Strategies)),
-	}
+	res = resultShell(sc, mach, placement, comm, baseline)
 
 	budget := pl.workers
 	if budget <= 0 {
@@ -252,9 +243,26 @@ func (pl *Pipeline) evalStrategy(ctx context.Context, spec StrategySpec, comm Co
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	st, err := NewStrategy(spec)
+	c, err := buildClustering(ctx, spec, comm, placement)
 	if err != nil {
 		return err
+	}
+	r, err := scoreClustering(ctx, c, spec.Kind, comm, placement, mix, baseline, workers)
+	if err != nil {
+		return err
+	}
+	*out = r
+	return nil
+}
+
+// buildClustering instantiates a strategy spec and builds its clustering —
+// the partition-level unit the sweep executor shares across cells via
+// partitionKey. The built clustering is immutable downstream (scoring only
+// reads it), so one build may be scored concurrently by many cells.
+func buildClustering(ctx context.Context, spec StrategySpec, comm Comm, placement *Placement) (*Clustering, error) {
+	st, err := NewStrategy(spec)
+	if err != nil {
+		return nil, err
 	}
 	var c *Clustering
 	if cs, ok := st.(CtxStrategy); ok {
@@ -264,18 +272,25 @@ func (pl *Pipeline) evalStrategy(ctx context.Context, spec StrategySpec, comm Co
 	}
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			return cerr
+			return nil, cerr
 		}
-		return err
+		return nil, err
 	}
+	return c, nil
+}
+
+// scoreClustering evaluates a built clustering on the four dimensions and
+// renders the result row. Run and RunSweep share it, which is what makes a
+// sweep cell's evaluation rows byte-identical to the single-scenario path.
+func scoreClustering(ctx context.Context, c *Clustering, kind string, comm Comm, placement *Placement, mix Mix, baseline Baseline, workers int) (StrategyResult, error) {
 	e, err := core.EvaluateOpts(c, comm, placement, mix, core.EvalOptions{Workers: workers, Ctx: ctx})
 	if err != nil {
-		return err
+		return StrategyResult{}, err
 	}
 	ok, violations := e.Meets(baseline)
-	*out = StrategyResult{
+	return StrategyResult{
 		Strategy:           c.Name,
-		Kind:               spec.Kind,
+		Kind:               kind,
 		L1Clusters:         c.NumClusters(),
 		Groups:             len(c.Groups),
 		MaxGroupSize:       c.MaxGroupSize(),
@@ -285,8 +300,22 @@ func (pl *Pipeline) evalStrategy(ctx context.Context, spec StrategySpec, comm Co
 		CatastropheProb:    e.CatastropheProb,
 		WithinBaseline:     ok,
 		Violations:         violations,
+	}, nil
+}
+
+// resultShell assembles the shared header of a Result; Run and RunSweep
+// both fill Evaluations afterwards, so the two paths cannot drift.
+func resultShell(sc *Scenario, mach *Machine, placement *Placement, comm Comm, baseline Baseline) *Result {
+	return &Result{
+		Scenario:    sc.Name,
+		Machine:     mach.Name,
+		Ranks:       placement.NumRanks(),
+		Nodes:       len(placement.UsedNodes()),
+		TotalBytes:  comm.TotalBytes(),
+		TotalMsgs:   comm.TotalMsgs(),
+		Baseline:    baselineSpec(baseline),
+		Evaluations: make([]StrategyResult, len(sc.Strategies)),
 	}
-	return nil
 }
 
 // resolveTrace returns the scenario's communication matrix, consulting

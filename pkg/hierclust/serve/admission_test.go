@@ -54,7 +54,7 @@ func TestShedWith429(t *testing.T) {
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 
-	adm, release := s.lim.acquire(context.Background())
+	adm, release := s.lim.acquire(context.Background(), "test-client", false)
 	if adm != admitted {
 		t.Fatal("could not occupy the evaluation slot")
 	}
@@ -98,8 +98,8 @@ func TestShedWith429(t *testing.T) {
 // depth 1, the first waiter queues (and eventually runs) while the second
 // concurrent contender is shed.
 func TestQueueAdmitsUpToDepth(t *testing.T) {
-	lim := newLimiter(1, 1)
-	adm, release := lim.acquire(context.Background())
+	lim := newLimiter(1, 1, 0)
+	adm, release := lim.acquire(context.Background(), "other-client", false)
 	if adm != admitted {
 		t.Fatal("slot not acquired")
 	}
@@ -110,7 +110,7 @@ func TestQueueAdmitsUpToDepth(t *testing.T) {
 	}
 	results := make(chan outcome, 2)
 	go func() {
-		a, rel := lim.acquire(context.Background())
+		a, rel := lim.acquire(context.Background(), "other-client", false)
 		results <- outcome{a, rel}
 	}()
 	// Wait until the first contender is actually queued before racing the
@@ -122,7 +122,7 @@ func TestQueueAdmitsUpToDepth(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	admShed, rel := lim.acquire(context.Background())
+	admShed, rel := lim.acquire(context.Background(), "other-client", false)
 	if admShed != admissionShed || rel != nil {
 		t.Fatalf("second contender admission = %v, want shed", admShed)
 	}
@@ -138,14 +138,14 @@ func TestQueueAdmitsUpToDepth(t *testing.T) {
 // TestQueuedWaiterCancellation: a queued request whose client goes away is
 // released with admissionCancelled, not left in the queue.
 func TestQueuedWaiterCancellation(t *testing.T) {
-	lim := newLimiter(1, 4)
-	_, release := lim.acquire(context.Background())
+	lim := newLimiter(1, 4, 0)
+	_, release := lim.acquire(context.Background(), "other-client", false)
 	defer release()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan admission, 1)
 	go func() {
-		a, _ := lim.acquire(ctx)
+		a, _ := lim.acquire(ctx, "c", false)
 		done <- a
 	}()
 	deadline := time.Now().Add(5 * time.Second)

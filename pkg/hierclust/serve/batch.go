@@ -79,7 +79,7 @@ func (s *Server) handleEvaluateBatch(w http.ResponseWriter, r *http.Request) {
 		idx <- i
 	}
 	close(idx)
-	workers := cap(s.lim.sem)
+	workers := s.lim.capacity()
 	if workers > len(raws) {
 		workers = len(raws)
 	}

@@ -187,7 +187,7 @@ func TestBatchStreamsBeforeCompletion(t *testing.T) {
 	resp.Body.Close()
 
 	// Occupy the only evaluation slot so the second element queues.
-	adm, release := s.lim.acquire(context.Background())
+	adm, release := s.lim.acquire(context.Background(), "batch-test", false)
 	if adm != admitted {
 		t.Fatal("could not occupy the evaluation slot")
 	}

@@ -62,9 +62,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -96,6 +98,24 @@ type Options struct {
 	// shedding begins; 0 picks 2×MaxConcurrent, negative disables
 	// queueing (every contended request sheds).
 	QueueDepth int
+	// ClientSlotCap bounds how many evaluation slots one client (keyed by
+	// the X-Hierclust-Client header, falling back to the remote address)
+	// can hold at once, so a sweep job or an aggressive batch client
+	// cannot starve interactive traffic; 0 picks MaxConcurrent-1 (floored
+	// at 1).
+	ClientSlotCap int
+	// MaxSweepCells bounds the planned cell count of one POST /v1/sweeps
+	// job; 0 picks DefaultMaxSweepCells.
+	MaxSweepCells int
+	// MaxConcurrentSweeps bounds simultaneously executing sweep jobs
+	// (each job's cells then compete for evaluation slots one by one);
+	// 0 picks DefaultMaxConcurrentSweeps.
+	MaxConcurrentSweeps int
+	// MaxSweepJobs bounds retained sweep jobs, finished ones included
+	// (status and results stay queryable until evicted); 0 picks
+	// DefaultMaxSweepJobs. When the store is full and every job is still
+	// running, new submissions are rejected with 429.
+	MaxSweepJobs int
 	// RetryAfter is the advisory backoff returned with 429/503
 	// responses; 0 picks 1s. Sub-second values round up to 1s (the
 	// Retry-After header carries whole seconds).
@@ -133,6 +153,18 @@ const DefaultMaxConcurrent = 4
 // when Options leaves MaxBatchScenarios zero.
 const DefaultMaxBatch = 256
 
+// DefaultMaxSweepCells is the per-job planned-cell bound of POST /v1/sweeps
+// when Options leaves MaxSweepCells zero.
+const DefaultMaxSweepCells = 1024
+
+// DefaultMaxConcurrentSweeps is the simultaneous sweep-job bound when
+// Options leaves MaxConcurrentSweeps zero.
+const DefaultMaxConcurrentSweeps = 2
+
+// DefaultMaxSweepJobs is the job-store bound when Options leaves
+// MaxSweepJobs zero.
+const DefaultMaxSweepJobs = 64
+
 // Server is the HTTP evaluation service. It is an http.Handler; mount it
 // directly or under a prefix.
 type Server struct {
@@ -148,18 +180,35 @@ type Server struct {
 	traceCache   TraceCacheStatser
 	draining     atomic.Bool
 
+	maxSweepCells int
+	maxSweeps     int
+	maxSweepJobs  int
+	sweepMu       sync.Mutex
+	sweepJobs     map[string]*sweepJob
+	sweepOrder    []string // insertion order, for bounded-store eviction
+	sweepCtx      context.Context
+	sweepCancel   context.CancelFunc
+	sweepWG       sync.WaitGroup
+
 	hits   atomic.Int64
 	misses atomic.Int64
 
-	reg           *metrics.Registry
-	reqTotal      *metrics.CounterVec
-	cacheHits     *metrics.CounterVec
-	cacheMisses   *metrics.CounterVec
-	evalSeconds   *metrics.HistogramVec
-	shedTotal     *metrics.Counter
-	batchTotal    *metrics.Counter
-	panicsTotal   *metrics.Counter
-	timeoutsTotal *metrics.Counter
+	reg             *metrics.Registry
+	reqTotal        *metrics.CounterVec
+	cacheHits       *metrics.CounterVec
+	cacheMisses     *metrics.CounterVec
+	evalSeconds     *metrics.HistogramVec
+	shedTotal       *metrics.Counter
+	batchTotal      *metrics.Counter
+	panicsTotal     *metrics.Counter
+	timeoutsTotal   *metrics.Counter
+	sweepJobsTotal  *metrics.Counter
+	sweepCellsTotal *metrics.Counter
+	sweepCellsDone  *metrics.Counter
+	sweepCellHits   *metrics.Counter
+	sweepCellsFail  *metrics.Counter
+	sweepBuilds     *metrics.Counter
+	sweepRefs       *metrics.Counter
 }
 
 // New builds the service.
@@ -195,6 +244,18 @@ func New(opts Options) *Server {
 	case queue < 0:
 		queue = 0
 	}
+	maxSweepCells := opts.MaxSweepCells
+	if maxSweepCells <= 0 {
+		maxSweepCells = DefaultMaxSweepCells
+	}
+	maxSweeps := opts.MaxConcurrentSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = DefaultMaxConcurrentSweeps
+	}
+	maxSweepJobs := opts.MaxSweepJobs
+	if maxSweepJobs <= 0 {
+		maxSweepJobs = DefaultMaxSweepJobs
+	}
 	retry := opts.RetryAfter
 	if retry <= 0 {
 		retry = time.Second
@@ -208,18 +269,25 @@ func New(opts Options) *Server {
 		reg = metrics.NewRegistry()
 	}
 
+	sweepCtx, sweepCancel := context.WithCancel(context.Background())
 	s := &Server{
-		mux:          http.NewServeMux(),
-		pipeline:     pl,
-		cache:        newLRU(size),
-		lim:          newLimiter(maxConc, queue),
-		maxBody:      maxBody,
-		maxBatchBody: maxBatchBody,
-		maxBatch:     maxBatch,
-		retryAfter:   strconv.Itoa(retrySec),
-		evalTimeout:  opts.EvalTimeout,
-		traceCache:   opts.TraceCache,
-		reg:          reg,
+		mux:           http.NewServeMux(),
+		pipeline:      pl,
+		cache:         newLRU(size),
+		lim:           newLimiter(maxConc, queue, opts.ClientSlotCap),
+		maxBody:       maxBody,
+		maxBatchBody:  maxBatchBody,
+		maxBatch:      maxBatch,
+		maxSweepCells: maxSweepCells,
+		maxSweeps:     maxSweeps,
+		maxSweepJobs:  maxSweepJobs,
+		sweepJobs:     map[string]*sweepJob{},
+		sweepCtx:      sweepCtx,
+		sweepCancel:   sweepCancel,
+		retryAfter:    strconv.Itoa(retrySec),
+		evalTimeout:   opts.EvalTimeout,
+		traceCache:    opts.TraceCache,
+		reg:           reg,
 	}
 	s.reqTotal = reg.CounterVec("hcserve_requests_total",
 		"HTTP requests served, by endpoint and status code.", "endpoint", "status")
@@ -237,13 +305,36 @@ func New(opts Options) *Server {
 		"Evaluations currently holding an execution slot.",
 		func() float64 { return float64(s.lim.running()) })
 	reg.GaugeFunc("hcserve_queued_evaluations",
-		"Evaluations waiting for an execution slot.",
+		"Interactive evaluations waiting for an execution slot.",
 		func() float64 { return float64(s.lim.queued()) })
+	reg.GaugeFunc("hcserve_queued_background",
+		"Background (sweep-cell) evaluations waiting for an execution slot.",
+		func() float64 { return float64(s.lim.queuedBackground()) })
+	reg.GaugeFunc("hcserve_evaluation_slots",
+		"Configured evaluation-slot capacity (MaxConcurrent).",
+		func() float64 { return float64(s.lim.capacity()) })
 	reg.GaugeFunc("hcserve_result_cache_entries",
 		"Entries resident in the scenario-result LRU.",
 		func() float64 { return float64(s.cache.Len()) })
 	s.panicsTotal = reg.Counter("hcserve_panics_total",
 		"Panics recovered at an isolation boundary (request handler, pipeline worker, batch element).")
+	s.sweepJobsTotal = reg.Counter("hcserve_sweep_jobs_total",
+		"Sweep jobs accepted by POST /v1/sweeps.")
+	s.sweepCellsTotal = reg.Counter("hcserve_sweep_cells_total",
+		"Cells planned across accepted sweep jobs.")
+	s.sweepCellsDone = reg.Counter("hcserve_sweep_cells_completed_total",
+		"Sweep cells evaluated to completion (cache hits excluded).")
+	s.sweepCellHits = reg.Counter("hcserve_sweep_cell_cache_hits_total",
+		"Sweep cells served from the result cache without evaluation.")
+	s.sweepCellsFail = reg.Counter("hcserve_sweep_cells_failed_total",
+		"Sweep cells that failed (including cancellation).")
+	s.sweepBuilds = reg.Counter("hcserve_sweep_node_builds_total",
+		"Distinct shared-node builds (traces + partitions) planned across accepted sweeps; builds/refs is the dedup ratio's complement.")
+	s.sweepRefs = reg.Counter("hcserve_sweep_node_refs_total",
+		"Per-cell shared-node references (traces + partitions) planned across accepted sweeps.")
+	reg.GaugeFunc("hcserve_sweeps_running",
+		"Sweep jobs currently executing.",
+		func() float64 { return float64(s.runningSweeps()) })
 	s.timeoutsTotal = reg.Counter("hcserve_eval_timeouts_total",
 		"Evaluations cut off by the server-side deadline and answered 504.")
 	if tc := s.traceCache; tc != nil {
@@ -271,6 +362,10 @@ func New(opts Options) *Server {
 
 	s.mux.HandleFunc("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("POST /v1/evaluate-batch", s.instrument("evaluate-batch", s.handleEvaluateBatch))
+	s.mux.HandleFunc("POST /v1/sweeps", s.instrument("sweeps", s.handleSweepSubmit))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.instrument("sweep-status", s.handleSweepStatus))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.instrument("sweep-results", s.handleSweepResults))
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.instrument("sweep-delete", s.handleSweepDelete))
 	s.mux.HandleFunc("GET /v1/scenarios", s.instrument("scenarios", s.handleScenarios))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -286,13 +381,18 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Drain puts the server into shutdown mode: queued evaluations are
 // released with 503, new expensive work is rejected with 503 + Retry-After,
-// and cheap reads (cache hits, scenario listings, metrics, health) keep
+// running sweep jobs are cancelled (their completed cells are already in
+// the result cache, so a resubmit elsewhere resumes), and cheap reads
+// (cache hits, scenario listings, metrics, health, sweep status) keep
 // answering so load balancers and scrapers see the drain happen. Call it
 // before http.Server.Shutdown, which then waits for the already-running
-// evaluations to finish.
+// evaluations to finish; Drain itself waits for sweep-job goroutines to
+// stop.
 func (s *Server) Drain() {
 	s.draining.Store(true)
 	s.lim.drain()
+	s.sweepCancel()
+	s.sweepWG.Wait()
 }
 
 // CacheStats returns the lifetime result-cache hit/miss counters and
@@ -391,6 +491,20 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 // away mid-evaluation (nginx's convention).
 const statusClientClosed = 499
 
+// clientKey identifies the client for per-client admission accounting:
+// the X-Hierclust-Client header when present (the cooperative path —
+// fleets and CI runners set it), otherwise the remote host.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Hierclust-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
 // decodeScenario parses and policy-checks one scenario document, mapping
 // failures to an HTTP status.
 func decodeScenario(body []byte) (*hierclust.Scenario, int, error) {
@@ -427,7 +541,7 @@ func (s *Server) evaluate(r *http.Request, sc *hierclust.Scenario) (doc []byte, 
 	s.misses.Add(1)
 	s.cacheMisses.With("result").Inc()
 
-	adm, release := s.lim.acquire(r.Context())
+	adm, release := s.lim.acquire(r.Context(), clientKey(r), false)
 	switch adm {
 	case admissionShed:
 		s.shedTotal.Inc()

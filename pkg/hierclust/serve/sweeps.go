@@ -1,0 +1,494 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hierclust/pkg/hierclust"
+)
+
+// Sweeps run as asynchronous jobs: POST /v1/sweeps validates and *plans*
+// the sweep synchronously (so over-bound or malformed grids fail fast with
+// a request-scoped error), then answers 202 with a job id while the cells
+// execute in the background. GET /v1/sweeps/{id} reports progress,
+// GET /v1/sweeps/{id}/results streams one NDJSON line per cell in
+// deterministic plan order as each completes, and DELETE cancels a running
+// job (or forgets a finished one). Cells acquire evaluation slots through
+// the shared admission limiter in the background tier, so a sweep soaks up
+// idle capacity without starving interactive traffic, and completed cells
+// land in the same result LRU that serves POST /v1/evaluate — which is
+// both the cross-warming path and the resume mechanism: resubmitting an
+// interrupted sweep re-evaluates only the cells the cache doesn't hold.
+
+// SweepCellLine is one NDJSON line of a GET /v1/sweeps/{id}/results
+// response. The line shape mirrors BatchLine; Result for a 200 cell is
+// byte-identical to the compact document POST /v1/evaluate caches for the
+// same scenario.
+type SweepCellLine struct {
+	// Index is the cell's position in plan (expansion) order.
+	Index int `json:"index"`
+	// Scenario is the expanded cell scenario's name.
+	Scenario string `json:"scenario"`
+	// Status is the HTTP status the cell would have received from
+	// POST /v1/evaluate (200, 422, 499 job cancelled, 500 recovered
+	// panic, 503 drained, 504 deadline).
+	Status int `json:"status"`
+	// Cache is "hit", "trace-hit", or "miss" for a 200 cell.
+	Cache string `json:"cache,omitempty"`
+	// Result is the evaluation document for Status 200.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the failure message for non-200 statuses.
+	Error string `json:"error,omitempty"`
+}
+
+// sweepStatusDoc is the GET /v1/sweeps/{id} (and POST /v1/sweeps) body.
+type sweepStatusDoc struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"` // "running", "completed", "failed", "cancelled"
+	Cells struct {
+		Total     int `json:"total"`
+		Done      int `json:"done"`
+		Completed int `json:"completed"`
+		Cached    int `json:"cached"`
+		Failed    int `json:"failed"`
+	} `json:"cells"`
+	Plan struct {
+		TraceBuilds     int     `json:"trace_builds"`
+		TraceRefs       int     `json:"trace_refs"`
+		PartitionBuilds int     `json:"partition_builds"`
+		PartitionRefs   int     `json:"partition_refs"`
+		DedupRatio      float64 `json:"dedup_ratio"`
+	} `json:"plan"`
+	ResultsURL string `json:"results_url"`
+}
+
+// sweepJob is one submitted sweep and its execution state.
+type sweepJob struct {
+	id     string
+	name   string
+	client string
+	plan   *hierclust.SweepPlan
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	lines    []SweepCellLine
+	lineDone []chan struct{}
+	closed   []bool
+	done     int
+	cached   int
+	failed   int
+}
+
+func newSweepJob(id string, plan *hierclust.SweepPlan, client string, cancel context.CancelFunc) *sweepJob {
+	j := &sweepJob{
+		id:       id,
+		name:     plan.Sweep.Name,
+		client:   client,
+		plan:     plan,
+		cancel:   cancel,
+		state:    "running",
+		lines:    make([]SweepCellLine, len(plan.Cells)),
+		lineDone: make([]chan struct{}, len(plan.Cells)),
+		closed:   make([]bool, len(plan.Cells)),
+	}
+	for i := range j.lineDone {
+		j.lineDone[i] = make(chan struct{})
+	}
+	return j
+}
+
+// setLine records a finished cell's line and releases its streamers.
+func (j *sweepJob) setLine(i int, line SweepCellLine) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed[i] {
+		return
+	}
+	j.lines[i] = line
+	j.closed[i] = true
+	j.done++
+	switch {
+	case line.Status != http.StatusOK:
+		j.failed++
+	case line.Cache == "hit":
+		j.cached++
+	}
+	close(j.lineDone[i])
+}
+
+// finish marks the job's terminal state and fills any cell line the
+// executor never delivered (cells undispatched at cancellation), so every
+// results stream terminates.
+func (j *sweepJob) finish(state string, fillStatus int, fillErr string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	for i := range j.lines {
+		if j.closed[i] {
+			continue
+		}
+		j.lines[i] = SweepCellLine{
+			Index:    i,
+			Scenario: j.plan.Cells[i].Scenario.Name,
+			Status:   fillStatus,
+			Error:    fillErr,
+		}
+		j.closed[i] = true
+		j.done++
+		j.failed++
+		close(j.lineDone[i])
+	}
+}
+
+func (j *sweepJob) statusDoc() *sweepStatusDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	doc := &sweepStatusDoc{ID: j.id, Name: j.name, State: j.state}
+	doc.Cells.Total = len(j.lines)
+	doc.Cells.Done = j.done
+	doc.Cells.Cached = j.cached
+	doc.Cells.Failed = j.failed
+	doc.Cells.Completed = j.done - j.cached - j.failed
+	doc.Plan.TraceBuilds = j.plan.TraceBuilds
+	doc.Plan.TraceRefs = j.plan.TraceRefs
+	doc.Plan.PartitionBuilds = j.plan.PartitionBuilds
+	doc.Plan.PartitionRefs = j.plan.PartitionRefs
+	doc.Plan.DedupRatio = j.plan.DedupRatio()
+	doc.ResultsURL = "/v1/sweeps/" + j.id + "/results"
+	return doc
+}
+
+func (j *sweepJob) currentState() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// runningSweeps counts jobs still executing.
+func (s *Server) runningSweeps() int {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	n := 0
+	for _, j := range s.sweepJobs {
+		if j.currentState() == "running" {
+			n++
+		}
+	}
+	return n
+}
+
+// storeSweepJob registers a job, evicting the oldest finished job when the
+// store is full. It fails when every retained job is still running.
+func (s *Server) storeSweepJob(j *sweepJob) error {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	running := 0
+	for _, job := range s.sweepJobs {
+		if job.currentState() == "running" {
+			running++
+		}
+	}
+	if running >= s.maxSweeps {
+		return fmt.Errorf("hierclust: %d sweep jobs already running (bound %d); retry after %ss",
+			running, s.maxSweeps, s.retryAfter)
+	}
+	for len(s.sweepJobs) >= s.maxSweepJobs {
+		evicted := false
+		for i, id := range s.sweepOrder {
+			if s.sweepJobs[id].currentState() != "running" {
+				delete(s.sweepJobs, id)
+				s.sweepOrder = append(s.sweepOrder[:i], s.sweepOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return fmt.Errorf("hierclust: sweep job store full (%d jobs, all running); retry after %ss",
+				len(s.sweepJobs), s.retryAfter)
+		}
+	}
+	s.sweepJobs[j.id] = j
+	s.sweepOrder = append(s.sweepOrder, j.id)
+	return nil
+}
+
+func (s *Server) lookupSweepJob(id string) *sweepJob {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	return s.sweepJobs[id]
+}
+
+func sweepJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.retryAfter)
+		s.writeError(w, http.StatusServiceUnavailable,
+			errors.New("hierclust: server draining; retry against another replica"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBatchBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	sw, err := hierclust.DecodeSweep(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Same policy as decodeScenario: no server-side file paths over HTTP.
+	if sw.Base.Trace.Source == "file" {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("hierclust: trace source \"file\" is not accepted over HTTP; inline a synthetic or tsunami source"))
+		return
+	}
+	if n := sw.CellCount(); n > s.maxSweepCells {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("hierclust: sweep of %d cells exceeds the server's %d-cell bound", n, s.maxSweepCells))
+		return
+	}
+	plan, err := hierclust.PlanSweep(sw)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	id, err := sweepJobID()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	// The job outlives this request: its context descends from the
+	// server's sweep context (cancelled by Drain), not the request's.
+	jobCtx, jobCancel := context.WithCancel(s.sweepCtx)
+	job := newSweepJob(id, plan, clientKey(r), jobCancel)
+	if err := s.storeSweepJob(job); err != nil {
+		jobCancel()
+		w.Header().Set("Retry-After", s.retryAfter)
+		s.writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+
+	s.sweepJobsTotal.Inc()
+	s.sweepCellsTotal.Add(uint64(len(plan.Cells)))
+	s.sweepBuilds.Add(uint64(plan.TraceBuilds + plan.PartitionBuilds))
+	s.sweepRefs.Add(uint64(plan.TraceRefs + plan.PartitionRefs))
+
+	s.sweepWG.Add(1)
+	go s.runSweepJob(jobCtx, job)
+
+	doc := job.statusDoc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/sweeps/"+id)
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// runSweepJob executes one job's plan in the background.
+func (s *Server) runSweepJob(ctx context.Context, job *sweepJob) {
+	defer s.sweepWG.Done()
+	defer job.cancel()
+
+	opts := hierclust.SweepOptions{
+		ResultCache: s.cache,
+		CellTimeout: s.evalTimeout,
+		Acquire: func(ctx context.Context) (func(), error) {
+			adm, release := s.lim.acquire(ctx, job.client, true)
+			switch adm {
+			case admitted:
+				return release, nil
+			case admissionDraining:
+				return nil, errSweepDraining
+			case admissionCancelled:
+				return nil, ctx.Err()
+			}
+			// Background acquires are exempt from shedding; unreachable.
+			return nil, errSweepShed
+		},
+		OnCell: func(res hierclust.SweepCellResult) {
+			job.setLine(res.Index, s.renderSweepCell(ctx, res))
+		},
+	}
+
+	_, err := s.pipeline.RunPlannedSweep(ctx, job.plan, opts)
+	switch {
+	case err == nil:
+		job.finish("completed", 0, "") // no unfilled lines remain
+	case errors.Is(ctx.Err(), context.Canceled) && s.draining.Load():
+		job.finish("cancelled", http.StatusServiceUnavailable,
+			"hierclust: server draining; resubmit to resume from cache")
+	case errors.Is(ctx.Err(), context.Canceled):
+		job.finish("cancelled", statusClientClosed, "hierclust: sweep cancelled")
+	default:
+		job.finish("failed", http.StatusInternalServerError, err.Error())
+	}
+}
+
+var (
+	errSweepDraining = errors.New("hierclust: server draining")
+	errSweepShed     = errors.New("hierclust: admission shed")
+)
+
+// renderSweepCell maps one executor cell result onto its NDJSON line,
+// ranking failures exactly like the single-evaluate endpoint.
+func (s *Server) renderSweepCell(ctx context.Context, res hierclust.SweepCellResult) SweepCellLine {
+	line := SweepCellLine{Index: res.Index, Scenario: res.Scenario}
+	if res.Err == nil {
+		line.Status = http.StatusOK
+		line.Cache = res.Cache
+		line.Result = res.Doc
+		if res.Cache == "hit" {
+			s.hits.Add(1)
+			s.cacheHits.With("result").Inc()
+			s.sweepCellHits.Inc()
+		} else {
+			s.misses.Add(1)
+			s.cacheMisses.With("result").Inc()
+			s.sweepCellsDone.Inc()
+			switch res.Cache {
+			case "trace-hit":
+				s.cacheHits.With("trace").Inc()
+			case "miss":
+				s.cacheMisses.With("trace").Inc()
+			}
+		}
+		return line
+	}
+
+	s.sweepCellsFail.Inc()
+	var pe *hierclust.PanicError
+	switch {
+	case errors.As(res.Err, &pe):
+		id := s.reportPanic(pe.Value, pe.Stack)
+		line.Status = http.StatusInternalServerError
+		line.Error = incidentErr(id).Error()
+	case errors.Is(res.Err, errSweepDraining),
+		ctx.Err() != nil && s.draining.Load():
+		line.Status = http.StatusServiceUnavailable
+		line.Error = "hierclust: server draining; resubmit to resume from cache"
+	case ctx.Err() != nil:
+		line.Status = statusClientClosed
+		line.Error = "hierclust: sweep cancelled"
+	case errors.Is(res.Err, context.DeadlineExceeded):
+		s.timeoutsTotal.Inc()
+		line.Status = http.StatusGatewayTimeout
+		line.Error = fmt.Sprintf("hierclust: cell exceeded the server's %s deadline", s.evalTimeout)
+	default:
+		line.Status = http.StatusUnprocessableEntity
+		line.Error = res.Err.Error()
+	}
+	return line
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupSweepJob(r.PathValue("id"))
+	if job == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("hierclust: unknown sweep job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(job.statusDoc())
+}
+
+func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupSweepJob(r.PathValue("id"))
+	if job == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("hierclust: unknown sweep job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Hierclust-Sweep-Cells", strconv.Itoa(len(job.lines)))
+	w.Header().Set("X-Hierclust-Sweep-Dedup", strconv.FormatFloat(job.plan.DedupRatio(), 'f', 4, 64))
+	w.WriteHeader(http.StatusOK)
+
+	// Stream strictly in plan order as cells land; finish() guarantees
+	// every channel eventually closes, so the stream always terminates.
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := range job.lineDone {
+		select {
+		case <-job.lineDone[i]:
+		case <-r.Context().Done():
+			return
+		}
+		job.mu.Lock()
+		line := job.lines[i]
+		job.mu.Unlock()
+		if err := enc.Encode(&line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleSweepDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job := s.lookupSweepJob(id)
+	if job == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("hierclust: unknown sweep job"))
+		return
+	}
+	if job.currentState() == "running" {
+		// Cancel and report the (now terminating) job; the store keeps it
+		// so the client can still read partial results.
+		job.cancel()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(job.statusDoc())
+		return
+	}
+	s.sweepMu.Lock()
+	delete(s.sweepJobs, id)
+	for i, oid := range s.sweepOrder {
+		if oid == id {
+			s.sweepOrder = append(s.sweepOrder[:i], s.sweepOrder[i+1:]...)
+			break
+		}
+	}
+	s.sweepMu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// waitForSweeps blocks until no job is running — a test hook kept close
+// to the job machinery (leakcheck requires every job goroutine to join).
+func (s *Server) waitForSweeps(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for s.runningSweeps() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
+}

@@ -1,0 +1,317 @@
+package hierclust
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The paper's core result is a comparison — four clustering strategies
+// across machine sizes and failure regimes — so production users ask grid
+// questions ("every strategy × five machine sizes × three failure mixes,
+// ranked by P(catastrophe)"), not point queries. A Sweep makes the grid
+// the unit of work: a base Scenario plus cartesian axes over scenario
+// fields, compiled by PlanSweep into a deduplicated DAG whose shared trace
+// builds and partitions are computed once, and executed by
+// Pipeline.RunSweep with per-cell results byte-identical to evaluating
+// each expanded scenario alone.
+
+// SweepVersion is the sweep schema version this package writes and the
+// newest it understands.
+const SweepVersion = 1
+
+// SweepMaxCells is the absolute expansion bound: a sweep whose axes
+// multiply out to more cells fails validation. Servers typically impose a
+// (much) tighter bound before planning.
+const SweepMaxCells = 1 << 16
+
+// Sweep declares a grid of scenario evaluations: a base scenario plus
+// cartesian axes over scenario fields. Like Scenario, a Sweep encodes to
+// stable JSON (EncodeSweep → DecodeSweep → EncodeSweep is byte-identical)
+// and has a canonical key (SweepKey), so sweeps are data: stored, POSTed
+// to hcserve's /v1/sweeps, and resumed by value.
+type Sweep struct {
+	// Version is the sweep schema version; 0 means SweepVersion.
+	Version int `json:"version,omitempty"`
+	// Name labels the sweep; expanded cell names are derived from the
+	// base scenario's name, not this one.
+	Name string `json:"name"`
+	// Base is the scenario every cell starts from. Axis values override
+	// its fields; fields no axis covers are shared by every cell.
+	Base Scenario `json:"base"`
+	// Axes are the cartesian dimensions. An empty axis leaves the base
+	// field untouched; a sweep with all axes empty has exactly one cell,
+	// the base itself.
+	Axes SweepAxes `json:"axes"`
+}
+
+// SweepAxes are the sweepable scenario dimensions. Cells expand in
+// row-major order with Machines outermost and Traces innermost; see
+// (*Sweep).Cells for the cell-naming scheme.
+type SweepAxes struct {
+	// Machines varies the machine size. Each point sets machine.nodes
+	// and optionally re-sizes the placement with it, so a machine-size
+	// axis can hold rank density constant across sizes.
+	Machines []MachinePoint `json:"machines,omitempty"`
+	// Placements varies the placement policy ("block", "round-robin").
+	Placements []string `json:"placements,omitempty"`
+	// Strategies varies the strategy set: each entry is a complete
+	// replacement for the base scenario's strategies slice.
+	Strategies [][]StrategySpec `json:"strategies,omitempty"`
+	// Mixes varies the failure model: each entry replaces the base
+	// scenario's mix.
+	Mixes []MixSpec `json:"mixes,omitempty"`
+	// Traces varies the trace generation parameters: each point overrides
+	// the non-zero fields of the base trace spec (source is never
+	// overridden).
+	Traces []TracePoint `json:"traces,omitempty"`
+}
+
+// MachinePoint is one machine-size axis value.
+type MachinePoint struct {
+	// Nodes is the allocation size (required, positive).
+	Nodes int `json:"nodes"`
+	// Ranks, when positive, replaces the placement rank count.
+	Ranks int `json:"ranks,omitempty"`
+	// ProcsPerNode, when positive, replaces the placement density.
+	ProcsPerNode int `json:"procs_per_node,omitempty"`
+}
+
+// TracePoint is one trace-parameter axis value: a partial override of the
+// base TraceSpec. Zero fields inherit the base value.
+type TracePoint struct {
+	Iterations  int    `json:"iterations,omitempty"`
+	Pattern     string `json:"pattern,omitempty"`
+	Width       int    `json:"width,omitempty"`
+	BytesPerMsg int64  `json:"bytes_per_msg,omitempty"`
+}
+
+// CellCount returns the number of cells the axes multiply out to, without
+// expanding them.
+func (sw *Sweep) CellCount() int {
+	n := 1
+	for _, axis := range []int{
+		len(sw.Axes.Machines), len(sw.Axes.Placements),
+		len(sw.Axes.Strategies), len(sw.Axes.Mixes), len(sw.Axes.Traces),
+	} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Validate checks the sweep: name, version, axis-value sanity, the
+// expansion bound, and — by expanding — every cell. A sweep is valid
+// exactly when every cell it expands to is a valid Scenario.
+func (sw *Sweep) Validate() error {
+	if sw == nil {
+		return fmt.Errorf("hierclust: nil sweep")
+	}
+	if sw.Version < 0 || sw.Version > SweepVersion {
+		return &SchemaVersionError{Version: sw.Version, Supported: SweepVersion}
+	}
+	if sw.Name == "" {
+		return fmt.Errorf("hierclust: sweep needs a name")
+	}
+	if sw.Base.Name == "" {
+		return fmt.Errorf("hierclust: sweep %q: base scenario needs a name", sw.Name)
+	}
+	for i, m := range sw.Axes.Machines {
+		if m.Nodes <= 0 {
+			return fmt.Errorf("hierclust: sweep %q: machines[%d]: nodes must be positive", sw.Name, i)
+		}
+		if m.Ranks < 0 || m.ProcsPerNode < 0 {
+			return fmt.Errorf("hierclust: sweep %q: machines[%d]: negative ranks or procs_per_node", sw.Name, i)
+		}
+	}
+	for i, set := range sw.Axes.Strategies {
+		if len(set) == 0 {
+			return fmt.Errorf("hierclust: sweep %q: strategies[%d]: empty strategy set", sw.Name, i)
+		}
+	}
+	if n := sw.CellCount(); n > SweepMaxCells {
+		return fmt.Errorf("hierclust: sweep %q: %d cells exceeds the %d-cell bound", sw.Name, n, SweepMaxCells)
+	}
+	// Every cell must be a valid scenario. When the strategies axis is
+	// set the base may omit its own strategy list (the axis replaces it
+	// in every cell), so the base is validated only through its cells.
+	if _, err := sw.cells(true); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Cells expands the sweep into its scenarios, in deterministic row-major
+// axis order: Machines outermost, then Placements, Strategies, Mixes, and
+// Traces innermost. Cell names derive from the base name plus one
+// index-numbered segment per non-empty axis — "base/m0/p1/s0/x2/t0" with
+// m=machines, p=placements, s=strategies, x=mixes, t=traces — so a cell's
+// scenario (and therefore its CacheKey) can be written by hand: a sweep
+// cell and the byte-identical hand-written scenario share one result-cache
+// entry.
+func (sw *Sweep) Cells() ([]*Scenario, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	return sw.cells(false)
+}
+
+// cells performs the expansion; with validate set, every cell is checked
+// and errors carry the cell name.
+func (sw *Sweep) cells(validate bool) ([]*Scenario, error) {
+	// An empty axis contributes the single value "inherit the base".
+	machines := sw.Axes.Machines
+	if len(machines) == 0 {
+		machines = []MachinePoint{{}}
+	}
+	placements := sw.Axes.Placements
+	if len(placements) == 0 {
+		placements = []string{""}
+	}
+	strategies := sw.Axes.Strategies
+	if len(strategies) == 0 {
+		strategies = [][]StrategySpec{nil}
+	}
+	mixes := sw.Axes.Mixes
+	hasMixes := len(mixes) > 0
+	if !hasMixes {
+		mixes = []MixSpec{{}}
+	}
+	traces := sw.Axes.Traces
+	if len(traces) == 0 {
+		traces = []TracePoint{{}}
+	}
+
+	out := make([]*Scenario, 0, sw.CellCount())
+	for mi, m := range machines {
+		for pi, pol := range placements {
+			for si, set := range strategies {
+				for xi, mix := range mixes {
+					for ti, tp := range traces {
+						sc := sw.Base // value copy; slices replaced below, never mutated
+						sc.Version = ScenarioVersion
+						sc.Name = cellName(sw.Base.Name,
+							axisSeg("m", mi, len(sw.Axes.Machines)),
+							axisSeg("p", pi, len(sw.Axes.Placements)),
+							axisSeg("s", si, len(sw.Axes.Strategies)),
+							axisSeg("x", xi, len(sw.Axes.Mixes)),
+							axisSeg("t", ti, len(sw.Axes.Traces)))
+						if m.Nodes > 0 {
+							sc.Machine.Nodes = m.Nodes
+							if m.Ranks > 0 {
+								sc.Placement.Ranks = m.Ranks
+							}
+							if m.ProcsPerNode > 0 {
+								sc.Placement.ProcsPerNode = m.ProcsPerNode
+							}
+						}
+						if pol != "" {
+							sc.Placement.Policy = pol
+						}
+						if set != nil {
+							sc.Strategies = append([]StrategySpec(nil), set...)
+						}
+						if hasMixes {
+							mixCopy := mix
+							mixCopy.NodeLoss = append([]float64(nil), mix.NodeLoss...)
+							sc.Mix = &mixCopy
+						}
+						if tp.Iterations > 0 {
+							sc.Trace.Iterations = tp.Iterations
+						}
+						if tp.Pattern != "" {
+							sc.Trace.Pattern = tp.Pattern
+						}
+						if tp.Width > 0 {
+							sc.Trace.Width = tp.Width
+						}
+						if tp.BytesPerMsg > 0 {
+							sc.Trace.BytesPerMsg = tp.BytesPerMsg
+						}
+						if validate {
+							if err := sc.Validate(); err != nil {
+								return nil, fmt.Errorf("hierclust: sweep %q: cell %q: %w", sw.Name, sc.Name, err)
+							}
+						}
+						out = append(out, &sc)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// axisSeg renders one cell-name segment, or "" for an inactive axis.
+func axisSeg(tag string, idx, axisLen int) string {
+	if axisLen == 0 {
+		return ""
+	}
+	return fmt.Sprintf("/%s%d", tag, idx)
+}
+
+// cellName joins the base name with the active axis segments.
+func cellName(base string, segs ...string) string {
+	name := base
+	for _, s := range segs {
+		name += s
+	}
+	return name
+}
+
+// EncodeSweep renders the sweep as indented JSON with a stable field order
+// and explicit schema versions (the sweep's and the embedded base
+// scenario's). Encoding the result of DecodeSweep reproduces the input
+// byte for byte for any document this function produced.
+func EncodeSweep(sw *Sweep) ([]byte, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	versioned := *sw
+	versioned.Version = SweepVersion
+	versioned.Base.Version = ScenarioVersion
+	b, err := json.MarshalIndent(&versioned, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeSweep parses sweep JSON, rejecting unknown fields anywhere in the
+// document (a typo'd axis name must fail loudly, not silently sweep
+// nothing). Version-less documents are implicit version 1.
+func DecodeSweep(data []byte) (*Sweep, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sw Sweep
+	if err := dec.Decode(&sw); err != nil {
+		return nil, fmt.Errorf("hierclust: decoding sweep: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("hierclust: trailing data after sweep JSON")
+	}
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	sw.Version = SweepVersion
+	sw.Base.Version = ScenarioVersion
+	return &sw, nil
+}
+
+// SweepKey returns the canonical compact encoding that identifies the
+// sweep: two sweeps with equal keys expand to identical cells. Schema
+// versions are normalized into the key, mirroring Scenario.CacheKey.
+func (sw *Sweep) SweepKey() (string, error) {
+	if err := sw.Validate(); err != nil {
+		return "", err
+	}
+	versioned := *sw
+	versioned.Version = SweepVersion
+	versioned.Base.Version = ScenarioVersion
+	b, err := json.Marshal(&versioned)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

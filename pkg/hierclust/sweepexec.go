@@ -1,0 +1,382 @@
+package hierclust
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hierclust/internal/faultinject"
+)
+
+// The sweep executor runs a compiled SweepPlan on a bounded worker pool.
+// Shared DAG nodes (trace builds, clustering builds) are computed inline
+// by whichever cell demands them first — a sync.Once per node — so every
+// shared intermediate is built exactly once per run regardless of worker
+// count or scheduling, and no worker ever blocks waiting for a slot it is
+// itself supposed to fill. Per-cell results are byte-identical to running
+// the expanded scenario through Pipeline.Run (the two paths share
+// resultShell, buildClustering, and scoreClustering), at any worker count.
+//
+// Resumability is the result cache: every completed cell is Put under its
+// Scenario.CacheKey before the executor moves on, so a killed or
+// cancelled sweep that is re-submitted against the same cache completes
+// only the remaining cells — the finished ones come back as "hit" without
+// touching the DAG.
+//
+// Fault point (chaos drills): "sweep.cell" fires at the top of every
+// computed cell (cache hits bypass it), failing that cell alone.
+
+// SweepResultCache caches rendered per-cell result documents by scenario
+// cache key. hcserve's result LRU implements it, which is what makes
+// sweep cells hit — and warm — the same cache as single POST /v1/evaluate
+// requests. Implementations must be safe for concurrent use.
+type SweepResultCache interface {
+	// Get returns the cached compact result document for key.
+	Get(key string) ([]byte, bool)
+	// Put stores a freshly rendered document.
+	Put(key string, doc []byte)
+}
+
+// SweepOptions tunes one RunSweep call.
+type SweepOptions struct {
+	// Workers bounds concurrently executing cells; 0 means the pipeline's
+	// worker budget (GOMAXPROCS when that is unset too). Results are
+	// byte-identical at any worker count.
+	Workers int
+	// ResultCache, when non-nil, is consulted before computing a cell and
+	// filled after — the resume mechanism. Cache hits bypass admission
+	// and the sweep.cell fault point.
+	ResultCache SweepResultCache
+	// Acquire, when non-nil, is called before each computed cell; the
+	// evaluation holds the returned release until the cell finishes.
+	// hcserve wires its admission limiter here so sweep cells compete for
+	// the same evaluation slots as interactive traffic. An Acquire error
+	// fails the cell.
+	Acquire func(ctx context.Context) (release func(), err error)
+	// CellTimeout bounds one cell's evaluation, measured after admission;
+	// 0 means no per-cell deadline. Shared node builds run under the
+	// sweep's context, not the cell's, so one slow cell cannot poison a
+	// shared trace for its siblings.
+	CellTimeout time.Duration
+	// OnCell, when non-nil, is called once per executed cell as it
+	// finishes (any order; cells are identified by Index). It must be
+	// safe for concurrent calls.
+	OnCell func(SweepCellResult)
+}
+
+// SweepCellResult is the outcome of one cell.
+type SweepCellResult struct {
+	// Index is the cell's position in plan (expansion) order.
+	Index int
+	// Scenario is the expanded cell scenario's name.
+	Scenario string
+	// CacheKey is the cell's canonical result-cache key.
+	CacheKey string
+	// Cache reports how the cell was satisfied: "hit" (result cache, no
+	// evaluation), "trace-hit" (evaluated; trace shared or cached), or
+	// "miss" (evaluated; this cell's node performed the trace build).
+	// The label is deterministic: the plan designates the builder cell,
+	// not the scheduler.
+	Cache string
+	// Doc is the compact rendered Result JSON — byte-identical to the
+	// document POST /v1/evaluate caches for the same scenario. nil when
+	// Err is set.
+	Doc []byte
+	// Err is the cell's failure, if any.
+	Err error
+}
+
+// SweepReport is the outcome of a RunSweep call.
+type SweepReport struct {
+	// Plan is the compiled DAG the run executed.
+	Plan *SweepPlan
+	// Cells holds every cell's result, in plan order. Cells never
+	// dispatched (sweep cancelled first) carry the context error.
+	Cells []SweepCellResult
+	// TraceBuilds counts trace-node computations this run performed;
+	// with every cell served from the result cache it is 0, and it never
+	// exceeds Plan.TraceBuilds. PartitionBuilds is the same for
+	// clustering builds.
+	TraceBuilds     int64
+	PartitionBuilds int64
+	// CellsCompleted, CellsFromCache, and CellsFailed partition the
+	// cells: evaluated this run, served from the result cache, and
+	// failed (including cancelled).
+	CellsCompleted int
+	CellsFromCache int
+	CellsFailed    int
+}
+
+// sweepTraceNode is one shared trace build.
+type sweepTraceNode struct {
+	once sync.Once
+	comm Comm
+	err  error
+	info TraceInfo
+}
+
+// get computes the node on first demand (concurrent callers block until
+// the computation finishes) and returns the shared trace.
+func (n *sweepTraceNode) get(ctx context.Context, pl *Pipeline, sc *Scenario, placement *Placement, builds *atomic.Int64) (Comm, error) {
+	n.once.Do(func() {
+		defer recoverAsError(&n.err)
+		builds.Add(1)
+		ictx, info := WithTraceInfo(ctx)
+		n.comm, n.err = pl.resolveTrace(ictx, sc, placement)
+		n.info = *info
+	})
+	return n.comm, n.err
+}
+
+// sweepPartNode is one shared clustering build.
+type sweepPartNode struct {
+	once sync.Once
+	c    *Clustering
+	err  error
+}
+
+func (n *sweepPartNode) get(ctx context.Context, spec StrategySpec, comm Comm, placement *Placement, builds *atomic.Int64) (*Clustering, error) {
+	n.once.Do(func() {
+		defer recoverAsError(&n.err)
+		builds.Add(1)
+		n.c, n.err = buildClustering(ctx, spec, comm, placement)
+	})
+	return n.c, n.err
+}
+
+// RunSweep compiles and executes a sweep. Per-cell failures (a bad cell, a
+// chaos fault, a per-cell timeout) land in that cell's result and the rest
+// of the sweep proceeds; the returned error is non-nil only for a plan
+// failure or sweep-level cancellation — and even then the partial report
+// is returned, so callers can see which cells finished (and were cached)
+// before the cut.
+func (pl *Pipeline) RunSweep(ctx context.Context, sw *Sweep, opts SweepOptions) (*SweepReport, error) {
+	plan, err := PlanSweep(sw)
+	if err != nil {
+		return nil, err
+	}
+	return pl.RunPlannedSweep(ctx, plan, opts)
+}
+
+// RunPlannedSweep executes an already compiled plan (hcserve plans at
+// submission time to bound cell counts before accepting the job).
+func (pl *Pipeline) RunPlannedSweep(ctx context.Context, plan *SweepPlan, opts SweepOptions) (*SweepReport, error) {
+	report := &SweepReport{Plan: plan, Cells: make([]SweepCellResult, len(plan.Cells))}
+
+	numTrace, numPart := 0, 0
+	for i := range plan.Cells {
+		if id := plan.Cells[i].TraceNode; id >= numTrace {
+			numTrace = id + 1
+		}
+		for _, id := range plan.Cells[i].PartNodes {
+			if id >= numPart {
+				numPart = id + 1
+			}
+		}
+	}
+	traceNodes := make([]*sweepTraceNode, numTrace)
+	for i := range traceNodes {
+		traceNodes[i] = &sweepTraceNode{}
+	}
+	partNodes := make([]*sweepPartNode, numPart)
+	for i := range partNodes {
+		partNodes[i] = &sweepPartNode{}
+	}
+
+	budget := pl.workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = budget
+	}
+	if workers > len(plan.Cells) {
+		workers = len(plan.Cells)
+	}
+	// Concurrent cells split the evaluation worker budget, like Run's
+	// concurrent strategies; the split never changes a bit of output.
+	evalWorkers := budget / workers
+	if evalWorkers < 1 {
+		evalWorkers = 1
+	}
+
+	var traceBuilds, partBuilds atomic.Int64
+	var completed, cached, failed atomic.Int64
+	dispatched := make([]bool, len(plan.Cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res := pl.runSweepCell(ctx, &plan.Cells[i], traceNodes, partNodes, &opts, evalWorkers, &traceBuilds, &partBuilds)
+				report.Cells[i] = res
+				switch {
+				case res.Err != nil:
+					failed.Add(1)
+				case res.Cache == "hit":
+					cached.Add(1)
+				default:
+					completed.Add(1)
+				}
+				if opts.OnCell != nil {
+					opts.OnCell(res)
+				}
+			}
+		}()
+	}
+	for i := range plan.Cells {
+		if ctx.Err() != nil {
+			break
+		}
+		dispatched[i] = true
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	report.TraceBuilds = traceBuilds.Load()
+	report.PartitionBuilds = partBuilds.Load()
+	report.CellsCompleted = int(completed.Load())
+	report.CellsFromCache = int(cached.Load())
+	report.CellsFailed = int(failed.Load())
+
+	if err := ctx.Err(); err != nil {
+		for i := range plan.Cells {
+			if !dispatched[i] {
+				report.Cells[i] = SweepCellResult{
+					Index:    i,
+					Scenario: plan.Cells[i].Scenario.Name,
+					CacheKey: plan.Cells[i].CacheKey,
+					Err:      err,
+				}
+				report.CellsFailed++
+			}
+		}
+		return report, err
+	}
+	return report, nil
+}
+
+// runSweepCell executes one cell behind its own panic boundary.
+func (pl *Pipeline) runSweepCell(ctx context.Context, cell *PlannedCell, traceNodes []*sweepTraceNode, partNodes []*sweepPartNode, opts *SweepOptions, evalWorkers int, traceBuilds, partBuilds *atomic.Int64) (res SweepCellResult) {
+	res = SweepCellResult{Index: cell.Index, Scenario: cell.Scenario.Name, CacheKey: cell.CacheKey}
+	defer recoverAsError(&res.Err)
+
+	if opts.ResultCache != nil {
+		if doc, ok := opts.ResultCache.Get(cell.CacheKey); ok {
+			res.Cache, res.Doc = "hit", doc
+			return res
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	if opts.Acquire != nil {
+		release, err := opts.Acquire(ctx)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		defer release()
+	}
+	if err := faultinject.Hit("sweep.cell"); err != nil {
+		res.Err = fmt.Errorf("hierclust: sweep cell %q: %w", cell.Scenario.Name, err)
+		return res
+	}
+
+	// The per-cell deadline covers this cell's own evaluation work;
+	// shared node builds run under the sweep context so a cell's timeout
+	// cannot poison an intermediate its siblings still need.
+	cellCtx := ctx
+	cancel := func() {}
+	if opts.CellTimeout > 0 {
+		cellCtx, cancel = context.WithTimeout(ctx, opts.CellTimeout)
+	}
+	defer cancel()
+
+	sc := cell.Scenario
+	mach, err := sc.machine()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	placement, err := sc.placement(mach)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	var comm Comm
+	if cell.TraceNode >= 0 {
+		node := traceNodes[cell.TraceNode]
+		comm, err = node.get(ctx, pl, sc, placement, traceBuilds)
+		if err == nil {
+			// Deterministic label: the plan-designated builder reports the
+			// underlying build outcome; every sharer reports "trace-hit",
+			// regardless of which worker actually reached the node first.
+			if cell.TraceBuilder && node.info.Cache != "hit" {
+				res.Cache = "miss"
+			} else {
+				res.Cache = "trace-hit"
+			}
+		}
+	} else {
+		traceBuilds.Add(1)
+		ictx, info := WithTraceInfo(cellCtx)
+		comm, err = pl.resolveTrace(ictx, sc, placement)
+		if err == nil {
+			res.Cache = "miss"
+			if info.Cache == "hit" {
+				res.Cache = "trace-hit"
+			}
+		}
+	}
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if comm.Ranks() != placement.NumRanks() {
+		res.Err = fmt.Errorf("hierclust: scenario %q: trace covers %d ranks, placement %d",
+			sc.Name, comm.Ranks(), placement.NumRanks())
+		return res
+	}
+
+	mix := sc.Mix.Mix()
+	baseline := sc.Baseline.Baseline()
+	out := resultShell(sc, mach, placement, comm, baseline)
+	for j, spec := range sc.Strategies {
+		var c *Clustering
+		if id := cell.PartNodes[j]; id >= 0 {
+			c, err = partNodes[id].get(ctx, spec, comm, placement, partBuilds)
+		} else {
+			partBuilds.Add(1)
+			c, err = buildClustering(cellCtx, spec, comm, placement)
+		}
+		if err == nil {
+			out.Evaluations[j], err = scoreClustering(cellCtx, c, spec.Kind, comm, placement, mix, baseline, evalWorkers)
+		}
+		if err != nil {
+			res.Err = fmt.Errorf("hierclust: scenario %q: strategy %q: %w", sc.Name, spec.Kind, err)
+			return res
+		}
+	}
+
+	doc, err := json.Marshal(out)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Doc = doc
+	if opts.ResultCache != nil {
+		opts.ResultCache.Put(cell.CacheKey, doc)
+	}
+	return res
+}

@@ -88,6 +88,63 @@ for want in \
 done
 echo "hcserve_smoke: metrics ok"
 
+# Sweep drill: submit a 2x2 sweep (2 machine sizes x 2 strategy sets),
+# poll the job to completion, and assert the NDJSON stream carries all 4
+# cells in deterministic cell order with a nonzero plan dedup ratio.
+SWEEP='{"name":"smoke-grid","base":{"name":"smoke-grid","machine":{"nodes":16},"placement":{"ranks":64,"procs_per_node":4},"trace":{"source":"synthetic","iterations":10},"strategies":[{"kind":"naive","size":8}]},"axes":{"machines":[{"nodes":16},{"nodes":8,"ranks":32,"procs_per_node":4}],"strategies":[[{"kind":"naive","size":8}],[{"kind":"hierarchical"}]]}}'
+STATUS="$(printf '%s' "$SWEEP" | curl -s -o /tmp/hcserve_smoke_sweep.json \
+    -w '%{http_code}' -X POST -d @- "http://$ADDR/v1/sweeps")"
+if [ "$STATUS" != "202" ]; then
+    echo "hcserve_smoke: POST /v1/sweeps returned $STATUS" >&2
+    cat /tmp/hcserve_smoke_sweep.json >&2
+    exit 1
+fi
+SWEEP_ID="$(jq -r '.id' /tmp/hcserve_smoke_sweep.json)"
+i=0
+while :; do
+    curl -sf "http://$ADDR/v1/sweeps/$SWEEP_ID" > /tmp/hcserve_smoke_sweep.json
+    [ "$(jq -r '.state' /tmp/hcserve_smoke_sweep.json)" != "running" ] && break
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "hcserve_smoke: sweep $SWEEP_ID never finished" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ "$(jq -r '.state' /tmp/hcserve_smoke_sweep.json)" != "completed" ] || \
+   [ "$(jq -r '.cells.total' /tmp/hcserve_smoke_sweep.json)" != "4" ] || \
+   [ "$(jq -r '.cells.failed' /tmp/hcserve_smoke_sweep.json)" != "0" ]; then
+    echo "hcserve_smoke: sweep did not complete cleanly: $(cat /tmp/hcserve_smoke_sweep.json)" >&2
+    exit 1
+fi
+if [ "$(jq -r '.plan.dedup_ratio > 0' /tmp/hcserve_smoke_sweep.json)" != "true" ]; then
+    echo "hcserve_smoke: sweep dedup ratio not positive: $(cat /tmp/hcserve_smoke_sweep.json)" >&2
+    exit 1
+fi
+curl -sf "http://$ADDR/v1/sweeps/$SWEEP_ID/results" > /tmp/hcserve_smoke_sweep.ndjson
+CELLS="$(jq -s -c 'map({index, scenario, status})' /tmp/hcserve_smoke_sweep.ndjson)"
+WANT='[{"index":0,"scenario":"smoke-grid/m0/s0","status":200},{"index":1,"scenario":"smoke-grid/m0/s1","status":200},{"index":2,"scenario":"smoke-grid/m1/s0","status":200},{"index":3,"scenario":"smoke-grid/m1/s1","status":200}]'
+if [ "$CELLS" != "$WANT" ]; then
+    echo "hcserve_smoke: sweep cells $CELLS" >&2
+    echo "hcserve_smoke:          want $WANT" >&2
+    exit 1
+fi
+echo "hcserve_smoke: sweep ok (4 cells in order, dedup $(jq -r '.plan.dedup_ratio' /tmp/hcserve_smoke_sweep.json))"
+
+# Rerun the identical sweep through the hcrun client: every cell must now
+# come straight from the result cache, and the client must exit 0 with the
+# same 4 lines on stdout.
+HCRUN="$(dirname "$BIN")/hcrun"
+go build -o "$HCRUN" ./cmd/hcrun
+printf '%s' "$SWEEP" > /tmp/hcserve_smoke_sweep_doc.json
+"$HCRUN" -sweep /tmp/hcserve_smoke_sweep_doc.json -server "http://$ADDR" -poll 100ms \
+    > /tmp/hcserve_smoke_sweep2.ndjson 2>/dev/null
+if [ "$(jq -s -c 'map(.cache)' /tmp/hcserve_smoke_sweep2.ndjson)" != '["hit","hit","hit","hit"]' ]; then
+    echo "hcserve_smoke: resubmitted sweep not fully cache-hit: $(jq -s -c 'map({scenario, cache})' /tmp/hcserve_smoke_sweep2.ndjson)" >&2
+    exit 1
+fi
+echo "hcserve_smoke: sweep rerun ok (all 4 cells from cache via hcrun -sweep)"
+
 # Chaos drill: a fresh server with a disk trace cache whose every write
 # fails must keep serving, bit-identically, from its memory fallback.
 kill "$PID" 2>/dev/null || true
