@@ -91,25 +91,36 @@ func runSweepClient(server, sweepPath string, pollEvery time.Duration) error {
 		b, _ := io.ReadAll(resp.Body)
 		return fmt.Errorf("results: server answered %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
 	}
+	// A bufio.Reader, not a Scanner: Scanner caps the line length, and a
+	// cell result document bigger than the cap would fail an otherwise
+	// successful sweep with ErrTooLong and drop the remaining lines.
 	failed := 0
-	scan := bufio.NewScanner(resp.Body)
-	scan.Buffer(make([]byte, 1<<20), 1<<20)
+	rd := bufio.NewReader(resp.Body)
 	out := bufio.NewWriter(os.Stdout)
-	for scan.Scan() {
-		var line struct {
-			Status int `json:"status"`
+	for {
+		raw, rerr := rd.ReadBytes('\n')
+		if len(raw) > 0 {
+			var line struct {
+				Status int `json:"status"`
+			}
+			if err := json.Unmarshal(raw, &line); err == nil && line.Status != http.StatusOK {
+				failed++
+			}
+			out.Write(raw)
+			if raw[len(raw)-1] != '\n' {
+				out.WriteByte('\n')
+			}
 		}
-		if err := json.Unmarshal(scan.Bytes(), &line); err == nil && line.Status != http.StatusOK {
-			failed++
+		if rerr == io.EOF {
+			break
 		}
-		out.Write(scan.Bytes())
-		out.WriteByte('\n')
+		if rerr != nil {
+			out.Flush()
+			return fmt.Errorf("results: reading stream: %w", rerr)
+		}
 	}
 	if err := out.Flush(); err != nil {
 		return err
-	}
-	if err := scan.Err(); err != nil {
-		return fmt.Errorf("results: reading stream: %w", err)
 	}
 	if failed > 0 {
 		return fmt.Errorf("sweep %s: %d cells failed (lines above carry per-cell errors)", st.ID, failed)

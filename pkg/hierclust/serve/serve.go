@@ -389,7 +389,13 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // evaluations to finish; Drain itself waits for sweep-job goroutines to
 // stop.
 func (s *Server) Drain() {
+	// Flip the flag under sweepMu: storeSweepJob re-checks draining and
+	// registers with sweepWG inside the same critical section, so once
+	// this unlocks no new sweep job can be added and sweepWG.Wait below
+	// observes every job goroutine.
+	s.sweepMu.Lock()
 	s.draining.Store(true)
+	s.sweepMu.Unlock()
 	s.lim.drain()
 	s.sweepCancel()
 	s.sweepWG.Wait()

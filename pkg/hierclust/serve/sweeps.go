@@ -189,10 +189,18 @@ func (s *Server) runningSweeps() int {
 }
 
 // storeSweepJob registers a job, evicting the oldest finished job when the
-// store is full. It fails when every retained job is still running.
+// store is full. It fails when every retained job is still running, or when
+// the server is draining. On success the job is accounted in sweepWG; the
+// caller must spawn runSweepJob (which calls sweepWG.Done). Re-checking
+// draining and calling Add under sweepMu — the same lock Drain holds while
+// flipping the flag — guarantees no Add can race sweepWG.Wait, so no job
+// goroutine outlives Drain.
 func (s *Server) storeSweepJob(j *sweepJob) error {
 	s.sweepMu.Lock()
 	defer s.sweepMu.Unlock()
+	if s.draining.Load() {
+		return fmt.Errorf("%w; retry against another replica", errSweepDraining)
+	}
 	running := 0
 	for _, job := range s.sweepJobs {
 		if job.currentState() == "running" {
@@ -220,6 +228,7 @@ func (s *Server) storeSweepJob(j *sweepJob) error {
 	}
 	s.sweepJobs[j.id] = j
 	s.sweepOrder = append(s.sweepOrder, j.id)
+	s.sweepWG.Add(1)
 	return nil
 }
 
@@ -288,7 +297,11 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.storeSweepJob(job); err != nil {
 		jobCancel()
 		w.Header().Set("Retry-After", s.retryAfter)
-		s.writeError(w, http.StatusTooManyRequests, err)
+		status := http.StatusTooManyRequests
+		if errors.Is(err, errSweepDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, status, err)
 		return
 	}
 
@@ -297,7 +310,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.sweepBuilds.Add(uint64(plan.TraceBuilds + plan.PartitionBuilds))
 	s.sweepRefs.Add(uint64(plan.TraceRefs + plan.PartitionRefs))
 
-	s.sweepWG.Add(1)
+	// storeSweepJob already did sweepWG.Add(1) for this goroutine.
 	go s.runSweepJob(jobCtx, job)
 
 	doc := job.statusDoc()

@@ -87,16 +87,23 @@ type TracePoint struct {
 }
 
 // CellCount returns the number of cells the axes multiply out to, without
-// expanding them.
+// expanding them. Counts past SweepMaxCells saturate to SweepMaxCells+1:
+// such a sweep can never validate, and saturating keeps the product from
+// overflowing int (four 65536-entry axes would otherwise wrap to 0 and
+// slip under every bound check).
 func (sw *Sweep) CellCount() int {
 	n := 1
 	for _, axis := range []int{
 		len(sw.Axes.Machines), len(sw.Axes.Placements),
 		len(sw.Axes.Strategies), len(sw.Axes.Mixes), len(sw.Axes.Traces),
 	} {
-		if axis > 0 {
-			n *= axis
+		if axis <= 0 {
+			continue
 		}
+		if axis > SweepMaxCells || n > SweepMaxCells/axis {
+			return SweepMaxCells + 1
+		}
+		n *= axis
 	}
 	return n
 }
@@ -130,8 +137,8 @@ func (sw *Sweep) Validate() error {
 			return fmt.Errorf("hierclust: sweep %q: strategies[%d]: empty strategy set", sw.Name, i)
 		}
 	}
-	if n := sw.CellCount(); n > SweepMaxCells {
-		return fmt.Errorf("hierclust: sweep %q: %d cells exceeds the %d-cell bound", sw.Name, n, SweepMaxCells)
+	if sw.CellCount() > SweepMaxCells {
+		return fmt.Errorf("hierclust: sweep %q: axes multiply out past the %d-cell bound", sw.Name, SweepMaxCells)
 	}
 	// Every cell must be a valid scenario. When the strategies axis is
 	// set the base may omit its own strategy list (the axis replaces it

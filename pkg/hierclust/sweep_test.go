@@ -50,6 +50,38 @@ func TestSweepCellCount(t *testing.T) {
 	}
 }
 
+// TestSweepCellCountSaturates pins the overflow guard: axes whose product
+// wraps int64 (four 65536-entry axes multiply to 2^64 ≡ 0) must saturate
+// above SweepMaxCells, and Validate must reject the sweep before expanding
+// 2^64 cells. Guards against an unauthenticated DoS via POST /v1/sweeps.
+func TestSweepCellCountSaturates(t *testing.T) {
+	const n = SweepMaxCells // 2^16 per axis, 4 axes → product wraps to 0
+	sw := &Sweep{Name: "huge", Base: sweepBase()}
+	sw.Axes.Machines = make([]MachinePoint, n)
+	for i := range sw.Axes.Machines {
+		sw.Axes.Machines[i] = MachinePoint{Nodes: i + 1}
+	}
+	sw.Axes.Placements = make([]string, n)
+	sw.Axes.Mixes = make([]MixSpec, n)
+	sw.Axes.Traces = make([]TracePoint, n)
+	if got := sw.CellCount(); got <= SweepMaxCells {
+		t.Fatalf("CellCount = %d, want > %d (saturated, not wrapped)", got, SweepMaxCells)
+	}
+	if err := sw.Validate(); err == nil {
+		t.Fatal("Validate accepted a sweep whose cell count overflows int")
+	}
+	// A single over-long axis must also saturate rather than report its
+	// exact (but bound-exceeding) product.
+	one := &Sweep{Name: "long-axis", Base: sweepBase()}
+	one.Axes.Placements = make([]string, SweepMaxCells+1)
+	if got := one.CellCount(); got != SweepMaxCells+1 {
+		t.Fatalf("single-axis CellCount = %d, want %d", got, SweepMaxCells+1)
+	}
+	if err := one.Validate(); err == nil {
+		t.Fatal("Validate accepted an over-bound single axis")
+	}
+}
+
 func TestSweepEncodeDecodeRoundTrip(t *testing.T) {
 	sw := allAxesSweep()
 	b1, err := EncodeSweep(sw)
