@@ -28,13 +28,16 @@ bench:
 
 # bench-smoke is the quick CI benchmark: one iteration of the guarded hot
 # paths, compared against the latest committed snapshot (the steady-state
-# RSEncode kernels and the large-scale partition/evaluation pipelines gate
-# at a noise-tolerant 300%; Fig* deltas print for inspection).
+# RSEncode kernels and the large-scale partition/evaluation pipelines —
+# including the million-node Partition1M/Scaling1M scale proofs — gate at a
+# noise-tolerant 300%; Fig* deltas print for inspection). Benchmarks present
+# on only one side of the comparison are informational, so snapshots
+# recorded before the 1M benchmarks existed still gate cleanly.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'RSEncode|Fig|Partition100k|Scaling256k|MultilevelSerial' -benchmem -benchtime 1x . > smoke.txt
+	$(GO) test -run '^$$' -bench 'RSEncode|Fig|Partition100k|Partition1M|Scaling256k|Scaling1M|MultilevelSerial' -benchmem -benchtime 1x . > smoke.txt
 	$(GO) run ./cmd/benchjson < smoke.txt > smoke.json
 	baseline=$$(ls BENCH_*.json | sort | tail -1); \
-		$(GO) run ./cmd/benchjson -compare -threshold 300 -filter 'RSEncode|Partition100k|Scaling256k|MultilevelSerial' $$baseline smoke.json; \
+		$(GO) run ./cmd/benchjson -compare -threshold 300 -filter 'RSEncode|Partition100k|Partition1M|Scaling256k|Scaling1M|MultilevelSerial' $$baseline smoke.json; \
 		rc=$$?; rm -f smoke.txt smoke.json; exit $$rc
 
 # profile captures CPU + heap profiles of the scaling pipeline at 256k

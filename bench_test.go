@@ -391,6 +391,81 @@ func BenchmarkMultilevel100kWorkers(b *testing.B) {
 	}
 }
 
+// stencil1M builds a 1,048,576-node 2-D stencil node graph — the node graph
+// of a 4M-rank machine at 4 ranks per node, the scale the paper's title
+// promises. Same shape and edge weights as stencil131k, eight times the
+// vertex count.
+func stencil1M() *graph.Graph {
+	const n, width = 1 << 20, 1024
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if i+1 < n && (i+1)%width != 0 {
+			_ = g.AddEdge(i, i+1, 1000)
+		}
+		if i+width < n {
+			_ = g.AddEdge(i, i+width, 800)
+		}
+	}
+	return g
+}
+
+// BenchmarkPartition1M measures the multilevel partitioner on the
+// million-node stencil — the scale proof for the cross-level gain-cache
+// projection and the parallel region commit. Target envelope: under one
+// second per partition. Skipped under -short (and therefore absent from
+// `make bench-smoke`-adjacent quick runs that pass it); the benchjson gate
+// tolerates one-sided benchmarks, so short baselines and full runs compare
+// cleanly.
+func BenchmarkPartition1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("million-node graph build: skipped under -short")
+	}
+	g := stencil1M()
+	opts := graph.PartitionOptions{MinSize: 4, TargetSize: 4, Multilevel: true}
+	// One warm partition outside the timer: freezing the million-row CSR
+	// (a per-row stable sort) is one-time graph state, not partitioner work.
+	if _, err := graph.Partition(g, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Partition(g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaling1M measures the full sparse evaluation pipeline at
+// 4,194,304 ranks on 1,048,576 nodes — the million-node regime. Synthetic
+// 2-D stencil trace (CSR), hierarchical clustering through the multilevel
+// node partitioner, and the complete four-dimension evaluation. Skipped
+// under -short.
+func BenchmarkScaling1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("4M-rank rig: skipped under -short")
+	}
+	const ranks, ppn = 4 << 20, 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, placement, err := harness.SyntheticRig(ranks, ppn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hier, err := core.Hierarchical(m, placement, core.HierOptions{Multilevel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := core.Evaluate(hier, m, placement, reliability.DefaultMix())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok, viol := e.Meets(core.DefaultBaseline()); !ok {
+			b.Fatalf("4M-rank evaluation outside baseline: %v", viol)
+		}
+	}
+}
+
 // BenchmarkCatastropheModel measures the reliability model on the paper's
 // hierarchical layout (64 nodes, 256 groups of 4).
 func BenchmarkCatastropheModel(b *testing.B) {

@@ -53,6 +53,31 @@ func TestCompareRemovedBenchmark(t *testing.T) {
 	}
 }
 
+// The million-node rollout shape: the baseline predates Partition1M and
+// Scaling1M, the new run has them, and both sides share the standing
+// benchmarks. With the production guard filter the one-sided names are
+// informational in either direction — a fresh snapshot gates cleanly
+// against a pre-1M baseline, and a -short run (1M benchmarks skipped)
+// gates cleanly against a post-1M baseline.
+func TestCompareOneSided1MBenchmarks(t *testing.T) {
+	const filter = "RSEncode|Partition100k|Partition1M|Scaling256k|Scaling1M|MultilevelSerial"
+	dir := t.TempDir()
+	pre := writeSnap(t, dir, "pre.json", []Benchmark{
+		{Name: "BenchmarkPartition100k/multilevel-4", Iterations: 20, NsPerOp: 6e7},
+	})
+	post := writeSnap(t, dir, "post.json", []Benchmark{
+		{Name: "BenchmarkPartition100k/multilevel-4", Iterations: 20, NsPerOp: 6e7},
+		{Name: "BenchmarkPartition1M-4", Iterations: 3, NsPerOp: 6e8},
+		{Name: "BenchmarkScaling1M-4", Iterations: 1, NsPerOp: 1e10},
+	})
+	if rc := compareSnapshots(pre, post, 300, filter); rc != 0 {
+		t.Fatalf("compare exited %d, want 0 (guarded 1M benchmarks new in the snapshot must not fail)", rc)
+	}
+	if rc := compareSnapshots(post, pre, 300, filter); rc != 0 {
+		t.Fatalf("compare exited %d, want 0 (guarded 1M benchmarks skipped by -short must only warn)", rc)
+	}
+}
+
 // A real regression of a benchmark present in both snapshots still fails.
 func TestCompareRegressionFails(t *testing.T) {
 	dir := t.TempDir()

@@ -21,10 +21,13 @@
 //
 // -cpuprofile/-memprofile write pprof profiles covering the experiment
 // runs (the heap profile is captured after everything finishes), so
-// partition/evaluation profiling needs no ad-hoc harness edits:
+// partition/evaluation profiling needs no ad-hoc harness edits. CPU
+// profiles carry goroutine labels for the partitioner's phases
+// (phase=match/contract/grow/refine, level=N), so pprof can split time
+// by pipeline stage:
 //
 //	hcrun -exp scaling -maxranks 262144 -multilevel -cpuprofile cpu.prof -memprofile mem.prof
-//	go tool pprof cpu.prof
+//	go tool pprof -tagfocus phase=refine cpu.prof
 //
 // Experiments: table1, fig3a, fig3b, fig4a, fig4b, fig4c, fig5a, fig5b,
 // fig5c, table2, protocol, ablation, scaling.
@@ -88,6 +91,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		// Label partition phases (match/contract/grow/refine, per level)
+		// in the profile; the labels allocate, so they are tied to
+		// -cpuprofile rather than always on.
+		hierclust.SetPartitionPhaseLabels(true)
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fail(err)
 		}

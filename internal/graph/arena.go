@@ -86,6 +86,11 @@ type partArena struct {
 	clusterTouch []int32
 	lastEval     []int32
 
+	// ref is the refinement's method receiver (see refineState): keeping it
+	// inside the arena means the per-level refinements share one heap object
+	// instead of allocating a closure environment per level.
+	ref refineState
+
 	// --- projection ---
 	projA, projB []int // ping-pong assignment buffers
 	sizesBuf     []int // per-level cluster weights

@@ -114,6 +114,17 @@ func newFrozenCSR(n int, rowptr []int64, col []int32, w []float64, strength []fl
 	return g
 }
 
+// adoptAggregates installs caller-computed aggregates (total weight, edge
+// count) on a newFrozenCSR graph whose strength buffer the caller has
+// already filled, marking the aggregate pass done so ensureAggregates never
+// rescans. The multilevel contraction emits these for each coarse graph
+// while its rows are still cache-hot, with the exact summation order of
+// finishFreeze, so the values are bit-identical to the deferred pass.
+func (g *Graph) adoptAggregates(total float64, nedges int) {
+	g.total, g.nedges = total, nedges
+	g.agg = true
+}
+
 // ensureAggregates freezes the graph and fills the cached aggregates if a
 // newFrozenCSR constructor deferred them.
 func (g *Graph) ensureAggregates() {

@@ -50,15 +50,20 @@ func multilevelPartition(g *Graph, opts PartitionOptions, ar *partArena) ([]int,
 		if opts.cancelled() {
 			return nil, ErrCancelled
 		}
+		li := len(levels) - 1
+		setPhase("match", li)
 		match, matched := heavyEdgeMatching(cur.g, cur.vw, opts, ar)
 		// Stop when matching stalls — nothing matched, or the graph would
 		// shrink by less than 10% (each matched pair removes one vertex):
 		// a further level costs full matching + contraction + refinement
 		// passes for almost no reduction.
 		if matched == 0 || matched/2 < cur.g.N()/10 {
+			clearPhase()
 			break
 		}
-		coarse, cmap, cvw, err := contract(cur.g, cur.vw, match, matched, opts.Workers, ar)
+		setPhase("contract", li)
+		coarse, cmap, cvw, err := contract(cur.g, cur.vw, match, matched, opts, ar)
+		clearPhase()
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +72,9 @@ func multilevelPartition(g *Graph, opts PartitionOptions, ar *partArena) ([]int,
 	}
 
 	coarsest := levels[len(levels)-1]
-	part := singleLevel(coarsest.g, opts, coarsest.vw, ar)
+	// markBoundary when a finer level exists: the coarsest refinement's
+	// converged boundary flags seed the next level's gain-cache build.
+	part := singleLevel(coarsest.g, opts, coarsest.vw, ar, len(levels)-1, len(levels) > 1)
 
 	// Project back up, refining at every level: the coarse assignment seeds
 	// each finer level, and boundary moves that only make sense at finer
@@ -78,31 +85,75 @@ func multilevelPartition(g *Graph, opts PartitionOptions, ar *partArena) ([]int,
 	// The per-level assignment ping-pongs between two arena buffers: the
 	// read side is either singleLevel's freshly compacted slice or the
 	// other buffer, never the write side.
+	//
+	// Refinement state projects down with the assignment: the coarser
+	// level's converged boundary flags (in ar.state, written by the
+	// markBoundary pass) ride through cmap as a cacheSeed, so the finer
+	// cache build skips the cluster gathers and the first-pass evaluation
+	// for every vertex whose coarse image was interior — on well-clustered
+	// graphs, almost all of them. Each level's refinement then records its
+	// own flags for the level below (li > 0); the flags are read only
+	// during the first pass and rewritten only at convergence, so one
+	// buffer serves the whole ladder.
 	for li := len(levels) - 2; li >= 0; li-- {
 		if opts.cancelled() {
 			return nil, ErrCancelled
 		}
 		l := levels[li]
+		coarseN := levels[li+1].g.N()
 		fine := ar.projA[:l.g.N()]
 		if li%2 == 1 {
 			fine = ar.projB[:l.g.N()]
 		}
-		for v := range fine {
-			fine[v] = part[l.cmap[v]]
+		// One fused loop projects the assignment and accumulates the
+		// per-cluster weights; the cluster count comes from the coarse
+		// assignment (every coarse id has a fine preimage), keeping the
+		// max-scan off the longer fine array.
+		k := 0
+		for _, p := range part[:coarseN] {
+			if p >= k {
+				k = p + 1
+			}
+		}
+		sizes := ar.sizesBuf[:k]
+		clear(sizes)
+		cmap := l.cmap
+		if l.vw == nil {
+			for v := range fine {
+				p := part[cmap[v]]
+				fine[v] = p
+				sizes[p]++
+			}
+		} else {
+			for v := range fine {
+				p := part[cmap[v]]
+				fine[v] = p
+				sizes[p] += l.vw[v]
+			}
 		}
 		part = fine
-		sizes := weightedSizesInto(ar.sizesBuf, part, l.vw)
 		lvlOpts := opts
 		if li > 0 && lvlOpts.RefinePasses > 2 {
 			lvlOpts.RefinePasses = 2
 		}
-		refine(l.g, part, sizes, lvlOpts, l.vw, ar)
+		seed := &cacheSeed{cmap: cmap, boundary: ar.state[:coarseN]}
+		if cacheProjectionOff {
+			seed = nil
+		}
+		setPhase("refine", li)
+		refineSeeded(l.g, part, sizes, lvlOpts, l.vw, ar, seed, li > 0)
+		clearPhase()
 	}
 	if opts.cancelled() {
 		return nil, ErrCancelled
 	}
 	return compact(part), nil
 }
+
+// cacheProjectionOff disables the cross-level gain-cache projection, forcing
+// every level's full rebuild. Test-only: the bit-identity tests pin the
+// seeded path against this reference.
+var cacheProjectionOff bool
 
 // mergeSmallWeighted is mergeSmall for the weighted (multilevel) path:
 // same policy — fold every under-MinSize cluster into the neighbor it
@@ -273,12 +324,14 @@ func matchCoin(v int, round int) bool {
 // 2 matched — so the hot neighbor-eligibility test is a single load instead
 // of a coin re-hash plus a match lookup. cand[x] is kept -1 for every
 // matched x, which lets later rounds skip the full reset the original
-// implementation paid. On a single worker the acceptor phase scatters
-// proposals forward (one pass over the proposers) rather than rescanning
-// every acceptor's adjacency; both forms compute the same
-// heaviest-proposal-lowest-index winner, so the matching is identical — the
-// scatter is just unusable under parallelism, where two proposers could
-// race on one acceptor slot.
+// implementation paid. Acceptance scatters forward from the proposers: each
+// proposer challenges its chosen acceptor's slot as it proposes, so no pass
+// ever rescans an acceptor's adjacency. In parallel the challenge is a CAS
+// loop — the slot converges to the maximum by (proposal weight, then lowest
+// proposer index), a total order, so the winner is independent of arrival
+// order and identical to the serial scatter's. A challenger reads a rival's
+// candW only after loading the rival's index from the accept slot the rival
+// published with its CAS, which orders the read after the write.
 func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions, ar *partArena) (match []int32, matched int) {
 	n := g.N()
 	match = ar.match[:n]
@@ -336,6 +389,7 @@ func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions, ar *partArena)
 		parallelVertexRanges(nwork, opts.Workers, func(lo, hi int) {
 			for wi := lo; wi < hi; wi++ {
 				u := work[wi]
+				accept[u] = -1
 				if matchCoin(int(u), round) {
 					state[u] = state[u]&^3 | 1
 				} else {
@@ -343,11 +397,18 @@ func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions, ar *partArena)
 				}
 			}
 		})
-		// Phase 1: proposers pick their heaviest eligible acceptor.
-		// Ascending columns make the first strictly heavier neighbor the
-		// smallest-indexed one, so ties break low without an explicit
-		// comparison. (A self-loop's state is 1 or 2 here — u is in the
-		// worklist as a proposer — so the state test also rejects v == u.)
+		// Proposal phase: proposers pick their heaviest eligible acceptor
+		// and immediately challenge that acceptor's slot. Ascending columns
+		// make the first strictly heavier neighbor the smallest-indexed
+		// one, so ties break low without an explicit comparison. (A
+		// self-loop's state is 1 or 2 here — u is in the worklist as a
+		// proposer — so the state test also rejects v == u.) The challenge
+		// CAS-maximizes accept[best] by (weight, then lowest index): a
+		// rival's weight is its candW slot, written before the rival's CAS
+		// published its index, so the acquire on the slot load makes the
+		// read safe. The converged winner is the same
+		// heaviest-proposal-lowest-index one the retired acceptor-side
+		// adjacency rescan computed, one full parallel pass cheaper.
 		parallelVertexRanges(nwork, opts.Workers, func(lo, hi int) {
 			for wi := lo; wi < hi; wi++ {
 				u := int(work[wi])
@@ -391,26 +452,22 @@ func heavyEdgeMatching(g *Graph, vw []int, opts PartitionOptions, ar *partArena)
 				}
 				cand[u] = best
 				candW[u] = bestW
-			}
-		})
-		// Phase 2: acceptors take their heaviest incoming proposal by
-		// scanning their own adjacency (cand of a matched or proposing
-		// neighbor is -1, so the scan is self-filtering) — per-vertex
-		// slots only, safe in parallel.
-		parallelVertexRanges(nwork, opts.Workers, func(lo, hi int) {
-			for wi := lo; wi < hi; wi++ {
-				v := int(work[wi])
-				if state[v]&3 != 0 {
+				if best < 0 {
 					continue
 				}
-				cols, ws := g.row(v)
-				best, bestW := int32(-1), -1.0
-				for i, c := range cols {
-					if int(c) != v && cand[c] == int32(v) && ws[i] > bestW {
-						best, bestW = c, ws[i]
+				slot := &accept[best]
+				for {
+					cur := atomic.LoadInt32(slot)
+					if cur >= 0 {
+						curW := candW[cur]
+						if curW > bestW || (curW == bestW && cur < int32(u)) {
+							break // standing rival wins
+						}
+					}
+					if atomic.CompareAndSwapInt32(slot, cur, int32(u)) {
+						break
 					}
 				}
-				accept[v] = best
 			}
 		})
 		// Phase 3: bind agreeing pairs; each vertex writes only its own
@@ -631,7 +688,16 @@ func serialMatchingRounds(g *Graph, vw []int, opts PartitionOptions, ar *partAre
 // parallel, coalesced in place, then compacted into an exact-size CSR); the
 // staging rows live in the arena and the resulting graph skips FromCSR's
 // validation scan, which is redundant for rows sorted by construction.
-func contract(g *Graph, vw []int, match []int32, matched, workers int, ar *partArena) (*Graph, []int32, []int, error) {
+//
+// When the coarse graph lands at or under CoarsenThreshold it is the
+// ladder's final level and the only one whose aggregates (strengths for the
+// greedy growth's seed order, total/edge count) are ever read; contraction
+// then emits them directly, fused into the compaction pass while the rows
+// are cache-hot, instead of leaving the deferred finishFreeze to re-traverse
+// the whole CSR cold. Intermediate levels keep the deferred (never-taken)
+// path — emitting per level would add a full serial pass per level for
+// values nothing reads.
+func contract(g *Graph, vw []int, match []int32, matched int, opts PartitionOptions, ar *partArena) (*Graph, []int32, []int, error) {
 	n := g.N()
 	nc := n - matched/2
 	cmap := ar.i32s.take(n)
@@ -680,7 +746,7 @@ func contract(g *Graph, vw []int, match []int32, matched, workers int, ar *partA
 	col := ar.cooCol(capPtr[nc])
 	w := ar.cooW(capPtr[nc])
 	cnt := ar.cnt[:nc]
-	parallelVertexRanges(nc, workers, func(lo, hi int) {
+	parallelVertexRanges(nc, opts.Workers, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			base := capPtr[c]
 			k := int64(0)
@@ -728,12 +794,37 @@ func contract(g *Graph, vw []int, match []int32, matched, workers int, ar *partA
 	fcol := ar.i32s.take(int(m))
 	fbuf := ar.f64s.take(int(m) + nc)
 	fw := fbuf[:m]
+	strength := fbuf[m:]
+	if nc <= opts.CoarsenThreshold {
+		// Final level: fuse the aggregate pass into the compaction while
+		// the rows are hot. The loop shape — per-row ascending strength
+		// sums, one global running total over col >= row entries in
+		// (row, index) order — is exactly finishFreeze's, so every emitted
+		// float is bit-identical to the deferred pass it replaces.
+		var total float64
+		nedges := 0
+		for c := 0; c < nc; c++ {
+			copy(fcol[rowptr[c]:rowptr[c+1]], col[capPtr[c]:capPtr[c]+int64(cnt[c])])
+			copy(fw[rowptr[c]:rowptr[c+1]], w[capPtr[c]:capPtr[c]+int64(cnt[c])])
+			var s float64
+			for i := rowptr[c]; i < rowptr[c+1]; i++ {
+				s += fw[i]
+				if int(fcol[i]) >= c {
+					total += fw[i]
+					nedges++
+				}
+			}
+			strength[c] = s
+		}
+		coarse := newFrozenCSR(nc, rowptr, fcol, fw, strength)
+		coarse.adoptAggregates(total, nedges)
+		return coarse, cmap, cvw, nil
+	}
 	for c := 0; c < nc; c++ {
 		copy(fcol[rowptr[c]:rowptr[c+1]], col[capPtr[c]:capPtr[c]+int64(cnt[c])])
 		copy(fw[rowptr[c]:rowptr[c+1]], w[capPtr[c]:capPtr[c]+int64(cnt[c])])
 	}
-	coarse := newFrozenCSR(nc, rowptr, fcol, fw, fbuf[m:])
-	return coarse, cmap, cvw, nil
+	return newFrozenCSR(nc, rowptr, fcol, fw, strength), cmap, cvw, nil
 }
 
 // sortPairsStable stably sorts the parallel (col, w) arrays by column:
@@ -775,11 +866,16 @@ func (p *pairSorter) Swap(i, j int) {
 const mlChunk = 4096
 
 // effectiveWorkers resolves the worker count parallelVertexRanges will use
-// for an n-element range: 0 means GOMAXPROCS, and a range under one chunk
-// never splits.
+// for an n-element range: 0 means GOMAXPROCS, an explicit count is capped at
+// GOMAXPROCS (the pools are CPU-bound, so more workers than P's only buys
+// scheduling overhead — notably, a Workers: 8 request on a single-core
+// container now runs the cheaper serial paths instead of time-slicing eight
+// goroutines), and a range under one chunk never splits. The cap never
+// affects results: every parallel phase is bit-identical at any worker
+// count by construction.
 func effectiveWorkers(n, workers int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if maxp := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxp {
+		workers = maxp
 	}
 	if nchunks := (n + mlChunk - 1) / mlChunk; workers > nchunks {
 		workers = nchunks

@@ -42,7 +42,7 @@ func BenchmarkPhaseContract(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ar.reset()
-		if _, _, _, err := contract(g, nil, match, matched, opts.Workers, ar); err != nil {
+		if _, _, _, err := contract(g, nil, match, matched, opts, ar); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,7 +76,7 @@ func BenchmarkPhaseGrowCoarsest(b *testing.B) {
 	var vw []int
 	for level := 0; level < 2; level++ {
 		match, matched := heavyEdgeMatching(g, vw, opts, ar)
-		coarse, _, cvw, err := contract(g, vw, match, matched, opts.Workers, ar)
+		coarse, _, cvw, err := contract(g, vw, match, matched, opts, ar)
 		if err != nil {
 			b.Fatal(err)
 		}

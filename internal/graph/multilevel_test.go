@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -151,6 +152,9 @@ func TestMultilevelIdenticalBelowThreshold(t *testing.T) {
 // across repeated runs — the partitioner sits inside evaluations whose
 // outputs are compared byte-for-byte.
 func TestMultilevelWorkerInvariance(t *testing.T) {
+	// Raise GOMAXPROCS so the capped worker counts stay distinct and the
+	// parallel phases actually engage on single-core hosts.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
 	g := stencil2D(8192, 128)
 	var ref []int
 	for _, workers := range []int{1, 2, 3, 8} {
@@ -217,7 +221,7 @@ func TestHeavyEdgeMatchingInvariants(t *testing.T) {
 		t.Fatal("matching found nothing on a connected graph")
 	}
 	// Contract and confirm weights: every coarse vertex within TargetSize.
-	_, cmap, cvw, err := contract(g, nil, match, matched, 0, ar)
+	_, cmap, cvw, err := contract(g, nil, match, matched, opts, ar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,6 +252,8 @@ func TestHeavyEdgeMatchingInvariants(t *testing.T) {
 // This pins the fix on the parallel path (weighted level wide enough that
 // Workers>1 engages it) against the serial path's result.
 func TestHeavyEdgeMatchingIneligibleStaleCand(t *testing.T) {
+	// Two P's so effectiveWorkers(n, 2) == 2 even on a one-core host.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
 	n := 3 * mlChunk // wide enough for effectiveWorkers(n, 2) == 2
 	g := stencil2D(n, 128)
 	g.ensure()
@@ -313,7 +319,7 @@ func TestContractPreservesTotalWeight(t *testing.T) {
 	}
 	ar := newPartArena(g)
 	match, matched := heavyEdgeMatching(g, nil, opts, ar)
-	coarse, _, _, err := contract(g, nil, match, matched, 0, ar)
+	coarse, _, _, err := contract(g, nil, match, matched, opts, ar)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // PartitionOptions bounds the clusters produced by Partition.
@@ -120,7 +121,7 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 	if opts.Multilevel && n > opts.CoarsenThreshold {
 		return multilevelPartition(g, opts, ar)
 	}
-	part := singleLevel(g, opts, nil, ar)
+	part := singleLevel(g, opts, nil, ar, 0, false)
 	if opts.cancelled() {
 		return nil, ErrCancelled
 	}
@@ -130,8 +131,12 @@ func Partition(g *Graph, opts PartitionOptions) ([]int, error) {
 // singleLevel is the growth → merge → refine pipeline on one graph, with
 // cluster sizes measured in vertex weight (vw nil = unit weights, the
 // original single-level behavior; multilevel coarse graphs pass the number
-// of original vertices inside each coarse vertex).
-func singleLevel(g *Graph, opts PartitionOptions, vw []int, ar *partArena) []int {
+// of original vertices inside each coarse vertex). level tags the pprof
+// phase labels; markBoundary asks refine to record per-vertex boundary
+// flags for the cross-level gain-cache projection (multilevel coarsest
+// level only).
+func singleLevel(g *Graph, opts PartitionOptions, vw []int, ar *partArena, level int, markBoundary bool) []int {
+	setPhase("grow", level)
 	part, sizes := grow(g, opts, vw, ar)
 	if vw == nil {
 		part, sizes = mergeSmall(g, part, sizes, opts)
@@ -141,7 +146,9 @@ func singleLevel(g *Graph, opts PartitionOptions, vw []int, ar *partArena) []int
 		// mergeSmall's per-merge full-graph scans.
 		part, sizes = mergeSmallWeighted(g, part, sizes, opts, ar)
 	}
-	refine(g, part, sizes, opts, vw, ar)
+	setPhase("refine", level)
+	refineSeeded(g, part, sizes, opts, vw, ar, nil, markBoundary)
+	clearPhase()
 	return compact(part)
 }
 
@@ -390,7 +397,28 @@ func activeClusters(sizes []int) []int {
 // off on graphs with tens of thousands of vertices.
 const refineParallelMin = 4096
 
-// refine performs boundary-move passes: each vertex may move to the
+// cacheSeed carries the cross-level gain-cache projection into refine: cmap
+// maps each vertex of this level to its image in the next-coarser graph, and
+// boundary holds the coarser level's per-vertex boundary flags, extracted
+// from its converged gain cache (see markBoundary below). A vertex whose
+// image was interior — every coarse neighbor inside its own cluster — has,
+// after projection, every fine neighbor inside its own cluster too, so its
+// gain span is a single own-cluster entry summed in neighbor order without
+// reading one part[] slot, and its first-pass decision is "no move" without
+// evaluation. Boundary-image vertices rebuild exactly as the unseeded path
+// does, so the seeded cache is bit-identical to the full rebuild.
+type cacheSeed struct {
+	cmap     []int32
+	boundary []uint8
+}
+
+// refine performs boundary-move passes with a full (unseeded) cache build
+// and no boundary extraction — the historical entry point.
+func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int, ar *partArena) {
+	refineSeeded(g, part, sizes, opts, vw, ar, nil, false)
+}
+
+// refineSeeded performs boundary-move passes: each vertex may move to the
 // neighboring cluster it communicates with most if the move strictly lowers
 // the cut and keeps both clusters within the size bounds.
 //
@@ -402,18 +430,36 @@ const refineParallelMin = 4096
 // — because one map per vertex (the previous layout) cost more to build
 // than the moves it served on 100k-vertex graphs, and the multilevel path
 // rebuilds the cache at every level. The arrays come from the arena, so
-// those per-level rebuilds reuse one finest-level allocation.
+// those per-level rebuilds reuse one finest-level allocation. A non-nil
+// seed shortcuts the build for vertices whose coarse image was interior
+// (see cacheSeed); markBoundary records this level's own boundary flags
+// into ar.state at convergence, seeding the next-finer level.
 //
 // Sizes are in weight units: moving v shifts vweight(vw, v), and the size
 // bounds hold in the same units (unit weights reproduce the historical
 // vertex-count behavior exactly).
 //
-// With more than one worker and a large enough graph, each pass runs as a
-// speculative parallel scan plus a serial commit (see the comment there);
-// the committed moves are exactly the serial sweep's, in the same order, so
+// Every pass decides moves against pass-start state (the first pass fused
+// into the cache build itself) and then commits them: either through the
+// serial walk, or — when the decided moves split into independent regions —
+// through the parallel region commit (region_commit.go). Both commit forms
+// produce exactly the serial sweep's moves in the serial sweep's order, so
 // the assignment never depends on the worker count.
-func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int, ar *partArena) {
-	n := g.N()
+// refineState is the refinement's working state, embedded in the arena so
+// the pass bodies can be methods instead of closures. The closure layout
+// heap-allocated every helper plus a cell for each variable the escaping
+// scan closures shared — about ten allocations per level, re-paid at every
+// level of the multilevel ladder; a method value on the arena-resident state
+// costs one. refineSeeded clears the struct on return so a pooled arena
+// never pins a finished graph.
+type refineState struct {
+	g     *Graph
+	part  []int
+	sizes []int
+	vw    []int
+	ar    *partArena
+	seed  *cacheSeed
+
 	// connID/connW/connCnt[rowptr[v]:rowptr[v]+connLen[v]] = (cluster,
 	// weight, contributing neighbors) entries of v, unordered; lookups scan
 	// the span. An entry lives exactly while some neighbor contributes to
@@ -421,124 +467,12 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int, 
 	// With exact weight arithmetic (integer-valued byte counts, every graph
 	// this repository builds) the cached weights equal the historical
 	// per-vertex map cache exactly.
-	nnz := g.rowptr[n]
-	connID := ar.connID[:nnz]
-	connW := ar.connW[:nnz]
-	connCnt := ar.connCnt[:nnz]
-	connLen := ar.connLen[:n]
-	rowptr := g.rowptr
-	find := func(v int, id int) int {
-		lo := rowptr[v]
-		span := connID[lo : lo+int64(connLen[v])]
-		for i := range span {
-			if span[i] == int32(id) {
-				return int(lo) + i
-			}
-		}
-		return -1
-	}
-	add := func(v int, id int, w float64) {
-		if i := find(v, id); i >= 0 {
-			connW[i] += w
-			connCnt[i]++
-			return
-		}
-		pos := rowptr[v] + int64(connLen[v])
-		connID[pos], connW[pos], connCnt[pos] = int32(id), w, 1
-		connLen[v]++
-	}
-	// sub removes one neighbor's weight from v's cluster-id entry, dropping
-	// the entry with its last contributor.
-	sub := func(v int, id int, w float64) {
-		i := find(v, id)
-		if i < 0 {
-			return
-		}
-		connW[i] -= w
-		connCnt[i]--
-		if connCnt[i] == 0 {
-			last := rowptr[v] + int64(connLen[v]) - 1
-			connID[i], connW[i], connCnt[i] = connID[last], connW[last], connCnt[last]
-			connLen[v]--
-		}
-	}
-	// The initial cache build writes only vertex v's own span from
-	// read-only state (part and v's row), so it parallelizes chunk-wise
-	// with no effect on the result. The body is the add() path hand-inlined
-	// over int offsets: this loop is the hottest in the multilevel profile
-	// (it reruns at every level of the ladder).
-	parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			base := int(rowptr[v])
-			ln := 0
-			cols, ws := g.row(v)
-			for i, c := range cols {
-				if int(c) == v {
-					continue
-				}
-				id := int32(part[c])
-				pos := -1
-				for j := 0; j < ln; j++ {
-					if connID[base+j] == id {
-						pos = base + j
-						break
-					}
-				}
-				if pos >= 0 {
-					connW[pos] += ws[i]
-					connCnt[pos]++
-				} else {
-					pos = base + ln
-					connID[pos], connW[pos], connCnt[pos] = id, ws[i], 1
-					ln++
-				}
-			}
-			connLen[v] = int32(ln)
-		}
-	})
+	rowptr  []int64
+	connID  []int32
+	connW   []float64
+	connCnt []int32
+	connLen []int32
 
-	// decide returns the cluster the serial sweep would move v to right
-	// now, or -1: the heaviest adjacent cluster that fits MaxSize, if its
-	// weight strictly beats v's connection to its own cluster and leaving
-	// keeps the source above MinSize. One span pass finds both the own
-	// weight and the best candidate; the candidate maximum is ordered by
-	// (weight desc, id asc), which reproduces the historical two-pass
-	// scan's pick exactly — candidates at or below the own weight lose the
-	// final strict comparison either way.
-	maxSize := opts.MaxSize
-	decide := func(v int) int {
-		from := part[v]
-		wv := vweight(vw, v)
-		if sizes[from]-wv < opts.MinSize {
-			return -1 // removing v would break the reliability bound
-		}
-		var own float64
-		bestTo, bestW := -1, -1.0
-		base := int(rowptr[v])
-		for i := 0; i < int(connLen[v]); i++ {
-			id, w := int(connID[base+i]), connW[base+i]
-			if id == from {
-				own = w
-				continue
-			}
-			if maxSize != 0 && sizes[id]+wv > maxSize {
-				continue
-			}
-			if w > bestW || (w == bestW && id < bestTo) {
-				bestTo, bestW = id, w
-			}
-		}
-		if bestW > own {
-			return bestTo
-		}
-		return -1
-	}
-
-	speculative := effectiveWorkers(n, opts.Workers) > 1 && n >= refineParallelMin
-	var desire []int32
-	if speculative {
-		desire = ar.desire[:n]
-	}
 	// Move stamps: nbrTouch[v] is the move counter when v's gain span last
 	// changed, clusterTouch[c] when cluster c's size last changed, and
 	// lastEval[v] the counter when v last evaluated to "no move" (-1 when v
@@ -546,124 +480,456 @@ func refine(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int, 
 	// stamps are all at or before its lastEval would re-derive the same
 	// "no move" from identical inputs, so converged sweeps skip it after a
 	// cheap integer scan — the bulk of every pass after the first.
-	nbrTouch := ar.nbrTouch[:n]
-	clusterTouch := ar.clusterTouch[:len(sizes)]
-	lastEval := ar.lastEval[:n]
-	clear(nbrTouch)
-	clear(clusterTouch)
-	for i := range lastEval {
-		lastEval[i] = -1
-	}
-	moveCount := int32(0)
-	// stillNoMove reports whether v's previous "no move" decision is still
-	// derivable from unchanged inputs as of stamp `since`. Those inputs are
-	// v's gain span (nbrTouch) and the size of v's own cluster (the MinSize
-	// gate); other clusters' sizes only enter decide through the MaxSize
-	// cap, so the span's cluster stamps need scanning only when a cap is
-	// set — with MaxSize 0 (the paper's L1 configuration) the check is two
-	// loads.
-	stillNoMove := func(v int, since int32) bool {
-		if since < 0 || nbrTouch[v] > since || clusterTouch[part[v]] > since {
-			return false
+	desire       []int32
+	nbrTouch     []int32
+	clusterTouch []int32
+	lastEval     []int32
+
+	n            int
+	minSize      int
+	maxSize      int
+	workers      int
+	speculative  bool
+	regionFailed bool
+	moveCount    int32
+	movers       int32 // accessed atomically: per-pass decided-mover count
+}
+
+func (rs *refineState) find(v, id int) int {
+	lo := rs.rowptr[v]
+	span := rs.connID[lo : lo+int64(rs.connLen[v])]
+	for i := range span {
+		if span[i] == int32(id) {
+			return int(lo) + i
 		}
-		if maxSize != 0 {
-			base := int(rowptr[v])
-			for i := 0; i < int(connLen[v]); i++ {
-				if clusterTouch[connID[base+i]] > since {
-					return false
-				}
+	}
+	return -1
+}
+
+func (rs *refineState) add(v, id int, w float64) {
+	if i := rs.find(v, id); i >= 0 {
+		rs.connW[i] += w
+		rs.connCnt[i]++
+		return
+	}
+	pos := rs.rowptr[v] + int64(rs.connLen[v])
+	rs.connID[pos], rs.connW[pos], rs.connCnt[pos] = int32(id), w, 1
+	rs.connLen[v]++
+}
+
+// sub removes one neighbor's weight from v's cluster-id entry, dropping
+// the entry with its last contributor.
+func (rs *refineState) sub(v, id int, w float64) {
+	i := rs.find(v, id)
+	if i < 0 {
+		return
+	}
+	rs.connW[i] -= w
+	rs.connCnt[i]--
+	if rs.connCnt[i] == 0 {
+		last := rs.rowptr[v] + int64(rs.connLen[v]) - 1
+		rs.connID[i], rs.connW[i], rs.connCnt[i] = rs.connID[last], rs.connW[last], rs.connCnt[last]
+		rs.connLen[v]--
+	}
+}
+
+// decide returns the cluster the serial sweep would move v to right
+// now, or -1: the heaviest adjacent cluster that fits MaxSize, if its
+// weight strictly beats v's connection to its own cluster and leaving
+// keeps the source above MinSize. One span pass finds both the own
+// weight and the best candidate; the candidate maximum is ordered by
+// (weight desc, id asc), which reproduces the historical two-pass
+// scan's pick exactly — candidates at or below the own weight lose the
+// final strict comparison either way.
+func (rs *refineState) decide(v int) int {
+	from := rs.part[v]
+	wv := vweight(rs.vw, v)
+	if rs.sizes[from]-wv < rs.minSize {
+		return -1 // removing v would break the reliability bound
+	}
+	var own float64
+	bestTo, bestW := -1, -1.0
+	base := int(rs.rowptr[v])
+	for i := 0; i < int(rs.connLen[v]); i++ {
+		id, w := int(rs.connID[base+i]), rs.connW[base+i]
+		if id == from {
+			own = w
+			continue
+		}
+		if rs.maxSize != 0 && rs.sizes[id]+wv > rs.maxSize {
+			continue
+		}
+		if w > bestW || (w == bestW && id < bestTo) {
+			bestTo, bestW = id, w
+		}
+	}
+	if bestW > own {
+		return bestTo
+	}
+	return -1
+}
+
+// stillNoMove reports whether v's previous "no move" decision is still
+// derivable from unchanged inputs as of stamp `since`. Those inputs are
+// v's gain span (nbrTouch) and the size of v's own cluster (the MinSize
+// gate); other clusters' sizes only enter decide through the MaxSize
+// cap, so the span's cluster stamps need scanning only when a cap is
+// set — with MaxSize 0 (the paper's L1 configuration) the check is two
+// loads.
+func (rs *refineState) stillNoMove(v int, since int32) bool {
+	if since < 0 || rs.nbrTouch[v] > since || rs.clusterTouch[rs.part[v]] > since {
+		return false
+	}
+	if rs.maxSize != 0 {
+		base := int(rs.rowptr[v])
+		for i := 0; i < int(rs.connLen[v]); i++ {
+			if rs.clusterTouch[rs.connID[base+i]] > since {
+				return false
 			}
 		}
-		return true
 	}
-	// commit applies the move v → to and maintains the incremental caches:
-	// every neighbor of v sees v's weight shift from cluster `from` to
-	// `to`; the stamps record what the move invalidated.
-	commit := func(v, to int) {
-		from := part[v]
-		wv := vweight(vw, v)
-		part[v] = to
-		sizes[from] -= wv
-		sizes[to] += wv
-		moveCount++
-		clusterTouch[from] = moveCount
-		clusterTouch[to] = moveCount
-		cols, ws := g.row(v)
+	return true
+}
+
+// commit applies the move v → to and maintains the incremental caches:
+// every neighbor of v sees v's weight shift from cluster `from` to
+// `to`; the stamps record what the move invalidated. The counter is a
+// pointer so the parallel region commit can stamp each region from its
+// own disjoint counter range.
+func (rs *refineState) commit(v, to int, mc *int32) {
+	from := rs.part[v]
+	wv := vweight(rs.vw, v)
+	rs.part[v] = to
+	rs.sizes[from] -= wv
+	rs.sizes[to] += wv
+	*mc++
+	rs.clusterTouch[from] = *mc
+	rs.clusterTouch[to] = *mc
+	cols, ws := rs.g.row(v)
+	for i, c := range cols {
+		u := int(c)
+		if u == v {
+			continue
+		}
+		rs.sub(u, from, ws[i])
+		rs.add(u, to, ws[i])
+		rs.nbrTouch[u] = *mc
+	}
+}
+
+// buildDecide builds the gain cache and, on speculative refinements,
+// fuses the first pass's move decisions into the build: it writes
+// vertex v's span from read-only state (part and v's row) and
+// immediately decides v's pass-1 move while the span is still hot —
+// one pass where the build and the first speculative scan used to be
+// two. It writes only per-vertex slots, so it parallelizes chunk-wise
+// with no effect on the result. (Serial refinements skip the fused
+// decisions: their first sweep decides each vertex at its turn, with
+// earlier commits visible, so pass-start decisions would be wasted.)
+// The build body is the add() path hand-inlined over int offsets: this
+// loop is the hottest in the multilevel profile (it reruns at every
+// level of the ladder). A seeded (interior-image) vertex skips both
+// the part[] gathers and the decision.
+func (rs *refineState) buildDecide(lo, hi int) {
+	seed := rs.seed
+	connID, connW, connCnt, connLen := rs.connID, rs.connW, rs.connCnt, rs.connLen
+	nm := int32(0)
+	for v := lo; v < hi; v++ {
+		base := int(rs.rowptr[v])
+		cols, ws := rs.g.row(v)
+		if seed != nil && seed.boundary[seed.cmap[v]] == 0 {
+			// Interior coarse image: every neighbor shares v's cluster.
+			// The single-entry sum runs in the same ascending neighbor
+			// order as the full build, so the bits match exactly; the
+			// decision is "no move" by construction (no foreign entry).
+			var s float64
+			cnt := int32(0)
+			for i, c := range cols {
+				if int(c) == v {
+					continue
+				}
+				s += ws[i]
+				cnt++
+			}
+			if cnt > 0 {
+				connID[base], connW[base], connCnt[base] = int32(rs.part[v]), s, cnt
+				connLen[v] = 1
+			} else {
+				connLen[v] = 0
+			}
+			rs.desire[v] = -1
+			continue
+		}
+		ln := 0
 		for i, c := range cols {
-			u := int(c)
-			if u == v {
+			if int(c) == v {
 				continue
 			}
-			sub(u, from, ws[i])
-			add(u, to, ws[i])
-			nbrTouch[u] = moveCount
+			id := int32(rs.part[c])
+			pos := -1
+			for j := 0; j < ln; j++ {
+				if connID[base+j] == id {
+					pos = base + j
+					break
+				}
+			}
+			if pos >= 0 {
+				connW[pos] += ws[i]
+				connCnt[pos]++
+			} else {
+				pos = base + ln
+				connID[pos], connW[pos], connCnt[pos] = id, ws[i], 1
+				ln++
+			}
+		}
+		connLen[v] = int32(ln)
+		if !rs.speculative {
+			continue
+		}
+		if d := int32(rs.decide(v)); d >= 0 {
+			rs.desire[v] = d
+			nm++
+		} else {
+			rs.desire[v] = -1
 		}
 	}
+	if nm != 0 {
+		atomic.AddInt32(&rs.movers, nm)
+	}
+}
 
+// scan is the speculative per-pass scan for passes after the first:
+// every vertex's move is precomputed against the pass-start state
+// (per-vertex slot writes only).
+func (rs *refineState) scan(lo, hi int) {
+	nm := int32(0)
+	for v := lo; v < hi; v++ {
+		if rs.stillNoMove(v, rs.lastEval[v]) {
+			rs.desire[v] = -1 // unchanged inputs re-derive "no move"
+			continue
+		}
+		if d := int32(rs.decide(v)); d >= 0 {
+			rs.desire[v] = d
+			nm++
+		} else {
+			rs.desire[v] = -1
+		}
+	}
+	if nm != 0 {
+		atomic.AddInt32(&rs.movers, nm)
+	}
+}
+
+// serialWalk commits a scanned pass: it walks vertices in the sweep
+// order and trusts a precomputed decision exactly when none of its
+// inputs — v's gain span, the size of v's cluster, or the size of any
+// adjacent cluster — changed since the scan, which the move stamps
+// witness. A stale vertex is re-decided serially. Every committed move
+// is therefore the move the serial sweep would have made at that
+// vertex, in the same order: the result is bit-identical at any worker
+// count, while the float-heavy gain evaluation runs parallel (and,
+// after the first converging passes, almost no vertex is ever stale).
+func (rs *refineState) serialWalk() bool {
+	moved := false
+	passStart := rs.moveCount
+	for v := 0; v < rs.n; v++ {
+		to := int(rs.desire[v])
+		if rs.moveCount != passStart && !rs.stillNoMove(v, passStart) {
+			to = rs.decide(v) // inputs changed after the scan
+		}
+		if to >= 0 {
+			rs.commit(v, to, &rs.moveCount)
+			rs.lastEval[v] = -1
+			moved = true
+		} else {
+			rs.lastEval[v] = rs.moveCount
+		}
+	}
+	return moved
+}
+
+// regionWalk commits one region's shadow exactly as serialWalk commits
+// the whole vertex range, stamping from the region's disjoint counter
+// window. Every input a shadow vertex can read — its gain span, its
+// own cluster's size, any cluster it is adjacent to — is owned by its
+// region (the planner's closure invariant), so concurrent regions
+// never observe each other and the committed moves are the serial
+// walk's, region by region.
+func (rs *refineState) regionWalk(shadow []int32, base, passStart int32) bool {
+	mc := base
+	moved := false
+	for _, v32 := range shadow {
+		v := int(v32)
+		to := int(rs.desire[v])
+		if mc != base && !rs.stillNoMove(v, passStart) {
+			to = rs.decide(v)
+		}
+		if to >= 0 {
+			rs.commit(v, to, &mc)
+			rs.lastEval[v] = -1
+			moved = true
+		} else {
+			rs.lastEval[v] = mc
+		}
+	}
+	return moved
+}
+
+// regionCommit plans and, when the decided moves split into at least
+// two mutually independent regions, commits them concurrently. It
+// reports whether it committed; false falls back to the serial walk.
+// One failed plan latches the fallback for the rest of this refinement
+// — the closure only grows as moves churn the same neighborhoods, so
+// retrying every pass would pay the O(n) planning sweep for nothing.
+func (rs *refineState) regionCommit(nMovers int) (bool, bool) {
+	if rs.regionFailed || !regionsEligible(nMovers, rs.n, rs.maxSize, rs.speculative) {
+		return false, false
+	}
+	plan := planRegions(rs.g, rs.part, len(rs.sizes), rs.desire, rs.ar, rs.n/4+16)
+	minRegions := 2
+	if regionCommitMode == regionForce {
+		minRegions = 1
+	}
+	if !plan.ok || plan.nr < minRegions {
+		rs.regionFailed = true
+		return false, false
+	}
+	if regionPlanHook != nil {
+		regionPlanHook(plan.nr, len(plan.buf))
+	}
+	passStart := rs.moveCount
+	// Each region stamps from a disjoint window sized by its shadow (a
+	// vertex commits at most once per pass) and laid out in region
+	// order — the plan's starts array is exactly that prefix — so stamp
+	// comparisons, always between events of one region or across
+	// passes, order exactly as the serial walk's shared counter does.
+	var anyMoved atomic.Bool
+	parallelItems(plan.nr, rs.workers, func(r int) {
+		if rs.regionWalk(plan.shadow(r), passStart+plan.starts[r], passStart) {
+			anyMoved.Store(true)
+		}
+	})
+	rs.moveCount = passStart + plan.starts[plan.nr]
+	// A vertex no region claimed saw none of its inputs change this
+	// pass; its standing "no move" is re-dated to the end of the pass,
+	// exactly as the serial walk would have left it order-wise.
+	claimed := plan.claimed
+	endCount := rs.moveCount
+	lastEval := rs.lastEval
+	parallelVertexRanges(rs.n, rs.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if claimed[v] == -1 {
+				lastEval[v] = endCount
+			}
+		}
+	})
+	return true, anyMoved.Load()
+}
+
+func refineSeeded(g *Graph, part []int, sizes []int, opts PartitionOptions, vw []int, ar *partArena, seed *cacheSeed, markBoundary bool) {
+	n := g.N()
+	nnz := g.rowptr[n]
+	rs := &ar.ref
+	*rs = refineState{
+		g: g, part: part, sizes: sizes, vw: vw, ar: ar, seed: seed,
+		rowptr:  g.rowptr,
+		connID:  ar.connID[:nnz],
+		connW:   ar.connW[:nnz],
+		connCnt: ar.connCnt[:nnz],
+		connLen: ar.connLen[:n],
+
+		desire:       ar.desire[:n],
+		nbrTouch:     ar.nbrTouch[:n],
+		clusterTouch: ar.clusterTouch[:len(sizes)],
+		lastEval:     ar.lastEval[:n],
+
+		n:           n,
+		minSize:     opts.MinSize,
+		maxSize:     opts.MaxSize,
+		workers:     opts.Workers,
+		speculative: effectiveWorkers(n, opts.Workers) > 1 && n >= refineParallelMin,
+	}
+	clear(rs.nbrTouch)
+	clear(rs.clusterTouch)
+	for i := range rs.lastEval {
+		rs.lastEval[i] = -1
+	}
+	// The method values are hoisted out of the pass loop: each evaluation
+	// allocates one funcval (the bound receiver escapes into the worker
+	// goroutines), so hoisting caps the refinement at two such allocations.
+	buildFn, scanFn := rs.buildDecide, rs.scan
+
+passes:
 	for pass := 0; pass < opts.RefinePasses; pass++ {
 		if opts.cancelled() {
 			// Abandon mid-refinement: the caller observes Cancel itself and
 			// discards the partition, so the half-refined state never leaks.
+			*rs = refineState{}
 			return
 		}
 		moved := false
-		if !speculative {
+		switch {
+		case !rs.speculative:
+			// Small or single-worker graphs: build the cache once, then
+			// plain serial sweeps deciding each vertex at its turn, with
+			// earlier commits immediately visible — no walk overhead.
+			if pass == 0 {
+				parallelVertexRanges(n, opts.Workers, buildFn)
+			}
 			for v := 0; v < n; v++ {
-				if stillNoMove(v, lastEval[v]) {
+				if rs.stillNoMove(v, rs.lastEval[v]) {
 					continue
 				}
-				if to := decide(v); to >= 0 {
-					commit(v, to)
-					lastEval[v] = -1
+				if to := rs.decide(v); to >= 0 {
+					rs.commit(v, to, &rs.moveCount)
+					rs.lastEval[v] = -1
 					moved = true
 				} else {
-					lastEval[v] = moveCount
+					rs.lastEval[v] = rs.moveCount
 				}
 			}
 			if !moved {
-				return
+				break passes
 			}
 			continue
+		case pass == 0:
+			atomic.StoreInt32(&rs.movers, 0)
+			parallelVertexRanges(n, opts.Workers, buildFn)
+		default:
+			atomic.StoreInt32(&rs.movers, 0)
+			parallelVertexRanges(n, opts.Workers, scanFn)
 		}
-		// Speculative pass: a parallel scan precomputes every vertex's
-		// move against the pass-start state (per-vertex slot writes only),
-		// then the serial commit walks vertices in the sweep order and
-		// trusts a precomputed decision exactly when none of its inputs —
-		// v's gain span, the size of v's cluster, or the size of any
-		// adjacent cluster — changed since the scan, which the move stamps
-		// witness. A stale vertex is re-decided serially. Every committed
-		// move is therefore the move the serial sweep would have made at
-		// that vertex, in the same order: the result is bit-identical at
-		// any worker count, while the float-heavy gain evaluation runs
-		// parallel (and, after the first converging passes, almost no
-		// vertex is ever stale).
-		passStart := moveCount
-		parallelVertexRanges(n, opts.Workers, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				if stillNoMove(v, lastEval[v]) {
-					desire[v] = -1 // unchanged inputs re-derive "no move"
-					continue
-				}
-				desire[v] = int32(decide(v))
-			}
-		})
-		for v := 0; v < n; v++ {
-			to := int(desire[v])
-			if moveCount != passStart && !stillNoMove(v, passStart) {
-				to = decide(v) // inputs changed after the scan
-			}
-			if to >= 0 {
-				commit(v, to)
-				lastEval[v] = -1
-				moved = true
-			} else {
-				lastEval[v] = moveCount
-			}
+		committed, regionMoved := rs.regionCommit(int(atomic.LoadInt32(&rs.movers)))
+		if committed {
+			moved = regionMoved
+		} else {
+			moved = rs.serialWalk()
 		}
 		if !moved {
-			return
+			break passes
 		}
 	}
+
+	if markBoundary {
+		// Record which vertices still touch a foreign cluster in the
+		// converged cache: a vertex whose span is empty, or a single entry
+		// for its own cluster, has every neighbor at home. The flags are
+		// cluster-id-agnostic (only the own/foreign distinction survives),
+		// so the caller may compact ids afterwards. ar.state is free here —
+		// all matching finished before the first refinement.
+		bnd := ar.state[:n]
+		for v := 0; v < n; v++ {
+			ln := int(rs.connLen[v])
+			if ln == 0 || (ln == 1 && int(rs.connID[rs.rowptr[v]]) == part[v]) {
+				bnd[v] = 0
+			} else {
+				bnd[v] = 1
+			}
+		}
+	}
+	// Drop every reference so the pooled arena does not pin this graph (or
+	// its partition) beyond the refinement that used them.
+	*rs = refineState{}
 }
 
 // compact renumbers cluster ids densely in order of first appearance. Raw

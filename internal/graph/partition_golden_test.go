@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"testing"
 )
@@ -121,6 +122,9 @@ func hashAssignment(part []int) string {
 // change for the partitioner, since evaluations are compared byte-for-byte.
 // Regenerate deliberately with: go test ./internal/graph -run Golden -update
 func TestPartitionGolden(t *testing.T) {
+	// Raise GOMAXPROCS so the worker counts stay distinct under the
+	// effectiveWorkers cap and the parallel phases run on one-core hosts.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
 	goldenPath := filepath.Join("testdata", "partition_golden.json")
 	got := map[string]string{}
 	for _, tc := range goldenGraphs() {

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+)
+
+// Phase labels attribute partition CPU time to pipeline phases
+// (match/contract/grow/refine, tagged with the multilevel level) in pprof
+// profiles, so a -cpuprofile run answers "which phase, which level" without
+// guessing from symbols. Labels are applied as goroutine labels — worker
+// goroutines spawned inside a phase inherit them — and every call allocates,
+// so they are off by default and toggled only by profiling entry points
+// (hcrun -cpuprofile); the hot path pays one atomic load per phase
+// transition and zero allocations.
+
+var phaseLabelsOn atomic.Bool
+
+// SetPhaseLabels toggles runtime/pprof phase labels on the partition
+// pipeline. Enable it together with CPU profiling; leave it off otherwise —
+// each phase transition allocates while labels are on.
+func SetPhaseLabels(on bool) { phaseLabelsOn.Store(on) }
+
+// setPhase labels the calling goroutine (and workers it spawns) with
+// phase=name level=<level> until the next setPhase or clearPhase.
+func setPhase(name string, level int) {
+	if !phaseLabelsOn.Load() {
+		return
+	}
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("phase", name, "level", strconv.Itoa(level))))
+}
+
+// clearPhase removes the phase labels from the calling goroutine.
+func clearPhase() {
+	if !phaseLabelsOn.Load() {
+		return
+	}
+	pprof.SetGoroutineLabels(context.Background())
+}

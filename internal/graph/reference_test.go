@@ -377,7 +377,7 @@ func TestContractFusedMatchesTwoPass(t *testing.T) {
 			if matched == 0 {
 				break
 			}
-			fused, cmap, cvw, err := contract(g, vw, match, matched, opts.Workers, ar)
+			fused, cmap, cvw, err := contract(g, vw, match, matched, opts, ar)
 			if err != nil {
 				t.Fatalf("%s L%d: fused: %v", tc.name, level, err)
 			}

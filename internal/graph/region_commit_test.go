@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// The parallel region commit must produce exactly the serial walk's result —
+// same assignment, same sizes, same cut — at any worker count. These tests
+// build graphs whose decided moves provably split into several independent
+// regions (disjoint components with isolated bad seams) and pin the region
+// path (regionForce) against the serial path (regionOff).
+
+// regionTestGraph builds one graph of `comps` disjoint 16-vertex path
+// components with a randomly placed, randomly weighted heavy seam each —
+// guaranteed movers — on top of a large stable ballast path (blocks of four
+// at MinSize 4 cannot move: the reliability gate blocks every candidate).
+// Returns the graph, the initial assignment, and its weighted sizes.
+func regionTestGraph(rng *rand.Rand, comps int) (*Graph, []int, []int) {
+	const ballast = 5984 // blocks of 4 → 1496 stable clusters
+	const csize = 16
+	n := ballast + comps*csize
+	g := New(n)
+	part := make([]int, n)
+	for v := 0; v < ballast; v++ {
+		if v+1 < ballast {
+			_ = g.AddEdge(v, v+1, 1)
+		}
+		part[v] = v / 4
+	}
+	nextID := ballast / 4
+	for c := 0; c < comps; c++ {
+		base := ballast + c*csize
+		// Split the component into two clusters at a random seam and put a
+		// heavy edge across it: the seam vertex strictly prefers the far
+		// side, and both clusters stay above MinSize so the move is legal.
+		split := 6 + rng.Intn(5) // 6..10
+		for i := 0; i < csize-1; i++ {
+			w := 1.0
+			if i == split-1 {
+				w = float64(5 + rng.Intn(16))
+			}
+			_ = g.AddEdge(base+i, base+i+1, w)
+		}
+		// A few extra random intra-component edges so several vertices can
+		// cascade, not just the seam vertex.
+		for e := 0; e < 4; e++ {
+			u, v := rng.Intn(csize), rng.Intn(csize)
+			if u != v {
+				_ = g.AddEdge(base+u, base+v, float64(1+rng.Intn(8)))
+			}
+		}
+		for i := 0; i < csize; i++ {
+			if i < split {
+				part[base+i] = nextID
+			} else {
+				part[base+i] = nextID + 1
+			}
+		}
+		nextID += 2
+	}
+	g.ensure()
+	sizes := weightedSizesInto(make([]int, n), part, nil)
+	return g, part, sizes
+}
+
+// refineWithMode runs refine on fresh copies under the given commit mode and
+// worker count, returning the refined assignment and sizes.
+func refineWithMode(t *testing.T, g *Graph, part, sizes []int, workers, mode int) ([]int, []int) {
+	t.Helper()
+	prev := regionCommitMode
+	regionCommitMode = mode
+	defer func() { regionCommitMode = prev }()
+	cp := append([]int(nil), part...)
+	cs := append([]int(nil), sizes...)
+	opts := PartitionOptions{MinSize: 4, TargetSize: 4, Workers: workers}
+	if err := opts.normalize(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	ar := newPartArena(g)
+	defer ar.release()
+	refine(g, cp, cs, opts, nil, ar)
+	return cp, cs
+}
+
+func TestRegionCommitMatchesSerialWalk(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for seed := int64(0); seed < 5; seed++ {
+		g, part, sizes := regionTestGraph(rand.New(rand.NewSource(seed)), 10)
+		if g.N() < refineParallelMin {
+			t.Fatal("graph below refineParallelMin, regions would never engage")
+		}
+		refPart, refSizes := refineWithMode(t, g, part, sizes, 1, regionOff)
+		refCut, err := g.CutWeight(refPart)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			for _, mode := range []int{regionOff, regionForce} {
+				plans, maxRegions := 0, 0
+				regionPlanHook = func(regions, claimed int) {
+					plans++
+					if regions > maxRegions {
+						maxRegions = regions
+					}
+					if claimed > g.N()/4+16 {
+						t.Errorf("seed %d workers=%d: plan claimed %d vertices, beyond the budget", seed, workers, claimed)
+					}
+				}
+				gotPart, gotSizes := refineWithMode(t, g, part, sizes, workers, mode)
+				regionPlanHook = nil
+				for v := range refPart {
+					if gotPart[v] != refPart[v] {
+						t.Fatalf("seed %d workers=%d mode=%d: vertex %d in cluster %d, serial walk %d",
+							seed, workers, mode, v, gotPart[v], refPart[v])
+					}
+				}
+				for id := range refSizes {
+					if gotSizes[id] != refSizes[id] {
+						t.Fatalf("seed %d workers=%d mode=%d: cluster %d size %d, serial walk %d",
+							seed, workers, mode, id, gotSizes[id], refSizes[id])
+					}
+				}
+				cut, err := g.CutWeight(gotPart)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cut != refCut {
+					t.Fatalf("seed %d workers=%d mode=%d: cut %g, serial walk %g", seed, workers, mode, cut, refCut)
+				}
+				// Speculative refinement (workers > 1 here, with GOMAXPROCS
+				// raised) must actually adopt region plans under force: the
+				// movers sit in disjoint components.
+				if mode == regionForce && workers > 1 {
+					if plans == 0 {
+						t.Fatalf("seed %d workers=%d: no region plan adopted under force", seed, workers)
+					}
+					if maxRegions < 2 {
+						t.Fatalf("seed %d workers=%d: movers in 10 disjoint components never split into >= 2 regions (max %d)",
+							seed, workers, maxRegions)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The auto gate must never engage regions when MaxSize is set (the ownership
+// argument requires decide to read no foreign cluster sizes), and regionOff
+// must always win.
+func TestRegionsEligibleGates(t *testing.T) {
+	if regionsEligible(10, 100000, 6, true) {
+		t.Fatal("regions engaged with MaxSize set")
+	}
+	if regionsEligible(0, 100000, 0, true) {
+		t.Fatal("regions engaged with no movers")
+	}
+	if regionsEligible(10, 100, 0, true) {
+		t.Fatal("auto gate engaged on a dense mover front")
+	}
+	if !regionsEligible(10, 100000, 0, true) {
+		t.Fatal("auto gate rejected a sparse mover front")
+	}
+	if regionsEligible(10, 100000, 0, false) {
+		t.Fatal("auto gate engaged on a non-speculative refinement")
+	}
+	prev := regionCommitMode
+	regionCommitMode = regionOff
+	if regionsEligible(10, 100000, 0, true) {
+		regionCommitMode = prev
+		t.Fatal("regionOff did not disable regions")
+	}
+	regionCommitMode = prev
+}

@@ -177,3 +177,11 @@ func CompareTable(evals []*Evaluation, b Baseline) string { return core.CompareT
 
 // DimensionNames labels the four evaluation axes in Figure 5c order.
 func DimensionNames() [4]string { return core.DimensionNames() }
+
+// SetPartitionPhaseLabels toggles runtime/pprof goroutine labels on the
+// multilevel partitioner's pipeline phases (match, contract, grow, refine,
+// tagged with the coarsening level), so a CPU profile attributes time to
+// phases instead of bare symbols. Enable it together with CPU profiling
+// and leave it off otherwise: each phase transition allocates while labels
+// are on, and the partitioner's hot path is allocation-free without them.
+func SetPartitionPhaseLabels(on bool) { graph.SetPhaseLabels(on) }
