@@ -55,12 +55,13 @@ serve-smoke:
 	sh scripts/hcserve_smoke.sh
 
 # chaos runs the fault-injection and cancellation suites under the race
-# detector: degraded trace cache, panic isolation, server deadlines,
-# cancellation latency, goroutine-leak assertions (the CI chaos job).
+# detector: degraded disk caches, panic isolation, server deadlines,
+# cancellation latency, goroutine-leak assertions, and the kill -9
+# restart/journal-resume drills (the CI chaos job).
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Cancel|Panic|Degrad|Quarantine|Fault|Timeout|Drain' \
-		./internal/faultinject/ ./internal/reliability/ \
+		-run 'Chaos|Cancel|Panic|Degrad|Quarantine|Fault|Timeout|Drain|Restart|Journal' \
+		./internal/diskstore/ ./internal/faultinject/ ./internal/reliability/ \
 		./pkg/hierclust/ ./pkg/hierclust/serve/
 
 # doccheck fails if any Go package lacks a package doc comment or a

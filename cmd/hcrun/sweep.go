@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -19,6 +20,14 @@ import (
 // composes with shell pipelines:
 //
 //	hcrun -sweep grid.json -server http://localhost:8080 | jq -r '.scenario'
+//
+// Polls and result streaming are idempotent GETs, so the client rides out
+// transient failures — connection refused/reset while the server restarts,
+// 502/503 answers from a draining server or a proxy in front of it — with
+// capped-backoff retries that honor Retry-After. Against a server running
+// with -sweep-journal, that means a sweep submitted before a crash streams
+// its results after the restart without the client noticing beyond the
+// pause. The submit POST is not idempotent and is never retried.
 
 // sweepClientStatus mirrors the fields of hcserve's sweep status document
 // that the client needs; unknown fields are ignored so the client stays
@@ -34,9 +43,112 @@ type sweepClientStatus struct {
 	ResultsURL string `json:"results_url"`
 }
 
+// Retry policy for idempotent GETs: capped doubling backoff, bounded
+// attempts, and an upper bound on how long a Retry-After answer can stall
+// one attempt.
+const (
+	sweepRetryAttempts = 8
+	sweepRetryBase     = 100 * time.Millisecond
+	sweepRetryCap      = 2 * time.Second
+	sweepRetryAfterCap = 5 * time.Second
+)
+
+// transientStatus reports whether an HTTP status signals a temporarily
+// unavailable server rather than a request the client got wrong.
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value, bounded so a
+// misbehaving server cannot stall the client arbitrarily.
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > sweepRetryAfterCap {
+		d = sweepRetryAfterCap
+	}
+	return d
+}
+
+// getWithRetry GETs url, retrying transport errors and transient statuses
+// (502/503, honoring Retry-After) with capped backoff. Any response it
+// returns has a non-transient status; the body is open and the caller's
+// to close.
+func getWithRetry(url string) (*http.Response, error) {
+	delay := sweepRetryBase
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Get(url)
+		if err == nil && !transientStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		wait := delay
+		if err == nil {
+			if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > wait {
+				wait = ra
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			err = fmt.Errorf("server answered %d", resp.StatusCode)
+		}
+		if attempt >= sweepRetryAttempts {
+			return nil, fmt.Errorf("after %d attempts: %w", attempt, err)
+		}
+		fmt.Fprintf(os.Stderr, "hcrun: transient failure (%v); retrying in %s\n", err, wait)
+		time.Sleep(wait)
+		if delay *= 2; delay > sweepRetryCap {
+			delay = sweepRetryCap
+		}
+	}
+}
+
+// copySweepLines streams NDJSON result lines from r to out, skipping the
+// first *emitted lines (already written before a reconnect — cell order
+// is deterministic, so the stream prefix is identical) and counting
+// failed cells. A partial trailing line is emitted only at EOF; a torn
+// read mid-line returns the error with nothing partial written, so the
+// caller can resume from a fresh connection.
+func copySweepLines(r io.Reader, out *bufio.Writer, emitted, failed *int) error {
+	// A bufio.Reader, not a Scanner: Scanner caps the line length, and a
+	// cell result document bigger than the cap would fail an otherwise
+	// successful sweep with ErrTooLong and drop the remaining lines.
+	rd := bufio.NewReader(r)
+	skip := *emitted
+	for {
+		raw, rerr := rd.ReadBytes('\n')
+		complete := len(raw) > 0 && raw[len(raw)-1] == '\n'
+		if len(raw) > 0 && (complete || rerr == io.EOF) {
+			if skip > 0 {
+				skip--
+			} else {
+				var line struct {
+					Status int `json:"status"`
+				}
+				if err := json.Unmarshal(raw, &line); err == nil && line.Status != http.StatusOK {
+					*failed++
+				}
+				out.Write(raw)
+				if !complete {
+					out.WriteByte('\n')
+				}
+				*emitted++
+			}
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+}
+
 // runSweepClient drives one sweep job end to end. It returns an error for
-// transport problems, a job that ends in any state but "completed", or a
-// stream containing failed cells.
+// a failed submit, transport problems that outlast the retry budget, a
+// job that ends in any state but "completed", or a stream containing
+// failed cells.
 func runSweepClient(server, sweepPath string, pollEvery time.Duration) error {
 	doc, err := os.ReadFile(sweepPath)
 	if err != nil {
@@ -62,9 +174,9 @@ func runSweepClient(server, sweepPath string, pollEvery time.Duration) error {
 	statusURL := server + "/v1/sweeps/" + st.ID
 	for st.State == "running" {
 		time.Sleep(pollEvery)
-		resp, err := http.Get(statusURL)
+		resp, err := getWithRetry(statusURL)
 		if err != nil {
-			return err
+			return fmt.Errorf("poll: %w", err)
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -82,42 +194,31 @@ func runSweepClient(server, sweepPath string, pollEvery time.Duration) error {
 			st.ID, st.State, st.Cells.Done, st.Cells.Total, st.Cells.Failed)
 	}
 
-	resp, err = http.Get(statusURL + "/results")
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		b, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("results: server answered %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
-	}
-	// A bufio.Reader, not a Scanner: Scanner caps the line length, and a
-	// cell result document bigger than the cap would fail an otherwise
-	// successful sweep with ErrTooLong and drop the remaining lines.
-	failed := 0
-	rd := bufio.NewReader(resp.Body)
+	emitted, failed := 0, 0
 	out := bufio.NewWriter(os.Stdout)
-	for {
-		raw, rerr := rd.ReadBytes('\n')
-		if len(raw) > 0 {
-			var line struct {
-				Status int `json:"status"`
-			}
-			if err := json.Unmarshal(raw, &line); err == nil && line.Status != http.StatusOK {
-				failed++
-			}
-			out.Write(raw)
-			if raw[len(raw)-1] != '\n' {
-				out.WriteByte('\n')
-			}
+	for attempt := 1; ; attempt++ {
+		resp, err := getWithRetry(statusURL + "/results")
+		if err != nil {
+			out.Flush()
+			return fmt.Errorf("results: %w", err)
 		}
-		if rerr == io.EOF {
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			out.Flush()
+			return fmt.Errorf("results: server answered %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+		}
+		rerr := copySweepLines(resp.Body, out, &emitted, &failed)
+		resp.Body.Close()
+		if rerr == nil {
 			break
 		}
-		if rerr != nil {
+		if attempt >= sweepRetryAttempts {
 			out.Flush()
 			return fmt.Errorf("results: reading stream: %w", rerr)
 		}
+		fmt.Fprintf(os.Stderr, "hcrun: results stream broke after %d lines (%v); resuming\n", emitted, rerr)
+		time.Sleep(sweepRetryBase)
 	}
 	if err := out.Flush(); err != nil {
 		return err

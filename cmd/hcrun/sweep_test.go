@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGetWithRetryRidesOutTransientAnswers pins the sweep client's
+// retry contract: 503 (with Retry-After) and 502 answers are retried
+// with backoff until the server recovers, and the eventual response is
+// the healthy one.
+func TestGetWithRetryRidesOutTransientAnswers(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			w.WriteHeader(http.StatusBadGateway)
+		default:
+			io.WriteString(w, "ok")
+		}
+	}))
+	defer ts.Close()
+
+	resp, err := getWithRetry(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(b) != "ok" {
+		t.Fatalf("got %d %q; want 200 ok", resp.StatusCode, b)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d requests; want 3", n)
+	}
+}
+
+// TestGetWithRetryDoesNotRetryClientErrors: a 404 is the caller's
+// problem, not a transient server state.
+func TestGetWithRetryDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	resp, err := getWithRetry(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || calls.Load() != 1 {
+		t.Fatalf("status %d after %d calls; want one 404", resp.StatusCode, calls.Load())
+	}
+}
+
+// tornReader yields its payload, then a connection-reset-style error
+// instead of EOF.
+type tornReader struct {
+	r io.Reader
+}
+
+func (tr *tornReader) Read(p []byte) (int, error) {
+	n, err := tr.r.Read(p)
+	if err == io.EOF {
+		return n, errors.New("connection reset by peer")
+	}
+	return n, err
+}
+
+// TestCopySweepLinesResumesWithoutDuplicatesOrTears drives the
+// reconnect path: the first stream tears mid-line, the second replays
+// the full NDJSON from the top, and the output must be exactly the full
+// stream — no duplicated prefix, no partial line from the torn read.
+func TestCopySweepLinesResumesWithoutDuplicatesOrTears(t *testing.T) {
+	full := `{"index":0,"status":200}` + "\n" +
+		`{"index":1,"status":422}` + "\n" +
+		`{"index":2,"status":200}` + "\n"
+	torn := full[:len(full)/2] // ends mid-line
+
+	var buf bytes.Buffer
+	out := bufio.NewWriter(&buf)
+	emitted, failed := 0, 0
+	err := copySweepLines(&tornReader{strings.NewReader(torn)}, out, &emitted, &failed)
+	if err == nil {
+		t.Fatal("torn stream did not surface its error")
+	}
+	if emitted != 1 {
+		t.Fatalf("emitted %d complete lines from the torn stream; want 1", emitted)
+	}
+	if err := copySweepLines(strings.NewReader(full), out, &emitted, &failed); err != nil {
+		t.Fatal(err)
+	}
+	out.Flush()
+	if buf.String() != full {
+		t.Fatalf("resumed output is not the uninterrupted stream:\n%q\nvs\n%q", buf.String(), full)
+	}
+	if emitted != 3 || failed != 1 {
+		t.Fatalf("emitted %d, failed %d; want 3 lines with 1 failed cell", emitted, failed)
+	}
+}
+
+func TestParseRetryAfterBounds(t *testing.T) {
+	if d := parseRetryAfter("2"); d != 2*time.Second {
+		t.Fatalf("parseRetryAfter(2) = %s", d)
+	}
+	if d := parseRetryAfter("86400"); d != sweepRetryAfterCap {
+		t.Fatalf("parseRetryAfter(86400) = %s; want the cap", d)
+	}
+	for _, bad := range []string{"", "-1", "soon", "Wed, 21 Oct 2015 07:28:00 GMT"} {
+		if d := parseRetryAfter(bad); d != 0 {
+			t.Fatalf("parseRetryAfter(%q) = %s; want 0", bad, d)
+		}
+	}
+}

@@ -13,6 +13,8 @@
 //	hcserve -addr :9090 -cache 512     # custom port and result-cache size
 //	hcserve -workers 4                 # bound per-request parallelism
 //	hcserve -trace-cache-dir /var/hc   # persistent disk trace cache
+//	hcserve -result-cache-dir /var/hc/results -sweep-journal /var/hc/sweeps.journal
+//	                                   # restart-survivable results and sweeps
 //	hcserve -max-concurrent 8 -queue-depth 32 -retry-after 2s
 //	hcserve -eval-timeout 30s          # server-side deadline per evaluation
 //	hcserve -fault 'tracecache.disk.write=error:1.0'   # chaos drills
@@ -62,6 +64,10 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace period for in-flight evaluations")
 		evalTimeout  = flag.Duration("eval-timeout", 0, "server-side deadline per evaluation / batch element, measured after admission (0 = none); exceeded = 504")
 
+		resultDir    = flag.String("result-cache-dir", "", "directory for a persistent disk result cache beneath the LRU (empty = in-memory only)")
+		resultDiskMB = flag.Int("result-cache-mb", 512, "disk result cache size bound in MiB (with -result-cache-dir)")
+		sweepJournal = flag.String("sweep-journal", "", "path of the crash-safe sweep journal; accepted sweeps resume across restarts (empty = none)")
+
 		clientCap     = flag.Int("client-slot-cap", 0, "max evaluation slots one client (X-Hierclust-Client) may hold at once (0 = max-concurrent-1)")
 		maxSweepCells = flag.Int("max-sweep-cells", serve.DefaultMaxSweepCells, "max cells per /v1/sweeps submission")
 		maxSweeps     = flag.Int("max-sweeps", serve.DefaultMaxConcurrentSweeps, "sweep jobs executing at once")
@@ -90,6 +96,18 @@ func main() {
 		cacheStats = mc
 	}
 
+	// Assign through a typed local only when a tier exists: a nil
+	// *DiskResultCache stored in the interface field would not compare
+	// equal to nil inside the server.
+	var resultTier serve.ResultCacheTier
+	if *resultDir != "" {
+		rc, err := hierclust.NewDiskResultCache(*resultDir, int64(*resultDiskMB)<<20)
+		if err != nil {
+			fail(err)
+		}
+		resultTier = rc
+	}
+
 	handler := serve.New(serve.Options{
 		Pipeline:          hierclust.NewPipeline(opts...),
 		CacheSize:         *cache,
@@ -99,12 +117,22 @@ func main() {
 		MaxBatchScenarios: *maxBatch,
 		EvalTimeout:       *evalTimeout,
 		TraceCache:        cacheStats,
+		ResultCache:       resultTier,
 
 		ClientSlotCap:       *clientCap,
 		MaxSweepCells:       *maxSweepCells,
 		MaxConcurrentSweeps: *maxSweeps,
 		MaxSweepJobs:        *maxSweepJobs,
 	})
+	if *sweepJournal != "" {
+		resumed, err := handler.OpenSweepJournal(*sweepJournal)
+		if err != nil {
+			fail(err)
+		}
+		if resumed > 0 {
+			log.Printf("hcserve: resuming %d journaled sweep job(s)", resumed)
+		}
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

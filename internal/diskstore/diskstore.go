@@ -1,0 +1,553 @@
+// Package diskstore is the shared hardened disk persistence layer behind
+// hierclust's durable caches and the hcserve sweep journal. It extracts
+// the degrade-don't-fail discipline the disk trace cache pioneered so
+// every on-disk subsystem inherits the same guarantees:
+//
+//   - Atomic writes: every file lands via temp file + rename, so a crash
+//     mid-write never leaves a half-written blob under its real name.
+//   - Retried transient IO: each disk operation gets capped-backoff
+//     retries, with every failed attempt counted (Stats.ReadErrors /
+//     WriteErrors) so metrics move before users notice.
+//   - Quarantine, not delete: corrupt files are renamed to <name>.bad —
+//     the bytes are the only evidence of how they got corrupted.
+//   - Degraded mode: after enough consecutive failed attempts the store
+//     goes memory-only (a bounded fallback LRU keeps serving the hottest
+//     entries) and probes the disk periodically until a write succeeds.
+//   - Optional checksum framing: Options.Checksum wraps payloads in a
+//     magic + CRC32 header so corruption is detected at read time without
+//     the caller having to parse anything. Self-validating formats (the
+//     HCTR trace serialization) can opt out and report corruption back
+//     via Quarantine.
+//
+// The Journal in this package shares the same philosophy for append-only
+// record logs: checksummed records, single-write appends, and a corrupt
+// tail that is quarantined and truncated instead of poisoning recovery.
+package diskstore
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hierclust/internal/faultinject"
+)
+
+const (
+	// QuarantineExt is appended to a corrupt file's full name, preserving
+	// the original extension (cache.hctr -> cache.hctr.bad).
+	QuarantineExt = ".bad"
+
+	// OpAttempts is how many times a transiently failing disk operation is
+	// tried before the store gives up on it.
+	OpAttempts = 3
+
+	retryBackoff    = 2 * time.Millisecond
+	retryBackoffMax = 8 * time.Millisecond
+
+	// DefaultProbeEvery is how often a degraded store lets one write
+	// through to test whether the disk recovered.
+	DefaultProbeEvery = 30 * time.Second
+
+	// DefaultMemFallback bounds the degraded-mode memory LRU, in entries.
+	DefaultMemFallback = 32
+)
+
+// blobMagic opens every checksum-framed blob: "HCDS" + format version 1.
+var blobMagic = [5]byte{'H', 'C', 'D', 'S', '1'}
+
+// blobHeaderLen is magic (5) + crc32 (4) + payload length (4).
+const blobHeaderLen = len(blobMagic) + 8
+
+// Options configures Open.
+type Options struct {
+	// Dir is the store's directory, created if needed.
+	Dir string
+	// Ext is the filename extension of stored blobs, dot included
+	// (".hctr"). Files without it are ignored by the restart re-index.
+	Ext string
+	// MaxBytes bounds the stored size; least-recently-used blobs are
+	// evicted past it. Must be positive.
+	MaxBytes int64
+	// Checksum wraps payloads in a magic+CRC32 header so Get detects
+	// corruption itself (quarantining the file and reporting a miss).
+	// Leave false for self-validating payload formats, whose callers
+	// signal corruption via Quarantine instead.
+	Checksum bool
+	// FaultPrefix, when non-empty, names the store's fault-injection
+	// points: <prefix>.read, <prefix>.write, and <prefix>.rename fire at
+	// the top of each read attempt, write attempt, and rename.
+	FaultPrefix string
+	// DegradeAfter is how many consecutive failed attempts flip the store
+	// to memory-only; <= 0 picks OpAttempts (one retried-out operation).
+	DegradeAfter int
+	// ProbeEvery is the degraded-mode disk probe interval; <= 0 picks
+	// DefaultProbeEvery.
+	ProbeEvery time.Duration
+	// MemFallback bounds the degraded-mode memory LRU in entries; <= 0
+	// picks DefaultMemFallback.
+	MemFallback int
+}
+
+// Stats is the store's observability surface.
+type Stats struct {
+	// Entries and Bytes describe the on-disk index.
+	Entries int
+	Bytes   int64
+	// ReadErrors and WriteErrors count failed disk operation *attempts*
+	// (each retry of a transiently failing op counts).
+	ReadErrors, WriteErrors int64
+	// Quarantined counts corrupt files renamed to .bad.
+	Quarantined int64
+	// Degraded reports memory-only fallback mode.
+	Degraded bool
+	// MemEntries is the degraded-mode fallback's entry count.
+	MemEntries int
+}
+
+// Store is a size-bounded directory of blobs keyed by filename stem, with
+// the retry/quarantine/degrade hardening described in the package comment.
+// All methods are safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	ext    string
+	max    int64
+	total  int64
+	ll     *list.List // front = most recently used
+	byStem map[string]*list.Element
+
+	checksum    bool
+	faultRead   string
+	faultWrite  string
+	faultRename string
+
+	degradeAfter int
+	probeEvery   time.Duration
+	consecFails  atomic.Int32
+	degraded     atomic.Bool
+	degradedAt   atomic.Int64 // unix nanos; advanced when a probe is claimed
+	readErrs     atomic.Int64
+	writeErrs    atomic.Int64
+	quarantined  atomic.Int64
+	mem          *memLRU
+}
+
+type storeEntry struct {
+	stem string
+	size int64
+}
+
+// Open opens (creating if needed) a store rooted at o.Dir. Existing blobs
+// are re-indexed oldest-first by modification time — the restart-survival
+// path — and evicted down to the byte budget; quarantined .bad files and
+// foreign extensions are ignored.
+func Open(o Options) (*Store, error) {
+	if o.MaxBytes <= 0 {
+		return nil, fmt.Errorf("diskstore: MaxBytes must be positive")
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	s := &Store{
+		dir:          o.Dir,
+		ext:          o.Ext,
+		max:          o.MaxBytes,
+		ll:           list.New(),
+		byStem:       map[string]*list.Element{},
+		checksum:     o.Checksum,
+		degradeAfter: o.DegradeAfter,
+		probeEvery:   o.ProbeEvery,
+	}
+	if s.degradeAfter <= 0 {
+		s.degradeAfter = OpAttempts
+	}
+	if s.probeEvery <= 0 {
+		s.probeEvery = DefaultProbeEvery
+	}
+	memCap := o.MemFallback
+	if memCap <= 0 {
+		memCap = DefaultMemFallback
+	}
+	s.mem = newMemLRU(memCap)
+	if p := o.FaultPrefix; p != "" {
+		s.faultRead, s.faultWrite, s.faultRename = p+".read", p+".write", p+".rename"
+	}
+
+	entries, err := os.ReadDir(o.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	type found struct {
+		stem  string
+		size  int64
+		mtime int64
+	}
+	var olds []found
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != s.ext {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		olds = append(olds, found{stem: name[:len(name)-len(s.ext)], size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(olds, func(i, j int) bool { return olds[i].mtime < olds[j].mtime })
+	for _, f := range olds {
+		s.byStem[f.stem] = s.ll.PushFront(&storeEntry{stem: f.stem, size: f.size})
+		s.total += f.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+func (s *Store) path(stem string) string {
+	return filepath.Join(s.dir, stem+s.ext)
+}
+
+// hitFault fires a named fault point, or nothing when the store was opened
+// without a FaultPrefix.
+func hitFault(name string) error {
+	if name == "" {
+		return nil
+	}
+	return faultinject.Hit(name)
+}
+
+// permanentErr marks a failure retrying cannot fix — the bytes are wrong,
+// not the IO. retry returns it immediately, uncharged.
+type permanentErr struct{ error }
+
+func (e permanentErr) Unwrap() error { return e.error }
+
+func isPermanent(err error) bool {
+	if _, ok := err.(permanentErr); ok {
+		return true
+	}
+	return os.IsNotExist(err)
+}
+
+// retry runs op with capped-backoff retries, charging every failed
+// transient attempt to errs and to the consecutive-failure degradation
+// trigger. Permanent failures return immediately, uncharged.
+func (s *Store) retry(errs *atomic.Int64, op func() error) error {
+	backoff := retryBackoff
+	var err error
+	for attempt := 0; attempt < OpAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff < retryBackoffMax {
+				backoff *= 2
+			}
+		}
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if isPermanent(err) {
+			return err
+		}
+		errs.Add(1)
+		s.noteFailure()
+	}
+	return err
+}
+
+// noteFailure records one failed disk attempt; degradeAfter of them in a
+// row (no intervening success) flip the store to memory-only.
+func (s *Store) noteFailure() {
+	if int(s.consecFails.Add(1)) >= s.degradeAfter && !s.degraded.Swap(true) {
+		s.degradedAt.Store(time.Now().UnixNano())
+	}
+}
+
+// noteSuccess resets the failure streak and leaves degraded mode (a disk
+// success while degraded can only come from a recovery probe).
+func (s *Store) noteSuccess() {
+	s.consecFails.Store(0)
+	s.degraded.Store(false)
+}
+
+// shouldProbe reports whether a degraded store should let this Put through
+// to the disk as a recovery probe. At most one caller wins per probeEvery
+// window (CAS on the timestamp), so a degraded store under load does not
+// hammer a dead disk.
+func (s *Store) shouldProbe() bool {
+	at := s.degradedAt.Load()
+	if time.Since(time.Unix(0, at)) < s.probeEvery {
+		return false
+	}
+	return s.degradedAt.CompareAndSwap(at, time.Now().UnixNano())
+}
+
+// Get returns the blob stored under stem. Transient read failures are
+// retried with backoff and fall back to the degraded-mode memory LRU; with
+// Checksum on, a corrupt file is quarantined and reported as a miss; in
+// degraded mode the disk is not touched at all. The returned slice is the
+// caller's to keep — it never aliases store-internal memory.
+func (s *Store) Get(stem string) ([]byte, bool) {
+	if s.degraded.Load() {
+		return s.mem.get(stem)
+	}
+	s.mu.Lock()
+	el, ok := s.byStem[stem]
+	if !ok {
+		s.mu.Unlock()
+		// Not on disk — but a Put during an earlier failure window may
+		// have landed the blob in the memory fallback.
+		return s.mem.get(stem)
+	}
+	s.ll.MoveToFront(el)
+	s.mu.Unlock()
+
+	var raw []byte
+	err := s.retry(&s.readErrs, func() error {
+		if err := hitFault(s.faultRead); err != nil {
+			return err
+		}
+		b, err := os.ReadFile(s.path(stem))
+		if err != nil {
+			return err
+		}
+		raw = b
+		return nil
+	})
+	switch {
+	case err == nil:
+		s.noteSuccess()
+		payload, ok := s.unframe(raw)
+		if !ok {
+			// Framing says the bytes are corrupt: a content problem, not a
+			// disk-health problem.
+			s.Quarantine(stem)
+			return s.mem.get(stem)
+		}
+		return payload, true
+	case os.IsNotExist(err):
+		// Vanished behind our back (concurrent cleanup): index drift, not
+		// a disk fault.
+		s.dropIndex(stem)
+	default:
+		// Transient IO that survived every retry (already counted). Keep
+		// the index entry — the bytes are probably fine, the IO was not.
+	}
+	return s.mem.get(stem)
+}
+
+// frame wraps data in the checksum header (or returns it as-is when the
+// store was opened without Checksum).
+func (s *Store) frame(data []byte) []byte {
+	if !s.checksum {
+		return data
+	}
+	out := make([]byte, blobHeaderLen+len(data))
+	copy(out, blobMagic[:])
+	binary.BigEndian.PutUint32(out[len(blobMagic):], crc32.ChecksumIEEE(data))
+	binary.BigEndian.PutUint32(out[len(blobMagic)+4:], uint32(len(data)))
+	copy(out[blobHeaderLen:], data)
+	return out
+}
+
+// unframe validates and strips the checksum header.
+func (s *Store) unframe(raw []byte) ([]byte, bool) {
+	if !s.checksum {
+		return raw, true
+	}
+	if len(raw) < blobHeaderLen || string(raw[:len(blobMagic)]) != string(blobMagic[:]) {
+		return nil, false
+	}
+	crc := binary.BigEndian.Uint32(raw[len(blobMagic):])
+	n := binary.BigEndian.Uint32(raw[len(blobMagic)+4:])
+	payload := raw[blobHeaderLen:]
+	if uint32(len(payload)) != n || crc32.ChecksumIEEE(payload) != crc {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put stores data under stem: framed, written to a temp file, renamed into
+// place, then LRU-evicted down to the byte budget. Transient write
+// failures are retried with backoff; a Put that still fails keeps the blob
+// in the memory fallback so the work behind it is not lost. In degraded
+// mode the disk is skipped entirely except for one recovery probe per
+// probe interval. Stored blobs are deterministic per stem: a stem already
+// present is left untouched.
+func (s *Store) Put(stem string, data []byte) {
+	if s.degraded.Load() && !s.shouldProbe() {
+		s.mem.put(stem, data)
+		return
+	}
+	s.mu.Lock()
+	_, exists := s.byStem[stem]
+	s.mu.Unlock()
+	if exists {
+		return
+	}
+
+	blob := s.frame(data)
+	err := s.retry(&s.writeErrs, func() error {
+		return s.writeAttempt(stem, blob)
+	})
+	if err != nil {
+		s.mem.put(stem, data)
+		return
+	}
+	s.noteSuccess()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byStem[stem]; dup {
+		return // concurrent Put of the same stem; file contents identical
+	}
+	s.byStem[stem] = s.ll.PushFront(&storeEntry{stem: stem, size: int64(len(blob))})
+	s.total += int64(len(blob))
+	s.evictLocked()
+}
+
+// writeAttempt is one try at writing a blob: temp file, write, close,
+// rename into place. The write error and the rename error are tracked as
+// separate fault points, and the temp file is removed on every failure
+// path so failed writes leave nothing behind.
+func (s *Store) writeAttempt(stem string, blob []byte) error {
+	if err := hitFault(s.faultWrite); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("create temp: %w", err)
+	}
+	_, err = tmp.Write(blob)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("write: %w", err)
+	}
+	if err := hitFault(s.faultRename); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("rename: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(stem)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("rename: %w", err)
+	}
+	return nil
+}
+
+// dropIndex removes a stem from the index only; the caller decides what
+// happens to the file.
+func (s *Store) dropIndex(stem string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byStem[stem]; ok {
+		s.total -= el.Value.(*storeEntry).size
+		s.ll.Remove(el)
+		delete(s.byStem, stem)
+	}
+}
+
+// Quarantine moves a corrupt blob aside as <stem><ext>.bad instead of
+// deleting it — destroying the only evidence of how data got corrupted is
+// how storage bugs stay unfixed. Callers of non-checksummed stores invoke
+// it when their own decode fails; checksummed stores invoke it themselves.
+func (s *Store) Quarantine(stem string) {
+	s.dropIndex(stem)
+	if err := os.Rename(s.path(stem), s.path(stem)+QuarantineExt); err != nil {
+		// Cannot preserve it; remove so the stem is rebuildable.
+		_ = os.Remove(s.path(stem))
+	}
+	s.quarantined.Add(1)
+}
+
+// evictLocked removes least-recently-used blobs until total <= max, always
+// keeping at least the most recent entry (a single blob larger than the
+// budget still stores — evicting it would defeat the point).
+func (s *Store) evictLocked() {
+	for s.total > s.max && s.ll.Len() > 1 {
+		oldest := s.ll.Back()
+		e := oldest.Value.(*storeEntry)
+		s.ll.Remove(oldest)
+		delete(s.byStem, e.stem)
+		s.total -= e.size
+		_ = os.Remove(s.path(e.stem))
+	}
+}
+
+// Stats returns the index size and the disk-health counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	n, b := s.ll.Len(), s.total
+	s.mu.Unlock()
+	return Stats{
+		Entries:     n,
+		Bytes:       b,
+		ReadErrors:  s.readErrs.Load(),
+		WriteErrors: s.writeErrs.Load(),
+		Quarantined: s.quarantined.Load(),
+		Degraded:    s.degraded.Load(),
+		MemEntries:  s.mem.len(),
+	}
+}
+
+// memLRU is the degraded-mode fallback: a bounded stem -> bytes LRU.
+// Both put and get copy, so fallback contents never alias caller memory.
+type memLRU struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List
+	byK map[string]*list.Element
+}
+
+type memEntry struct {
+	stem string
+	data []byte
+}
+
+func newMemLRU(capacity int) *memLRU {
+	return &memLRU{cap: capacity, ll: list.New(), byK: map[string]*list.Element{}}
+}
+
+func (m *memLRU) get(stem string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byK[stem]
+	if !ok {
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	return append([]byte(nil), el.Value.(*memEntry).data...), true
+}
+
+func (m *memLRU) put(stem string, data []byte) {
+	if m.cap <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byK[stem]; ok {
+		m.ll.MoveToFront(el)
+		return // deterministic per stem; keep the resident bytes
+	}
+	m.byK[stem] = m.ll.PushFront(&memEntry{stem: stem, data: append([]byte(nil), data...)})
+	for m.ll.Len() > m.cap {
+		oldest := m.ll.Back()
+		m.ll.Remove(oldest)
+		delete(m.byK, oldest.Value.(*memEntry).stem)
+	}
+}
+
+func (m *memLRU) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}

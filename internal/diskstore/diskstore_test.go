@@ -1,0 +1,344 @@
+package diskstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hierclust/internal/faultinject"
+)
+
+func openTest(t *testing.T, dir string, max int64, o func(*Options)) *Store {
+	t.Helper()
+	opts := Options{
+		Dir:         dir,
+		Ext:         ".blob",
+		MaxBytes:    max,
+		Checksum:    true,
+		FaultPrefix: "diskstoretest",
+		ProbeEvery:  time.Hour, // tests opt in to probing explicitly
+	}
+	if o != nil {
+		o(&opts)
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir(), 1<<20, nil)
+	want := []byte("payload bytes")
+	s.Put("a", want)
+	got, ok := s.Get("a")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+	}
+	// The returned slice must not alias store or caller memory.
+	got[0] = 'X'
+	again, ok := s.Get("a")
+	if !ok || !bytes.Equal(again, want) {
+		t.Fatalf("Get after mutation = %q, %v; want %q, true", again, ok, want)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) reported a hit")
+	}
+}
+
+func TestStoreRestartReindex(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openTest(t, dir, 1<<20, nil)
+	s1.Put("a", []byte("alpha"))
+	s1.Put("b", []byte("beta"))
+
+	// A fresh Store over the same directory sees both blobs.
+	s2 := openTest(t, dir, 1<<20, nil)
+	if st := s2.Stats(); st.Entries != 2 {
+		t.Fatalf("Entries after reopen = %d; want 2", st.Entries)
+	}
+	for stem, want := range map[string]string{"a": "alpha", "b": "beta"} {
+		got, ok := s2.Get(stem)
+		if !ok || string(got) != want {
+			t.Fatalf("Get(%q) after reopen = %q, %v; want %q", stem, got, ok, want)
+		}
+	}
+}
+
+func TestStoreEvictsToBudget(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	sz := int64(blobHeaderLen + len(payload))
+	s := openTest(t, dir, 2*sz, nil)
+	s.Put("a", payload)
+	s.Put("b", payload)
+	s.Put("c", payload) // evicts a (least recently used)
+	if st := s.Stats(); st.Entries != 2 || st.Bytes != 2*sz {
+		t.Fatalf("Stats = %+v; want 2 entries, %d bytes", st, 2*sz)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("evicted blob still served")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.blob"))
+	if len(files) != 2 {
+		t.Fatalf("disk has %d blobs; want 2", len(files))
+	}
+}
+
+func TestStoreQuarantinesCorruptChecksum(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 1<<20, nil)
+	s.Put("a", []byte("good bytes"))
+
+	garbage := []byte("HCDS1 corrupted beyond the header")
+	if err := os.WriteFile(filepath.Join(dir, "a.blob"), garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d; want 1", st.Quarantined)
+	}
+	if st.ReadErrors != 0 {
+		t.Fatalf("ReadErrors = %d; corruption is not an IO error", st.ReadErrors)
+	}
+	if st.Degraded {
+		t.Fatal("corruption degraded the store; only IO failures should")
+	}
+	bad, err := os.ReadFile(filepath.Join(dir, "a.blob"+QuarantineExt))
+	if err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	if !bytes.Equal(bad, garbage) {
+		t.Fatal("quarantine file does not preserve the corrupt bytes")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.blob")); !os.IsNotExist(err) {
+		t.Fatal("corrupt blob still present under its real name")
+	}
+	// The stem is rebuildable.
+	s.Put("a", []byte("rebuilt"))
+	if got, ok := s.Get("a"); !ok || string(got) != "rebuilt" {
+		t.Fatalf("Get after rebuild = %q, %v", got, ok)
+	}
+}
+
+func TestStoreDegradesOnWriteFaultsAndRecoversViaProbe(t *testing.T) {
+	defer faultinject.DisarmAll()
+	dir := t.TempDir()
+	s := openTest(t, dir, 1<<20, func(o *Options) { o.ProbeEvery = 5 * time.Millisecond })
+
+	faultinject.Arm("diskstoretest.write", faultinject.Fault{Kind: faultinject.KindError})
+	s.Put("a", []byte("alpha"))
+	st := s.Stats()
+	if st.WriteErrors != OpAttempts {
+		t.Fatalf("WriteErrors = %d; want %d", st.WriteErrors, OpAttempts)
+	}
+	if !st.Degraded {
+		t.Fatal("store not degraded after a retried-out write")
+	}
+	if st.MemEntries != 1 {
+		t.Fatalf("MemEntries = %d; want 1 (fallback holds the blob)", st.MemEntries)
+	}
+	if got, ok := s.Get("a"); !ok || string(got) != "alpha" {
+		t.Fatalf("degraded Get = %q, %v; want alpha via fallback", got, ok)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*")); len(files) != 0 {
+		t.Fatalf("degraded store left files on disk: %v", files)
+	}
+
+	faultinject.DisarmAll()
+	time.Sleep(10 * time.Millisecond)
+	s.Put("b", []byte("beta")) // probe: disk healthy again
+	st = s.Stats()
+	if st.Degraded {
+		t.Fatal("store still degraded after a successful probe write")
+	}
+	if st.Entries != 1 {
+		t.Fatalf("Entries = %d; want 1 (the probe blob)", st.Entries)
+	}
+	if got, ok := s.Get("b"); !ok || string(got) != "beta" {
+		t.Fatalf("post-recovery Get = %q, %v", got, ok)
+	}
+}
+
+func TestStoreReadFaultKeepsIndex(t *testing.T) {
+	defer faultinject.DisarmAll()
+	dir := t.TempDir()
+	s := openTest(t, dir, 1<<20, func(o *Options) { o.DegradeAfter = 100 })
+	s.Put("a", []byte("alpha"))
+
+	faultinject.Arm("diskstoretest.read", faultinject.Fault{Kind: faultinject.KindError})
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Get served a hit through an injected read fault")
+	}
+	st := s.Stats()
+	if st.ReadErrors != OpAttempts {
+		t.Fatalf("ReadErrors = %d; want %d", st.ReadErrors, OpAttempts)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("Entries = %d; transient read failure must keep the index", st.Entries)
+	}
+	if st.Degraded {
+		t.Fatal("degraded despite DegradeAfter=100")
+	}
+	faultinject.DisarmAll()
+	if got, ok := s.Get("a"); !ok || string(got) != "alpha" {
+		t.Fatalf("Get after disarm = %q, %v", got, ok)
+	}
+}
+
+func TestStoreRenameFaultCleansTemp(t *testing.T) {
+	defer faultinject.DisarmAll()
+	dir := t.TempDir()
+	s := openTest(t, dir, 1<<20, func(o *Options) { o.DegradeAfter = 100 })
+
+	faultinject.Arm("diskstoretest.rename", faultinject.Fault{Kind: faultinject.KindError})
+	s.Put("a", []byte("alpha"))
+	if st := s.Stats(); st.WriteErrors != OpAttempts || st.Entries != 0 {
+		t.Fatalf("Stats = %+v; want %d write errors, 0 entries", s.Stats(), OpAttempts)
+	}
+	if temps, _ := filepath.Glob(filepath.Join(dir, "put-*")); len(temps) != 0 {
+		t.Fatalf("failed writes left temp files: %v", temps)
+	}
+	// The blob still serves from the fallback, bit-identical.
+	if got, ok := s.Get("a"); !ok || string(got) != "alpha" {
+		t.Fatalf("fallback Get = %q, %v", got, ok)
+	}
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(byte(i%2+1), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records; want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.Kind != byte(i%2+1) || string(r.Payload) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("record %d = kind %d payload %q", i, r.Kind, r.Payload)
+		}
+	}
+}
+
+func TestJournalCorruptTailQuarantinedAndTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(1, []byte("first"))
+	j.Append(1, []byte("second"))
+	j.Close()
+
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final append: a header promising more bytes than
+	// the file holds.
+	torn := append(append([]byte(nil), intact...), encodeRecord(1, []byte("third incomplete"))[:journalHeaderLen+4]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0].Payload) != "first" || string(recs[1].Payload) != "second" {
+		t.Fatalf("replay after torn tail = %d records", len(recs))
+	}
+	bad, err := os.ReadFile(path + QuarantineExt)
+	if err != nil {
+		t.Fatalf("quarantined tail: %v", err)
+	}
+	if !bytes.Equal(bad, torn[len(intact):]) {
+		t.Fatal("quarantined tail does not preserve the torn bytes")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, intact) {
+		t.Fatal("journal not truncated back to the last intact record")
+	}
+}
+
+func TestJournalCorruptCRCTruncatesFromBadRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(1, []byte("keep me"))
+	j.Close()
+	intact, _ := os.ReadFile(path)
+
+	bad := encodeRecord(2, []byte("bitrot victim"))
+	bad[len(bad)-1] ^= 0xFF // flip a payload bit; CRC now fails
+	tail := append(bad, encodeRecord(1, []byte("after the corruption"))...)
+	if err := os.WriteFile(path, append(append([]byte(nil), intact...), tail...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything from the first bad record onward is dropped, even intact
+	// records after it — order is the journal's semantic content.
+	_, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "keep me" {
+		t.Fatalf("replay = %d records; want just the pre-corruption one", len(recs))
+	}
+}
+
+func TestJournalRewriteCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		j.Append(1, []byte(fmt.Sprintf("r%d", i)))
+	}
+	if err := j.Rewrite([]Record{{Kind: 1, Payload: []byte("survivor")}}); err != nil {
+		t.Fatal(err)
+	}
+	// The append handle must follow the rewrite onto the new inode.
+	if err := j.Append(2, []byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0].Payload) != "survivor" || string(recs[1].Payload) != "post-compact" {
+		t.Fatalf("replay after rewrite = %+v", recs)
+	}
+}

@@ -1,0 +1,175 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal record wire format, designed so a crash mid-append can corrupt
+// at most the tail, and the tail is detectably corrupt:
+//
+//	magic "HCJL" (4) | kind (1) | payload len (4, BE) | crc32(payload) (4, BE) | payload
+//
+// Records are appended with a single Write followed by Sync; a torn write
+// leaves a record whose length or CRC does not check out, and OpenJournal
+// quarantines everything from the first bad byte onward into
+// <path>.bad and truncates the journal back to the last good record.
+var journalMagic = [4]byte{'H', 'C', 'J', 'L'}
+
+const journalHeaderLen = 13
+
+// maxJournalPayload rejects absurd length fields during recovery parsing
+// (a corrupt length would otherwise read as a multi-gigabyte record).
+const maxJournalPayload = 64 << 20
+
+// Record is one journal entry. Kind is caller-defined; Payload is opaque
+// to the journal and CRC-protected on disk.
+type Record struct {
+	Kind    byte
+	Payload []byte
+}
+
+// Journal is an append-only, checksummed record log. Safe for concurrent
+// appends.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays
+// it, returning every intact record in append order. A corrupt tail —
+// torn final append, disk corruption — is copied to <path>.bad and the
+// journal is truncated back to the last intact record, so recovery always
+// starts from a self-consistent log.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("diskstore: journal: %w", err)
+	}
+
+	var recs []Record
+	off := 0
+	for off < len(raw) {
+		rec, n, ok := parseRecord(raw[off:])
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	if off < len(raw) {
+		// Corrupt tail: preserve the evidence, then truncate past it.
+		if werr := os.WriteFile(path+QuarantineExt, raw[off:], 0o644); werr != nil {
+			return nil, nil, fmt.Errorf("diskstore: journal: quarantine tail: %w", werr)
+		}
+		if terr := os.Truncate(path, int64(off)); terr != nil {
+			return nil, nil, fmt.Errorf("diskstore: journal: truncate tail: %w", terr)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("diskstore: journal: %w", err)
+	}
+	return &Journal{path: path, f: f}, recs, nil
+}
+
+// parseRecord decodes one record from the front of raw, returning the
+// record, its encoded length, and whether it was intact.
+func parseRecord(raw []byte) (Record, int, bool) {
+	if len(raw) < journalHeaderLen {
+		return Record{}, 0, false
+	}
+	if string(raw[:4]) != string(journalMagic[:]) {
+		return Record{}, 0, false
+	}
+	kind := raw[4]
+	n := binary.BigEndian.Uint32(raw[5:9])
+	crc := binary.BigEndian.Uint32(raw[9:13])
+	if n > maxJournalPayload || len(raw) < journalHeaderLen+int(n) {
+		return Record{}, 0, false
+	}
+	payload := raw[journalHeaderLen : journalHeaderLen+int(n)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Record{}, 0, false
+	}
+	return Record{Kind: kind, Payload: append([]byte(nil), payload...)}, journalHeaderLen + int(n), true
+}
+
+func encodeRecord(kind byte, payload []byte) []byte {
+	buf := make([]byte, journalHeaderLen+len(payload))
+	copy(buf, journalMagic[:])
+	buf[4] = kind
+	binary.BigEndian.PutUint32(buf[5:9], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[9:13], crc32.ChecksumIEEE(payload))
+	copy(buf[journalHeaderLen:], payload)
+	return buf
+}
+
+// Append durably appends one record: a single Write (so a crash tears at
+// most this record, which the CRC catches on the next open) followed by
+// Sync (so an acknowledged append survives power loss).
+func (j *Journal) Append(kind byte, payload []byte) error {
+	buf := encodeRecord(kind, payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("diskstore: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("diskstore: journal append: %w", err)
+	}
+	return nil
+}
+
+// Rewrite atomically replaces the journal's contents with recs (compaction:
+// drop records that no longer matter). The replacement is written to a
+// temp file, synced, and renamed over the journal, then the append handle
+// is reopened on the new inode.
+func (j *Journal) Rewrite(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), "journal-*")
+	if err != nil {
+		return fmt.Errorf("diskstore: journal rewrite: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	for _, r := range recs {
+		if _, err := tmp.Write(encodeRecord(r.Kind, r.Payload)); err != nil {
+			tmp.Close()
+			return fmt.Errorf("diskstore: journal rewrite: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskstore: journal rewrite: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("diskstore: journal rewrite: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("diskstore: journal rewrite: %w", err)
+	}
+	// The rename replaced the inode the append handle points at.
+	f, err := os.OpenFile(j.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("diskstore: journal rewrite: %w", err)
+	}
+	old := j.f
+	j.f = f
+	_ = old.Close()
+	return nil
+}
+
+// Close closes the append handle. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

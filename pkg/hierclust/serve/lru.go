@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // lruCache is a fixed-capacity LRU map from scenario cache key to rendered
@@ -10,10 +11,11 @@ import (
 // scenario documents (dashboards, CI gates), so a small cache absorbs the
 // expensive trace→cluster→evaluate work for the hot set.
 type lruCache struct {
-	mu   sync.Mutex
-	cap  int
-	ll   *list.List // front = most recently used
-	byKK map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	byKK      map[string]*list.Element
+	evictions atomic.Int64
 }
 
 type lruEntry struct {
@@ -43,12 +45,14 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 }
 
 // Put inserts or refreshes a value, evicting the least recently used entry
-// when over capacity. Values are stored as-is; callers must not mutate
-// them afterwards.
+// when over capacity. The value is copied on insert, so the cache owns its
+// bytes outright — a caller reusing or mutating its slice afterwards
+// cannot corrupt what later requests are served.
 func (c *lruCache) Put(key string, val []byte) {
 	if c.cap <= 0 {
 		return
 	}
+	val = append([]byte(nil), val...)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKK[key]; ok {
@@ -61,8 +65,13 @@ func (c *lruCache) Put(key string, val []byte) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.byKK, oldest.Value.(*lruEntry).key)
+		c.evictions.Add(1)
 	}
 }
+
+// Evictions returns how many entries capacity pressure has pushed out
+// since construction.
+func (c *lruCache) Evictions() int64 { return c.evictions.Load() }
 
 // Len returns the live entry count.
 func (c *lruCache) Len() int {

@@ -133,12 +133,30 @@ type Options struct {
 	// /metrics and /healthz. Wire the same cache here and into the
 	// pipeline (hierclust.WithTraceCache).
 	TraceCache TraceCacheStatser
+	// ResultCache, when non-nil, is mounted as a durable write-through
+	// tier beneath the result LRU: every rendered result document is
+	// stored in both, and an LRU miss consults the tier (promoting hits
+	// back into the LRU) before the pipeline runs. Results are
+	// deterministic by canonical scenario key, so a disk-served document
+	// is bit-identical to a recomputed one — this is what lets the server
+	// come back warm after a restart and lets journaled sweeps resume
+	// recomputing only missing cells. Its health (error counters,
+	// quarantines, degraded mode) is exposed on /metrics and /healthz.
+	ResultCache ResultCacheTier
 }
 
 // TraceCacheStatser is the observability surface Options.TraceCache needs;
 // both built-in trace caches implement it.
 type TraceCacheStatser interface {
 	Stats() hierclust.TraceCacheStats
+}
+
+// ResultCacheTier is the durable result-cache surface Options.ResultCache
+// needs: the sweep executor's Get/Put contract plus stats for /metrics and
+// /healthz. hierclust.DiskResultCache implements it.
+type ResultCacheTier interface {
+	hierclust.SweepResultCache
+	Stats() hierclust.ResultCacheStats
 }
 
 // DefaultCacheSize is the scenario-result LRU capacity when Options leaves
@@ -178,6 +196,8 @@ type Server struct {
 	retryAfter   string // whole seconds, pre-rendered for the header
 	evalTimeout  time.Duration
 	traceCache   TraceCacheStatser
+	resultTier   ResultCacheTier
+	journal      *sweepJournal
 	draining     atomic.Bool
 
 	maxSweepCells int
@@ -287,6 +307,7 @@ func New(opts Options) *Server {
 		retryAfter:    strconv.Itoa(retrySec),
 		evalTimeout:   opts.EvalTimeout,
 		traceCache:    opts.TraceCache,
+		resultTier:    opts.ResultCache,
 		reg:           reg,
 	}
 	s.reqTotal = reg.CounterVec("hcserve_requests_total",
@@ -316,6 +337,40 @@ func New(opts Options) *Server {
 	reg.GaugeFunc("hcserve_result_cache_entries",
 		"Entries resident in the scenario-result LRU.",
 		func() float64 { return float64(s.cache.Len()) })
+	reg.CounterFunc("hcserve_result_cache_hits_total",
+		"Result-cache hits across every path (evaluate, batch, sweep cells; LRU and disk tier).",
+		func() float64 { return float64(s.hits.Load()) })
+	reg.CounterFunc("hcserve_result_cache_misses_total",
+		"Result-cache misses across every path (evaluate, batch, sweep cells).",
+		func() float64 { return float64(s.misses.Load()) })
+	reg.CounterFunc("hcserve_result_cache_evictions_total",
+		"Entries evicted from the scenario-result LRU by capacity pressure.",
+		func() float64 { return float64(s.cache.Evictions()) })
+	if rc := s.resultTier; rc != nil {
+		reg.CounterFunc("hcserve_result_cache_disk_read_errors_total",
+			"Failed result-cache disk read attempts (each retry counts).",
+			func() float64 { return float64(rc.Stats().ReadErrors) })
+		reg.CounterFunc("hcserve_result_cache_disk_write_errors_total",
+			"Failed result-cache disk write attempts (each retry counts).",
+			func() float64 { return float64(rc.Stats().WriteErrors) })
+		reg.CounterFunc("hcserve_result_cache_quarantined_total",
+			"Corrupt result-cache files quarantined to .bad for post-mortem.",
+			func() float64 { return float64(rc.Stats().Quarantined) })
+		reg.GaugeFunc("hcserve_result_cache_degraded",
+			"1 while the disk result cache serves memory-only after repeated disk failures.",
+			func() float64 {
+				if rc.Stats().Degraded {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("hcserve_result_cache_disk_entries",
+			"Result documents resident in the disk result-cache tier.",
+			func() float64 { return float64(rc.Stats().Entries) })
+		reg.GaugeFunc("hcserve_result_cache_disk_bytes",
+			"Bytes stored by the disk result-cache tier.",
+			func() float64 { return float64(rc.Stats().Bytes) })
+	}
 	s.panicsTotal = reg.Counter("hcserve_panics_total",
 		"Panics recovered at an isolation boundary (request handler, pipeline worker, batch element).")
 	s.sweepJobsTotal = reg.Counter("hcserve_sweep_jobs_total",
@@ -405,6 +460,34 @@ func (s *Server) Drain() {
 // current size.
 func (s *Server) CacheStats() (hits, misses int64, size int) {
 	return s.hits.Load(), s.misses.Load(), s.cache.Len()
+}
+
+// cacheGet consults the result LRU, then the durable tier (when mounted),
+// promoting tier hits back into the LRU. Either source is a cache hit —
+// results are deterministic by key, so a disk document is bit-identical
+// to a resident one.
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	if doc, ok := s.cache.Get(key); ok {
+		return doc, true
+	}
+	if s.resultTier == nil {
+		return nil, false
+	}
+	doc, ok := s.resultTier.Get(key)
+	if !ok {
+		return nil, false
+	}
+	s.cache.Put(key, doc)
+	return doc, true
+}
+
+// cachePut stores a rendered result document in the LRU and writes it
+// through to the durable tier (when mounted).
+func (s *Server) cachePut(key string, doc []byte) {
+	s.cache.Put(key, doc)
+	if s.resultTier != nil {
+		s.resultTier.Put(key, doc)
+	}
 }
 
 // statusWriter records the response status for the request-total metric.
@@ -539,7 +622,7 @@ func (s *Server) evaluate(r *http.Request, sc *hierclust.Scenario) (doc []byte, 
 	if err != nil {
 		return nil, "", http.StatusBadRequest, err
 	}
-	if doc, ok := s.cache.Get(key); ok {
+	if doc, ok := s.cacheGet(key); ok {
 		s.hits.Add(1)
 		s.cacheHits.With("result").Inc()
 		return doc, "hit", 0, nil
@@ -607,7 +690,7 @@ func (s *Server) evaluate(r *http.Request, sc *hierclust.Scenario) (doc []byte, 
 	if err != nil {
 		return nil, "", http.StatusInternalServerError, err
 	}
-	s.cache.Put(key, doc)
+	s.cachePut(key, doc)
 	cacheState = "miss"
 	if info.Cache == "hit" {
 		cacheState = "trace-hit"
@@ -678,15 +761,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthDoc is the GET /healthz body. Status is "ok", "degraded" (the
-// trace cache fell back to memory-only; results are still correct and
-// bit-identical, the disk needs attention), or "draining" (shutdown in
-// progress; stop routing here).
+// trace cache or the disk result cache fell back to memory-only; results
+// are still correct and bit-identical, the disk needs attention), or
+// "draining" (shutdown in progress; stop routing here).
 type healthDoc struct {
-	Status       string          `json:"status"`
-	CacheEntries int             `json:"cache_entries"`
-	CacheHits    int64           `json:"cache_hits"`
-	CacheMisses  int64           `json:"cache_misses"`
-	TraceCache   *traceHealthDoc `json:"trace_cache,omitempty"`
+	Status       string           `json:"status"`
+	CacheEntries int              `json:"cache_entries"`
+	CacheHits    int64            `json:"cache_hits"`
+	CacheMisses  int64            `json:"cache_misses"`
+	TraceCache   *traceHealthDoc  `json:"trace_cache,omitempty"`
+	ResultCache  *resultHealthDoc `json:"result_cache,omitempty"`
+}
+
+// resultHealthDoc mirrors traceHealthDoc for the durable result-cache
+// tier.
+type resultHealthDoc struct {
+	Degraded    bool  `json:"degraded"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	MemEntries  int   `json:"mem_entries"`
+	ReadErrors  int64 `json:"read_errors"`
+	WriteErrors int64 `json:"write_errors"`
+	Quarantined int64 `json:"quarantined"`
 }
 
 type traceHealthDoc struct {
@@ -706,6 +802,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		doc.TraceCache = &traceHealthDoc{
 			Degraded:    st.Degraded,
 			Entries:     st.Entries,
+			MemEntries:  st.MemEntries,
+			ReadErrors:  st.ReadErrors,
+			WriteErrors: st.WriteErrors,
+			Quarantined: st.Quarantined,
+		}
+		if st.Degraded {
+			doc.Status = "degraded"
+		}
+	}
+	if rc := s.resultTier; rc != nil {
+		st := rc.Stats()
+		doc.ResultCache = &resultHealthDoc{
+			Degraded:    st.Degraded,
+			Entries:     st.Entries,
+			Bytes:       st.Bytes,
 			MemEntries:  st.MemEntries,
 			ReadErrors:  st.ReadErrors,
 			WriteErrors: st.WriteErrors,

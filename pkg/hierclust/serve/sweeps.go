@@ -25,9 +25,13 @@ import (
 // job (or forgets a finished one). Cells acquire evaluation slots through
 // the shared admission limiter in the background tier, so a sweep soaks up
 // idle capacity without starving interactive traffic, and completed cells
-// land in the same result LRU that serves POST /v1/evaluate — which is
+// land in the same result cache that serves POST /v1/evaluate — which is
 // both the cross-warming path and the resume mechanism: resubmitting an
 // interrupted sweep re-evaluates only the cells the cache doesn't hold.
+// With a durable result tier (Options.ResultCache) and a sweep journal
+// (OpenSweepJournal) mounted, resume also survives process death: the
+// journaled job restarts under its original id and its finished cells
+// load back from disk.
 
 // SweepCellLine is one NDJSON line of a GET /v1/sweeps/{id}/results
 // response. The line shape mirrors BatchLine; Result for a 200 cell is
@@ -217,6 +221,10 @@ func (s *Server) storeSweepJob(j *sweepJob) error {
 			if s.sweepJobs[id].currentState() != "running" {
 				delete(s.sweepJobs, id)
 				s.sweepOrder = append(s.sweepOrder[:i], s.sweepOrder[i+1:]...)
+				// Evicted jobs are gone from the store, so they must be
+				// closed out in the journal too or a restart would
+				// resurrect them. (journalDone never takes sweepMu.)
+				s.journalDone(id, "forgotten")
 				evicted = true
 				break
 			}
@@ -305,6 +313,10 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Journal the accepted sweep before the 202 leaves the server: once
+	// the client sees the job id, the job survives kill -9.
+	s.journalSubmitted(id, job.client, body)
+
 	s.sweepJobsTotal.Inc()
 	s.sweepCellsTotal.Add(uint64(len(plan.Cells)))
 	s.sweepBuilds.Add(uint64(plan.TraceBuilds + plan.PartitionBuilds))
@@ -328,7 +340,7 @@ func (s *Server) runSweepJob(ctx context.Context, job *sweepJob) {
 	defer job.cancel()
 
 	opts := hierclust.SweepOptions{
-		ResultCache: s.cache,
+		ResultCache: serverResultCache{s},
 		CellTimeout: s.evalTimeout,
 		Acquire: func(ctx context.Context) (func(), error) {
 			adm, release := s.lim.acquire(ctx, job.client, true)
@@ -352,15 +364,28 @@ func (s *Server) runSweepJob(ctx context.Context, job *sweepJob) {
 	switch {
 	case err == nil:
 		job.finish("completed", 0, "") // no unfilled lines remain
+		s.journalDone(job.id, "completed")
 	case errors.Is(ctx.Err(), context.Canceled) && s.draining.Load():
 		job.finish("cancelled", http.StatusServiceUnavailable,
 			"hierclust: server draining; resubmit to resume from cache")
+		// Deliberately NOT journaled as done: a drain is a restart from
+		// the journal's point of view, so the next process resumes this
+		// job where the result cache left off.
 	case errors.Is(ctx.Err(), context.Canceled):
 		job.finish("cancelled", statusClientClosed, "hierclust: sweep cancelled")
+		s.journalDone(job.id, "cancelled")
 	default:
 		job.finish("failed", http.StatusInternalServerError, err.Error())
+		s.journalDone(job.id, "failed")
 	}
 }
+
+// serverResultCache adapts the server\'s tiered result cache (LRU over the
+// optional durable tier) to the sweep executor\'s SweepResultCache.
+type serverResultCache struct{ s *Server }
+
+func (c serverResultCache) Get(key string) ([]byte, bool) { return c.s.cacheGet(key) }
+func (c serverResultCache) Put(key string, doc []byte)    { c.s.cachePut(key, doc) }
 
 var (
 	errSweepDraining = errors.New("hierclust: server draining")
@@ -490,6 +515,7 @@ func (s *Server) handleSweepDelete(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.sweepMu.Unlock()
+	s.journalDone(id, "forgotten")
 	w.WriteHeader(http.StatusNoContent)
 }
 

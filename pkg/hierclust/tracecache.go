@@ -1,20 +1,18 @@
 package hierclust
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"hierclust/internal/faultinject"
+	"hierclust/internal/diskstore"
 	"hierclust/internal/trace"
 	"hierclust/internal/tsunami"
 )
@@ -196,74 +194,59 @@ func (c *MemoryTraceCache) Stats() TraceCacheStats {
 // whatever an earlier server left behind — which is what makes a fleet of
 // hcserve replicas sharing a volume skip each other's application runs.
 //
-// The cache is engineered to degrade, not fail, when its disk does:
+// The cache is engineered to degrade, not fail, when its disk does; the
+// hardening lives in internal/diskstore (extracted from this cache so the
+// result cache and sweep journal share it):
 //
 //   - Transient IO errors are retried with capped backoff; every failed
 //     attempt is counted (Stats.ReadErrors/WriteErrors) so /metrics can
 //     alarm before users notice.
 //   - Corrupt files (decode failures) are quarantined — renamed to .bad,
-//     preserving the bytes for post-mortem — and reported as misses.
-//   - After degradeAfter consecutive failed attempts the cache enters
+//     preserving the bytes for post-mortem — and reported as misses. HCTR
+//     is self-validating, so corruption is detected at decode time here
+//     rather than by a store-level checksum, keeping the on-disk format
+//     identical to plain trace files.
+//   - After enough consecutive failed attempts the cache enters
 //     memory-only degraded mode: disk is left alone, a bounded in-memory
 //     LRU keeps serving the hottest traces (results stay bit-identical —
-//     the fallback holds the same immutable Comm values), and a probe
-//     write every probeEvery retries the disk and clears the mode when it
+//     the fallback holds the exact serialized bytes), and a probe write
+//     every probe interval retries the disk and clears the mode when it
 //     succeeds. Stats.Degraded surfaces the mode in /healthz.
 type DiskTraceCache struct {
-	mu       sync.Mutex
-	dir      string
-	maxBytes int64
-	total    int64
-	ll       *list.List // front = most recently used
-	byK      map[string]*list.Element
-	hits     atomic.Int64
-	miss     atomic.Int64
-
-	degradeAfter int           // consecutive failed attempts before memory-only
-	probeEvery   time.Duration // how often a degraded cache re-tries the disk
-	consecFails  atomic.Int32
-	degraded     atomic.Bool
-	degradedAt   atomic.Int64 // unix nanos; advanced when a probe is claimed
-	readErrs     atomic.Int64
-	writeErrs    atomic.Int64
-	quarantined  atomic.Int64
-	mem          *MemoryTraceCache // degraded-mode fallback
-}
-
-type diskTraceEntry struct {
-	key  string // sha256 hex of the TraceKey (also the filename stem)
-	size int64
+	store *diskstore.Store
+	hits  atomic.Int64
+	miss  atomic.Int64
 }
 
 const (
 	diskTraceExt  = ".hctr"
-	quarantineExt = ".bad" // appended to the cache filename, so .hctr.bad
+	quarantineExt = diskstore.QuarantineExt // appended to the cache filename, so .hctr.bad
 
-	// Transient-IO retry policy: attempts per operation, with doubling
-	// backoff capped well below any request deadline.
-	diskOpAttempts      = 3
-	diskRetryBackoff    = 2 * time.Millisecond
-	diskRetryBackoffMax = 8 * time.Millisecond
-
-	// defaultDegradeAfter failed attempts in a row flip to memory-only:
-	// one fully retried-out operation is enough — a disk that ate all its
-	// retries is not worth blocking requests on.
-	defaultDegradeAfter = diskOpAttempts
-	defaultProbeEvery   = 30 * time.Second
-
-	// memFallbackCap bounds the degraded-mode LRU; traces are shared by
-	// reference so this caps entry count, not bytes.
-	memFallbackCap = 32
+	// diskOpAttempts is the store's transient-IO retry budget per
+	// operation (chaos tests pin the exact error accounting to it).
+	diskOpAttempts = diskstore.OpAttempts
 )
 
-// DiskTraceCacheOption tunes NewDiskTraceCache.
-type DiskTraceCacheOption func(*DiskTraceCache)
+// diskCacheConfig collects the tuning shared by the disk-backed caches
+// (trace cache here, result cache in resultcache.go).
+type diskCacheConfig struct {
+	degradeAfter int
+	probeEvery   time.Duration
+}
+
+// DiskCacheOption tunes a disk-backed cache (NewDiskTraceCache,
+// NewDiskResultCache).
+type DiskCacheOption func(*diskCacheConfig)
+
+// DiskTraceCacheOption is the historical name of DiskCacheOption, kept so
+// existing NewDiskTraceCache call sites read unchanged.
+type DiskTraceCacheOption = DiskCacheOption
 
 // WithDegradeAfter sets how many consecutive failed disk-operation
 // attempts flip the cache into memory-only degraded mode; n <= 0 keeps
 // the default (one fully retried-out operation).
-func WithDegradeAfter(n int) DiskTraceCacheOption {
-	return func(c *DiskTraceCache) {
+func WithDegradeAfter(n int) DiskCacheOption {
+	return func(c *diskCacheConfig) {
 		if n > 0 {
 			c.degradeAfter = n
 		}
@@ -272,8 +255,8 @@ func WithDegradeAfter(n int) DiskTraceCacheOption {
 
 // WithDegradedProbe sets how often a degraded cache lets one Put through
 // to the disk to test for recovery; d <= 0 keeps the default (30s).
-func WithDegradedProbe(d time.Duration) DiskTraceCacheOption {
-	return func(c *DiskTraceCache) {
+func WithDegradedProbe(d time.Duration) DiskCacheOption {
+	return func(c *diskCacheConfig) {
 		if d > 0 {
 			c.probeEvery = d
 		}
@@ -288,338 +271,91 @@ func NewDiskTraceCache(dir string, maxBytes int64, opts ...DiskTraceCacheOption)
 	if maxBytes <= 0 {
 		maxBytes = 256 << 20
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("hierclust: trace cache dir: %w", err)
-	}
-	c := &DiskTraceCache{
-		dir:          dir,
-		maxBytes:     maxBytes,
-		ll:           list.New(),
-		byK:          map[string]*list.Element{},
-		degradeAfter: defaultDegradeAfter,
-		probeEvery:   defaultProbeEvery,
-		mem:          NewMemoryTraceCache(memFallbackCap),
-	}
+	var cfg diskCacheConfig
 	for _, o := range opts {
-		o(c)
+		o(&cfg)
 	}
-
-	entries, err := os.ReadDir(dir)
+	st, err := diskstore.Open(diskstore.Options{
+		Dir:      dir,
+		Ext:      diskTraceExt,
+		MaxBytes: maxBytes,
+		// HCTR validates itself on decode; no checksum frame, so cache
+		// files stay byte-compatible with plain trace files (and with
+		// caches written before the diskstore extraction).
+		Checksum:     false,
+		FaultPrefix:  "tracecache.disk",
+		DegradeAfter: cfg.degradeAfter,
+		ProbeEvery:   cfg.probeEvery,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("hierclust: trace cache dir: %w", err)
+		return nil, fmt.Errorf("hierclust: trace cache: %w", err)
 	}
-	type found struct {
-		stem  string
-		size  int64
-		mtime int64
-	}
-	var olds []found
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || filepath.Ext(name) != diskTraceExt {
-			continue
-		}
-		info, err := e.Info()
-		if err != nil {
-			continue
-		}
-		olds = append(olds, found{stem: name[:len(name)-len(diskTraceExt)], size: info.Size(), mtime: info.ModTime().UnixNano()})
-	}
-	sort.Slice(olds, func(i, j int) bool { return olds[i].mtime < olds[j].mtime })
-	for _, f := range olds {
-		c.byK[f.stem] = c.ll.PushFront(&diskTraceEntry{key: f.stem, size: f.size})
-		c.total += f.size
-	}
-	c.evictLocked()
-	return c, nil
+	return &DiskTraceCache{store: st}, nil
 }
 
-// hash maps a TraceKey to its filename stem.
-func (c *DiskTraceCache) hash(key string) string {
+// hashStem maps a cache key to its filename stem.
+func hashStem(key string) string {
 	sum := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(sum[:])
 }
 
-func (c *DiskTraceCache) path(stem string) string {
-	return filepath.Join(c.dir, stem+diskTraceExt)
-}
-
-// permanentErr marks a disk error retrying cannot fix — a decode failure
-// (the bytes are wrong, not the IO). retryDisk returns it immediately.
-type permanentErr struct{ error }
-
-func (e permanentErr) Unwrap() error { return e.error }
-
-// isPermanentDiskErr reports errors retryDisk should not retry and the
-// degradation trigger should not count: corruption (permanentErr) and
-// vanished files (concurrent cleanup) are content/index problems, not
-// disk-health problems.
-func isPermanentDiskErr(err error) bool {
-	if _, ok := err.(permanentErr); ok {
-		return true
-	}
-	return os.IsNotExist(err)
-}
-
-// retryDisk runs op with capped-backoff retries, charging every failed
-// transient attempt to errs and to the consecutive-failure degradation
-// trigger. Permanent failures return immediately, uncharged.
-func (c *DiskTraceCache) retryDisk(errs *atomic.Int64, op func() error) error {
-	backoff := diskRetryBackoff
-	var err error
-	for attempt := 0; attempt < diskOpAttempts; attempt++ {
-		if attempt > 0 {
-			time.Sleep(backoff)
-			if backoff < diskRetryBackoffMax {
-				backoff *= 2
-			}
-		}
-		err = op()
-		if err == nil {
-			return nil
-		}
-		if isPermanentDiskErr(err) {
-			return err
-		}
-		errs.Add(1)
-		c.noteFailure()
-	}
-	return err
-}
-
-// noteFailure records one failed disk attempt; degradeAfter of them in a
-// row (no intervening success) flip the cache to memory-only.
-func (c *DiskTraceCache) noteFailure() {
-	if int(c.consecFails.Add(1)) >= c.degradeAfter && !c.degraded.Swap(true) {
-		c.degradedAt.Store(time.Now().UnixNano())
-	}
-}
-
-// noteSuccess records a successful disk operation, resetting the failure
-// streak and leaving degraded mode (a disk success while degraded can only
-// come from a recovery probe).
-func (c *DiskTraceCache) noteSuccess() {
-	c.consecFails.Store(0)
-	c.degraded.Store(false)
-}
-
-// shouldProbe reports whether a degraded cache should let this Put through
-// to the disk as a recovery probe. At most one caller wins per probeEvery
-// window (CAS on the timestamp), so a degraded cache under load does not
-// hammer a dead disk.
-func (c *DiskTraceCache) shouldProbe() bool {
-	at := c.degradedAt.Load()
-	if time.Since(time.Unix(0, at)) < c.probeEvery {
-		return false
-	}
-	return c.degradedAt.CompareAndSwap(at, time.Now().UnixNano())
-}
-
-// memGet consults the memory fallback and settles the hit/miss accounting
-// for a Get the disk could not serve.
-func (c *DiskTraceCache) memGet(key string) (Comm, bool) {
-	if comm, ok := c.mem.Get(key); ok {
-		c.hits.Add(1)
-		return comm, true
-	}
-	c.miss.Add(1)
-	return nil, false
-}
-
 // Get implements TraceCache, deserializing the stored trace into sparse
 // (CSR) form. Transient read failures are retried with backoff and fall
-// back to the memory LRU; a corrupt file is quarantined to .bad (bytes
-// preserved for post-mortem) and reported as a miss; in degraded mode the
-// disk is not touched at all.
+// back to the store's memory LRU; a corrupt file is quarantined to .bad
+// (bytes preserved for post-mortem) and reported as a miss; in degraded
+// mode the disk is not touched at all.
 func (c *DiskTraceCache) Get(key string) (Comm, bool) {
-	if c.degraded.Load() {
-		return c.memGet(key)
-	}
-	stem := c.hash(key)
-	c.mu.Lock()
-	el, ok := c.byK[stem]
+	stem := hashStem(key)
+	data, ok := c.store.Get(stem)
 	if !ok {
-		c.mu.Unlock()
-		// Not on disk — but a Put during an earlier failure window may
-		// have landed the trace in the memory fallback.
-		return c.memGet(key)
+		c.miss.Add(1)
+		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	c.mu.Unlock()
-
-	var csr *trace.CSR
-	err := c.retryDisk(&c.readErrs, func() error {
-		if err := faultinject.Hit("tracecache.disk.read"); err != nil {
-			return err
-		}
-		f, err := os.Open(c.path(stem))
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		// The bound exists to reject hostile headers; our own cache files
-		// are trusted, so raise it well past any machine this repo models.
-		out, err := trace.ReadCSR(f, trace.ReadOptions{MaxRanks: 1 << 26})
-		if err != nil {
-			return permanentErr{err}
-		}
-		csr = out
-		return nil
-	})
-	switch {
-	case err == nil:
-		c.noteSuccess()
-		c.hits.Add(1)
-		return csr, true
-	case os.IsNotExist(err):
-		// Vanished behind our back (concurrent cleanup): index drift, not
-		// a disk fault.
-		c.dropIndex(stem)
-	case isPermanentDiskErr(err):
-		c.quarantine(stem)
-	default:
-		// Transient IO that survived every retry (already counted). Keep
-		// the index entry — the bytes are probably fine, the IO was not.
+	// The bound exists to reject hostile headers; our own cache files
+	// are trusted, so raise it well past any machine this repo models.
+	csr, err := trace.ReadCSR(bytes.NewReader(data), trace.ReadOptions{MaxRanks: 1 << 26})
+	if err != nil {
+		// The disk read succeeded but the bytes are wrong: a content
+		// problem, not a disk-health problem.
+		c.store.Quarantine(stem)
+		c.miss.Add(1)
+		return nil, false
 	}
-	return c.memGet(key)
+	c.hits.Add(1)
+	return csr, true
 }
 
-// dropIndex removes a stem from the index only; the caller decides what
-// happens to the file.
-func (c *DiskTraceCache) dropIndex(stem string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byK[stem]; ok {
-		c.total -= el.Value.(*diskTraceEntry).size
-		c.ll.Remove(el)
-		delete(c.byK, stem)
-	}
-}
-
-// quarantine moves a corrupt cache file aside as <stem>.hctr.bad instead
-// of deleting it — destroying the only evidence of how a trace got
-// corrupted is how cache bugs stay unfixed. Operators sweep *.bad during
-// hygiene (see docs/OPERATIONS.md).
-func (c *DiskTraceCache) quarantine(stem string) {
-	c.dropIndex(stem)
-	if err := os.Rename(c.path(stem), c.path(stem)+quarantineExt); err != nil {
-		// Cannot preserve it; remove so the stem is rebuildable.
-		_ = os.Remove(c.path(stem))
-	}
-	c.quarantined.Add(1)
-}
-
-// Put implements TraceCache, serializing via the trace's WriteTo (write to
-// a temp file, fsync-free rename into place) and evicting LRU entries
-// until the byte budget holds. Transient write failures are retried with
-// backoff; a Put that still fails keeps the trace in the memory fallback
-// so the build is not lost. In degraded mode the disk is skipped entirely
-// except for one recovery probe per probe interval. Traces that cannot be
-// serialized are declined silently.
+// Put implements TraceCache, serializing via the trace\'s WriteTo and
+// handing the bytes to the store (temp file + rename, LRU eviction to the
+// byte budget, retry/degrade on failure — a Put that cannot reach the disk
+// keeps the bytes in the memory fallback so the build is not lost).
+// Traces that cannot be serialized are declined silently.
 func (c *DiskTraceCache) Put(key string, comm Comm) {
 	w, ok := comm.(io.WriterTo)
 	if !ok {
 		return
 	}
-	if c.degraded.Load() && !c.shouldProbe() {
-		c.mem.Put(key, comm)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
 		return
 	}
-	stem := c.hash(key)
-	c.mu.Lock()
-	_, exists := c.byK[stem]
-	c.mu.Unlock()
-	if exists {
-		return // deterministic per key: resident file is already right
-	}
-
-	var size int64
-	err := c.retryDisk(&c.writeErrs, func() error {
-		var aerr error
-		size, aerr = c.writeAttempt(stem, w)
-		return aerr
-	})
-	if err != nil {
-		// The freshly built trace is too expensive to drop on the floor:
-		// keep it in memory so the next request still skips the
-		// application run, disk or no disk.
-		c.mem.Put(key, comm)
-		return
-	}
-	c.noteSuccess()
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.byK[stem]; dup {
-		return // concurrent Put of the same trace; file contents identical
-	}
-	c.byK[stem] = c.ll.PushFront(&diskTraceEntry{key: stem, size: size})
-	c.total += size
-	c.evictLocked()
-}
-
-// writeAttempt is one try at writing a cache file: temp file, serialize,
-// close, rename into place. The write error and the rename error are
-// tracked separately — a rename failure after a clean write is its own
-// fault, not a silent no-op — and the temp file is removed on every
-// failure path.
-func (c *DiskTraceCache) writeAttempt(stem string, w io.WriterTo) (int64, error) {
-	if err := faultinject.Hit("tracecache.disk.write"); err != nil {
-		return 0, err
-	}
-	tmp, err := os.CreateTemp(c.dir, "put-*")
-	if err != nil {
-		return 0, fmt.Errorf("create temp: %w", err)
-	}
-	size, err := w.WriteTo(tmp)
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		_ = os.Remove(tmp.Name())
-		return 0, fmt.Errorf("write: %w", err)
-	}
-	if err := faultinject.Hit("tracecache.disk.rename"); err != nil {
-		_ = os.Remove(tmp.Name())
-		return 0, fmt.Errorf("rename: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path(stem)); err != nil {
-		_ = os.Remove(tmp.Name())
-		return 0, fmt.Errorf("rename: %w", err)
-	}
-	return size, nil
-}
-
-// evictLocked removes least-recently-used files until total <= maxBytes,
-// always keeping at least the most recent entry (a single trace larger
-// than the budget still caches — evicting it would defeat the point).
-func (c *DiskTraceCache) evictLocked() {
-	for c.total > c.maxBytes && c.ll.Len() > 1 {
-		oldest := c.ll.Back()
-		e := oldest.Value.(*diskTraceEntry)
-		c.ll.Remove(oldest)
-		delete(c.byK, e.key)
-		c.total -= e.size
-		_ = os.Remove(c.path(e.key))
-	}
+	c.store.Put(hashStem(key), buf.Bytes())
 }
 
 // Stats returns lifetime counters, the entry count, the stored bytes, and
 // the disk-health fields (error counts, quarantines, degraded mode).
 func (c *DiskTraceCache) Stats() TraceCacheStats {
-	c.mu.Lock()
-	n, b := c.ll.Len(), c.total
-	c.mu.Unlock()
+	st := c.store.Stats()
 	return TraceCacheStats{
 		Hits:        c.hits.Load(),
 		Misses:      c.miss.Load(),
-		Entries:     n,
-		Bytes:       b,
-		ReadErrors:  c.readErrs.Load(),
-		WriteErrors: c.writeErrs.Load(),
-		Quarantined: c.quarantined.Load(),
-		Degraded:    c.degraded.Load(),
-		MemEntries:  c.mem.Stats().Entries,
+		Entries:     st.Entries,
+		Bytes:       st.Bytes,
+		ReadErrors:  st.ReadErrors,
+		WriteErrors: st.WriteErrors,
+		Quarantined: st.Quarantined,
+		Degraded:    st.Degraded,
+		MemEntries:  st.MemEntries,
 	}
 }
 

@@ -210,3 +210,56 @@ if [ -n "$(ls "$CHAOS_DIR" 2>/dev/null)" ]; then
     exit 1
 fi
 echo "hcserve_smoke: chaos drill ok (degraded, bit-identical, memory-only)"
+
+# Restart drill: a server with a durable result cache is killed with
+# SIGKILL (no drain, no flush window) and restarted over the same
+# directory; the evaluation computed before the kill must come back as a
+# result-cache hit, byte-identical, from the new process.
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+RESTART_DIR="$(mktemp -d)"
+start_restart_server() {
+    "$BIN" -addr "$ADDR" -result-cache-dir "$RESTART_DIR/results" \
+        -sweep-journal "$RESTART_DIR/sweeps.journal" &
+    PID=$!
+    i=0
+    until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "hcserve_smoke: restart-drill server never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+start_restart_server
+
+STATUS="$(printf '%s' "$SCENARIO" | curl -s -o /tmp/hcserve_smoke_restart1.json \
+    -w '%{http_code}' -X POST -d @- "http://$ADDR/v1/evaluate")"
+if [ "$STATUS" != "200" ]; then
+    echo "hcserve_smoke: restart-drill POST /v1/evaluate returned $STATUS" >&2
+    exit 1
+fi
+
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+start_restart_server
+
+CACHE_HDR="$(printf '%s' "$SCENARIO" | \
+    curl -s -o /tmp/hcserve_smoke_restart2.json -D - -X POST -d @- "http://$ADDR/v1/evaluate" | \
+    tr -d '\r' | awk -F': ' 'tolower($1) == "x-hierclust-cache" {print $2}')"
+if [ "$CACHE_HDR" != "hit" ]; then
+    echo "hcserve_smoke: cache header after kill -9 restart is '$CACHE_HDR', want hit" >&2
+    exit 1
+fi
+if ! cmp -s /tmp/hcserve_smoke_restart1.json /tmp/hcserve_smoke_restart2.json; then
+    echo "hcserve_smoke: restarted result differs from the pre-kill result" >&2
+    exit 1
+fi
+curl -sf "http://$ADDR/metrics" > /tmp/hcserve_smoke_restart_metrics.txt
+if ! grep -qxF 'hcserve_result_cache_hits_total 1' /tmp/hcserve_smoke_restart_metrics.txt; then
+    echo "hcserve_smoke: /metrics missing hcserve_result_cache_hits_total 1" >&2
+    grep '^hcserve_result_cache' /tmp/hcserve_smoke_restart_metrics.txt >&2 || true
+    exit 1
+fi
+echo "hcserve_smoke: restart drill ok (kill -9, warm result cache, bit-identical)"
